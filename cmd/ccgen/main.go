@@ -1,0 +1,111 @@
+// Command ccgen is the CLI equivalent of the paper's schema generator
+// dialog (Figure 5): it reads a core components model from an XMI file,
+// lets the user pick a library and — for DOC libraries — a root element,
+// and writes the generated schema set to a folder. Status messages are
+// printed during generation; an erroneous model aborts with an error
+// message.
+//
+// Usage:
+//
+//	ccgen -model model.xmi -library EB005-HoardingPermit -root HoardingPermit -out ./schemas [-annotate] [-style shared|composite]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ccts "github.com/go-ccts/ccts"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ccgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ccgen", flag.ContinueOnError)
+	var (
+		modelPath = fs.String("model", "", "XMI model file (required)")
+		library   = fs.String("library", "", "library to generate (required)")
+		root      = fs.String("root", "", "root ABIE for DOCLibrary generation")
+		out       = fs.String("out", "schemas", "output directory")
+		annotate  = fs.Bool("annotate", false, "emit CCTS annotation blocks")
+		style     = fs.String("style", "shared", "global-element rule: shared (paper example) or composite (paper prose)")
+		quiet     = fs.Bool("quiet", false, "suppress status messages")
+		skipCheck = fs.Bool("skip-validation", false, "generate even if the model has validation errors")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" || *library == "" {
+		fs.Usage()
+		return fmt.Errorf("-model and -library are required")
+	}
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	model, err := ccts.ImportXMI(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("importing %s: %w", *modelPath, err)
+	}
+
+	if !*skipCheck {
+		report := ccts.ValidateModel(model)
+		for _, finding := range report.Findings {
+			fmt.Fprintln(os.Stderr, finding)
+		}
+		if report.HasErrors() {
+			return fmt.Errorf("model has validation errors; fix them or pass -skip-validation")
+		}
+	}
+
+	lib := model.FindLibrary(*library)
+	if lib == nil {
+		return fmt.Errorf("model has no library %q", *library)
+	}
+
+	opts := ccts.GenerateOptions{Annotate: *annotate}
+	switch *style {
+	case "shared":
+		opts.Style = ccts.GlobalShared
+	case "composite":
+		opts.Style = ccts.GlobalComposite
+	default:
+		return fmt.Errorf("unknown -style %q", *style)
+	}
+	if !*quiet {
+		opts.Status = func(msg string) { fmt.Fprintln(os.Stderr, "..", msg) }
+	}
+
+	var res *ccts.GenerateResult
+	if lib.Kind == ccts.KindDOCLibrary {
+		if *root == "" {
+			var roots []string
+			for _, abie := range lib.ABIEs {
+				roots = append(roots, abie.Name)
+			}
+			return fmt.Errorf("DOCLibrary %q requires -root; available: %v", lib.Name, roots)
+		}
+		res, err = ccts.GenerateDocument(lib, *root, opts)
+	} else {
+		res, err = ccts.Generate(lib, opts)
+	}
+	if err != nil {
+		return err
+	}
+
+	paths, err := ccts.WriteSchemas(res, *out)
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		fmt.Println(p)
+	}
+	return nil
+}

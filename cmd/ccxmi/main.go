@@ -1,0 +1,119 @@
+// Command ccxmi inspects and produces XMI model files — the interchange
+// format the paper proposes "for registering and exchanging core
+// components".
+//
+// Usage:
+//
+//	ccxmi sample -o model.xmi     # write the built-in EB005-HoardingPermit model
+//	ccxmi info model.xmi          # print the library tree and statistics
+//	ccxmi roundtrip in.xmi out.xmi
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	ccts "github.com/go-ccts/ccts"
+	"github.com/go-ccts/ccts/internal/fixture"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ccxmi:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: ccxmi sample|info|roundtrip ...")
+	}
+	switch args[0] {
+	case "sample":
+		return sample(args[1:], out)
+	case "info":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: ccxmi info model.xmi")
+		}
+		return info(args[1], out)
+	case "roundtrip":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: ccxmi roundtrip in.xmi out.xmi")
+		}
+		return roundtrip(args[1], args[2])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func sample(args []string, out io.Writer) error {
+	target := ""
+	if len(args) == 2 && args[0] == "-o" {
+		target = args[1]
+	} else if len(args) != 0 {
+		return fmt.Errorf("usage: ccxmi sample [-o file.xmi]")
+	}
+	f, err := fixture.BuildHoardingPermit()
+	if err != nil {
+		return err
+	}
+	w := out
+	if target != "" {
+		file, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+	return ccts.ExportXMI(f.Model, w)
+}
+
+func info(path string, out io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	model, err := ccts.ImportXMI(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "model %s\n", model.Name)
+	for _, biz := range model.BusinessLibraries {
+		fmt.Fprintf(out, "  business library %s\n", biz.Name)
+		for _, lib := range biz.Libraries {
+			fmt.Fprintf(out, "    %-12s %-32s elements=%-4d ns=%s\n",
+				lib.Kind, lib.Name, lib.ElementCount(), lib.BaseURN)
+			for _, abie := range lib.ABIEs {
+				for _, line := range abie.EntitySet() {
+					fmt.Fprintf(out, "      %s\n", line)
+				}
+			}
+			for _, acc := range lib.ACCs {
+				fmt.Fprintf(out, "      %s (ACC, %d BCCs, %d ASCCs)\n",
+					acc.Name, len(acc.BCCs), len(acc.ASCCs))
+			}
+		}
+	}
+	return nil
+}
+
+func roundtrip(in, outPath string) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	model, err := ccts.ImportXMI(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	w, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	return ccts.ExportXMI(model, w)
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSampleInfoRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	model := filepath.Join(dir, "model.xmi")
+
+	// sample -o file
+	if err := run([]string{"sample", "-o", model}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "HoardingPermit") {
+		t.Error("sample model content wrong")
+	}
+
+	// sample to stdout
+	var buf bytes.Buffer
+	if err := run([]string{"sample"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("sample to stdout empty")
+	}
+
+	// info
+	buf.Reset()
+	if err := run([]string{"info", model}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"model EasyBiz",
+		"business library EasyBiz",
+		"DOCLibrary",
+		"HoardingPermit (ABIE)",
+		"Application (ACC, 11 BCCs, 1 ASCCs)",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("info output missing %q", want)
+		}
+	}
+
+	// roundtrip produces identical XMI (canonical form).
+	out := filepath.Join(dir, "out.xmi")
+	if err := run([]string{"roundtrip", model, out}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("roundtrip output differs from input")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"info"},
+		{"info", "/nope.xmi"},
+		{"roundtrip", "only-one"},
+		{"roundtrip", "/nope.xmi", "/tmp/out.xmi"},
+		{"sample", "-x", "file"},
+	}
+	for i, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("case %d (%v) should fail", i, args)
+		}
+	}
+}

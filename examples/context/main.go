@@ -1,0 +1,134 @@
+// Context demonstrates the CCTS business context mechanism of the
+// paper's Section 2.2: "An address in the first context for instance
+// differs from an address in second context - hence a core component
+// address cannot be used in both context. However, by deriving business
+// information entities from the core component address the user has the
+// possibility to use a tailored core component address for every
+// specific context."
+//
+// One Address ACC is refined into three ABIEs for different business
+// contexts; ResolveInContext picks the most specific applicable entity
+// for a partner's situation.
+//
+// Run with: go run ./examples/context
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ccts "github.com/go-ccts/ccts"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	model := ccts.NewModel("ContextDemo")
+	biz := model.AddBusinessLibrary("Demo")
+	cat, err := ccts.InstallCatalog(biz)
+	if err != nil {
+		return err
+	}
+	ccLib := biz.AddLibrary(ccts.KindCCLibrary, "CC", "urn:demo:cc")
+	ccLib.Version = "1.0"
+	bieLib := biz.AddLibrary(ccts.KindBIELibrary, "BIE", "urn:demo:bie")
+	bieLib.Version = "1.0"
+
+	// The context-free core component.
+	address, err := ccLib.AddACC("Address")
+	if err != nil {
+		return err
+	}
+	for _, field := range []string{"Street", "CityName", "PostalCode", "Region", "Country"} {
+		cdt := ccts.CDTText
+		if field == "Country" {
+			cdt = ccts.CDTCode
+		}
+		if _, err := address.AddBCC(field, cat.CDT(cdt), ccts.Optional); err != nil {
+			return err
+		}
+	}
+
+	// Default context: the generic address.
+	generic, err := ccts.DeriveABIE(bieLib, address, ccts.Restriction{
+		BBIEs: []ccts.BBIEPick{{BCC: "Street"}, {BCC: "CityName"}, {BCC: "Country"}},
+	})
+	if err != nil {
+		return err
+	}
+
+	// US context: state (Region) and ZIP matter.
+	usAddress, err := ccts.DeriveABIE(bieLib, address, ccts.Restriction{
+		Qualifier: "US",
+		BBIEs: []ccts.BBIEPick{
+			{BCC: "Street"}, {BCC: "CityName"},
+			{BCC: "Region", Rename: "State"},
+			{BCC: "PostalCode", Rename: "ZIPCode"},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	usAddress.SetContext(ccts.NewContext().With(ccts.CtxGeopolitical, "US"))
+
+	// US freight context: even more specific.
+	freightAddress, err := ccts.DeriveABIE(bieLib, address, ccts.Restriction{
+		Qualifier: "USFreight",
+		BBIEs: []ccts.BBIEPick{
+			{BCC: "Street"}, {BCC: "CityName"},
+			{BCC: "PostalCode", Rename: "ZIPCode"},
+			{BCC: "Region", Rename: "State"},
+			{BCC: "Country"},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	freightAddress.SetContext(ccts.NewContext().
+		With(ccts.CtxGeopolitical, "US").
+		With(ccts.CtxIndustryClassification, "Freight"))
+
+	_ = generic
+
+	// Resolution: partners describe their situation; the model answers
+	// with the tailored entity.
+	situations := []struct {
+		label string
+		ctx   ccts.Context
+	}{
+		{"unknown partner", ccts.NewContext()},
+		{"Austrian retailer", ccts.NewContext().With(ccts.CtxGeopolitical, "AT")},
+		{"US retailer", ccts.NewContext().With(ccts.CtxGeopolitical, "US")},
+		{"US freight carrier", ccts.NewContext().
+			With(ccts.CtxGeopolitical, "US").
+			With(ccts.CtxIndustryClassification, "Freight")},
+	}
+	for _, s := range situations {
+		abie, ok := model.ResolveInContext(address, s.ctx)
+		if !ok {
+			fmt.Printf("%-20s -> no applicable entity\n", s.label)
+			continue
+		}
+		fmt.Printf("%-20s -> %s (declared for %s)\n", s.label, abie.Name, abie.Context())
+	}
+
+	// The context declarations travel with the model: registry entries
+	// carry them for harmonisation.
+	reg := ccts.NewRegistry()
+	reg.RegisterModel(model)
+	for _, hit := range reg.Search("Address. Details") {
+		fmt.Printf("registry: %-25s context=%s\n", hit.Name, orDefault(hit.Context))
+	}
+	return nil
+}
+
+func orDefault(ctx string) string {
+	if ctx == "" {
+		return "(default)"
+	}
+	return ctx
+}

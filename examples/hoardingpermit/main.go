@@ -1,0 +1,378 @@
+// Hoardingpermit reproduces the paper's complete running example: the
+// EB005-HoardingPermit business library of Figure 4, the generated
+// schema set of Figures 6-8, and the validation of an XML message
+// against it — the full loop from platform-independent model to
+// validated business document.
+//
+// Run with: go run ./examples/hoardingpermit [outdir]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	ccts "github.com/go-ccts/ccts"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	model, docLib, err := buildModel()
+	if err != nil {
+		return err
+	}
+
+	// Validation engine first: "In case the UML model is erroneous, the
+	// generation aborts."
+	report := ccts.ValidateModel(model)
+	if report.HasErrors() {
+		for _, f := range report.Findings {
+			fmt.Println(f)
+		}
+		return fmt.Errorf("model is invalid")
+	}
+	fmt.Println("model validates cleanly")
+
+	// Generate the document schema set, root element HoardingPermit.
+	res, err := ccts.GenerateDocument(docLib, "HoardingPermit", ccts.GenerateOptions{
+		Annotate: true,
+		Status:   func(msg string) { fmt.Println("  ..", msg) },
+	})
+	if err != nil {
+		return err
+	}
+
+	if len(os.Args) > 1 {
+		paths, err := ccts.WriteSchemas(res, os.Args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println("schemas written:")
+		for _, p := range paths {
+			fmt.Println("  " + p)
+		}
+	} else {
+		fmt.Printf("generated %d schemas: %v\n", len(res.Order), res.Order)
+	}
+
+	// Close the loop: validate a business message against the generated
+	// schemas.
+	set, err := ccts.CompileSchemas(res)
+	if err != nil {
+		return err
+	}
+	message := `<doc:HoardingPermit
+	    xmlns:doc="urn:au:gov:vic:easybiz:data:draft:EB005-HoardingPermit"
+	    xmlns:ca="urn:au:gov:vic:easybiz:data:draft:CommonAggregates"
+	    xmlns:ll="urn:au:gov:vic:easybiz:data:draft:LocalLawAggregates">
+	  <doc:ClosureReason>Scaffolding over footpath</doc:ClosureReason>
+	  <doc:IncludedAttachment><ca:Description>Site plan</ca:Description></doc:IncludedAttachment>
+	  <doc:CurrentApplication>
+	    <ca:CreatedDate>2006-11-29</ca:CreatedDate>
+	    <ca:Type CodeListAgName="easybiz" CodeListName="permits" CodeListSchemeURI="urn:x">HOARD</ca:Type>
+	  </doc:CurrentApplication>
+	  <doc:IncludedRegistration><ll:Type>local</ll:Type></doc:IncludedRegistration>
+	  <doc:BillingPerson_Identification>
+	    <ca:Designation>AU-552-19</ca:Designation>
+	    <ca:PersonalSignature><ca:Date>2006-11-29T15:06:48</ca:Date></ca:PersonalSignature>
+	    <ca:AssignedAddress><ca:CountryName CodeListName="iso3166">AUS</ca:CountryName></ca:AssignedAddress>
+	  </doc:BillingPerson_Identification>
+	</doc:HoardingPermit>`
+	vr, err := set.ValidateString(message)
+	if err != nil {
+		return err
+	}
+	if vr.Valid() {
+		fmt.Println("sample message validates against the generated schemas")
+	} else {
+		for _, e := range vr.Errors {
+			fmt.Println("  " + e.Error())
+		}
+		return fmt.Errorf("sample message is invalid")
+	}
+
+	// And show validation catching an error: country code outside the
+	// CountryType_Code enumeration.
+	bad := `<doc:HoardingPermit
+	    xmlns:doc="urn:au:gov:vic:easybiz:data:draft:EB005-HoardingPermit"
+	    xmlns:ca="urn:au:gov:vic:easybiz:data:draft:CommonAggregates"
+	    xmlns:ll="urn:au:gov:vic:easybiz:data:draft:LocalLawAggregates">
+	  <doc:IncludedRegistration><ll:Type>local</ll:Type></doc:IncludedRegistration>
+	  <doc:BillingPerson_Identification>
+	    <ca:Designation>AU-552-19</ca:Designation>
+	    <ca:PersonalSignature/>
+	    <ca:AssignedAddress><ca:CountryName>ATLANTIS</ca:CountryName></ca:AssignedAddress>
+	  </doc:BillingPerson_Identification>
+	</doc:HoardingPermit>`
+	vr2, err := set.ValidateString(bad)
+	if err != nil {
+		return err
+	}
+	fmt.Println("deliberately broken message produces:")
+	for _, e := range vr2.Errors {
+		fmt.Println("  " + e.Error())
+	}
+	return nil
+}
+
+// buildModel constructs the Figure 4 model through the public API.
+func buildModel() (*ccts.Model, *ccts.Library, error) {
+	model := ccts.NewModel("EasyBiz")
+	biz := model.AddBusinessLibrary("EasyBiz")
+
+	cat, err := ccts.InstallCatalogWith(biz, ccts.CatalogOptions{
+		CDTName:    "coredatatypes",
+		CDTBaseURN: "un:unece:uncefact:data:standard:CDTLibrary:1.0",
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	enumLib := biz.AddLibrary(ccts.KindENUMLibrary, "EnumerationTypes",
+		"urn:au:gov:vic:easybiz:types:draft:EnumerationTypes")
+	enumLib.Version = "0.1"
+	qdtLib := biz.AddLibrary(ccts.KindQDTLibrary, "BuildingAndPlanningDataTypes",
+		"urn:au:gov:vic:easybiz:types:draft:QualifiedDataTypes")
+	qdtLib.Version = "0.1"
+	ccLib := biz.AddLibrary(ccts.KindCCLibrary, "CandidateCoreComponents",
+		"urn:au:gov:vic:easybiz:components:draft:CandidateCoreComponents")
+	ccLib.Version = "0.1"
+	common := biz.AddLibrary(ccts.KindBIELibrary, "CommonAggregates",
+		"urn:au:gov:vic:easybiz:data:draft:CommonAggregates")
+	common.Version = "0.1"
+	common.NamespacePrefix = "commonAggregates"
+	local := biz.AddLibrary(ccts.KindBIELibrary, "LocalLawAggregates",
+		"urn:au:gov:vic:easybiz:data:draft:LocalLawAggregates")
+	local.Version = "0.1"
+	docLib := biz.AddLibrary(ccts.KindDOCLibrary, "EB005-HoardingPermit",
+		"urn:au:gov:vic:easybiz:data:draft:EB005-HoardingPermit")
+	docLib.Version = "0.4"
+	docLib.NamespacePrefix = "doc"
+
+	// Enumerations (Figure 4, package 6).
+	council, err := enumLib.AddENUM("CouncilType_Code")
+	if err != nil {
+		return nil, nil, err
+	}
+	council.AddLiteral("kingston", "Kingston City Council").
+		AddLiteral("morningtonpeninsula", "Mornington Peninsula Shire Council").
+		AddLiteral("northerngrampians", "Northern Grampians Shire Council").
+		AddLiteral("portphillip", "Port Phillip City Council").
+		AddLiteral("pyrenees", "Pyrenees Shire Council")
+	country, err := enumLib.AddENUM("CountryType_Code")
+	if err != nil {
+		return nil, nil, err
+	}
+	country.AddLiteral("USA", "United States of America").
+		AddLiteral("AUT", "Austria").
+		AddLiteral("AUS", "Australia")
+
+	// Qualified data types (package 3).
+	code := cat.CDT(ccts.CDTCode)
+	opt := ccts.Optional
+	if _, err := ccts.DeriveQDT(qdtLib, code, ccts.QDTRestriction{
+		Name: "CountryType", ContentEnum: country,
+		Sups: []ccts.SupPick{{Sup: "CodeListName", Card: &opt}},
+	}); err != nil {
+		return nil, nil, err
+	}
+	if _, err := ccts.DeriveQDT(qdtLib, code, ccts.QDTRestriction{
+		Name: "CouncilType", ContentEnum: council,
+		Sups: []ccts.SupPick{{Sup: "CodeListName", Card: &opt}},
+	}); err != nil {
+		return nil, nil, err
+	}
+	indicator, err := ccts.DeriveQDT(qdtLib, code, ccts.QDTRestriction{Name: "Indicator_Code"})
+	if err != nil {
+		return nil, nil, err
+	}
+	regType, err := ccts.DeriveQDT(qdtLib, code, ccts.QDTRestriction{Name: "RegistrationType_Code"})
+	if err != nil {
+		return nil, nil, err
+	}
+	countryType := model.FindQDT("CountryType")
+
+	// Core components (package 5 plus the reconstructed ACCs).
+	type bcc struct {
+		name string
+		cdt  string
+		card ccts.Cardinality
+	}
+	addACC := func(name string, bccs ...bcc) (*ccts.ACC, error) {
+		acc, err := ccLib.AddACC(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range bccs {
+			if _, err := acc.AddBCC(b.name, cat.CDT(b.cdt), b.card); err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	}
+	application, err := addACC("Application",
+		bcc{"CreatedDate", ccts.CDTDate, ccts.One},
+		bcc{"Fee", ccts.CDTAmount, ccts.One},
+		bcc{"Justification", ccts.CDTText, ccts.One},
+		bcc{"LastUpdatedDate", ccts.CDTDate, ccts.One},
+		bcc{"LocalReferenceNumber", ccts.CDTText, ccts.One},
+		bcc{"NationalReferenceNumber", ccts.CDTIdentifier, ccts.One},
+		bcc{"Reference", ccts.CDTText, ccts.One},
+		bcc{"RelatedReference", ccts.CDTText, ccts.One},
+		bcc{"Result", ccts.CDTCode, ccts.One},
+		bcc{"Status", ccts.CDTCode, ccts.One},
+		bcc{"Type", ccts.CDTCode, ccts.One},
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	attachment, err := addACC("Attachment",
+		bcc{"Description", ccts.CDTText, ccts.Optional},
+		bcc{"File", ccts.CDTBinaryObject, ccts.Optional},
+		bcc{"Location", ccts.CDTText, ccts.Optional},
+		bcc{"Size", ccts.CDTMeasure, ccts.Optional},
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	party, err := addACC("Party",
+		bcc{"Description", ccts.CDTText, ccts.Optional},
+		bcc{"Role", ccts.CDTText, ccts.Optional},
+		bcc{"Type", ccts.CDTCode, ccts.Optional},
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := application.AddASCC("Applicant", party, ccts.One, ccts.AggregationComposite); err != nil {
+		return nil, nil, err
+	}
+	signature, err := addACC("Signature",
+		bcc{"Date", ccts.CDTDateTime, ccts.Optional},
+		bcc{"PersonName", ccts.CDTText, ccts.Optional},
+		bcc{"SignatureData", ccts.CDTBinaryObject, ccts.Optional},
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	address, err := addACC("Address",
+		bcc{"Country", ccts.CDTCode, ccts.Optional},
+		bcc{"PostalCode", ccts.CDTText, ccts.Optional},
+		bcc{"Street", ccts.CDTText, ccts.Optional},
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	person, err := addACC("Person", bcc{"Designation", ccts.CDTIdentifier, ccts.One})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := person.AddASCC("Personal", signature, ccts.One, ccts.AggregationComposite); err != nil {
+		return nil, nil, err
+	}
+	if _, err := person.AddASCC("Assigned", address, ccts.One, ccts.AggregationShared); err != nil {
+		return nil, nil, err
+	}
+	registration, err := addACC("Registration", bcc{"Type", ccts.CDTCode, ccts.Optional})
+	if err != nil {
+		return nil, nil, err
+	}
+	permit, err := addACC("Permit",
+		bcc{"ClosureReason", ccts.CDTText, ccts.Optional},
+		bcc{"IsClosedFootpath", ccts.CDTCode, ccts.Optional},
+		bcc{"IsClosedRoad", ccts.CDTCode, ccts.Optional},
+		bcc{"SafetyPrecaution", ccts.CDTText, ccts.Optional},
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := permit.AddASCC("Included", attachment, ccts.Many, ccts.AggregationComposite); err != nil {
+		return nil, nil, err
+	}
+	if _, err := permit.AddASCC("Current", application, ccts.Optional, ccts.AggregationComposite); err != nil {
+		return nil, nil, err
+	}
+	if _, err := permit.AddASCC("Included", registration, ccts.One, ccts.AggregationComposite); err != nil {
+		return nil, nil, err
+	}
+	if _, err := permit.AddASCC("Billing", person, ccts.Optional, ccts.AggregationComposite); err != nil {
+		return nil, nil, err
+	}
+
+	// Business information entities (package 2).
+	signatureBIE, err := ccts.DeriveABIE(common, signature, ccts.Restriction{
+		BBIEs: []ccts.BBIEPick{{BCC: "Date"}, {BCC: "PersonName"}, {BCC: "SignatureData"}},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	addressBIE, err := ccts.DeriveABIE(common, address, ccts.Restriction{
+		BBIEs: []ccts.BBIEPick{{BCC: "Country", Rename: "CountryName", Type: countryType}},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	personIdent, err := ccts.DeriveABIE(common, person, ccts.Restriction{
+		Name:  "Person_Identification",
+		BBIEs: []ccts.BBIEPick{{BCC: "Designation"}},
+		ASBIEs: []ccts.ASBIEPick{
+			{Role: "Personal", Target: signatureBIE},
+			{Role: "Assigned", Target: addressBIE},
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	optCard := ccts.Optional
+	applicationBIE, err := ccts.DeriveABIE(common, application, ccts.Restriction{
+		BBIEs: []ccts.BBIEPick{
+			{BCC: "CreatedDate", Card: &optCard},
+			{BCC: "Type", Card: &optCard},
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	attachmentBIE, err := ccts.DeriveABIE(common, attachment, ccts.Restriction{
+		BBIEs: []ccts.BBIEPick{{BCC: "Description"}},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	registrationBIE, err := ccts.DeriveABIE(local, registration, ccts.Restriction{
+		BBIEs: []ccts.BBIEPick{{BCC: "Type", Type: regType}},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// The business document (package 1).
+	if _, err := ccts.DeriveABIE(docLib, permit, ccts.Restriction{
+		Name: "HoardingPermit",
+		BBIEs: []ccts.BBIEPick{
+			{BCC: "ClosureReason"},
+			{BCC: "IsClosedFootpath", Type: indicator},
+			{BCC: "IsClosedRoad", Type: indicator},
+			{BCC: "SafetyPrecaution"},
+		},
+		ASBIEs: []ccts.ASBIEPick{
+			{Role: "Included", TargetACC: "Attachment", Target: attachmentBIE},
+			{Role: "Current", Target: applicationBIE},
+			{Role: "Included", TargetACC: "Registration", Target: registrationBIE},
+			{Role: "Billing", Target: personIdent},
+		},
+	}); err != nil {
+		return nil, nil, err
+	}
+	if _, err := ccts.DeriveABIE(docLib, permit, ccts.Restriction{
+		Name:  "HoardingDetails",
+		BBIEs: []ccts.BBIEPick{{BCC: "ClosureReason", Rename: "Description"}},
+	}); err != nil {
+		return nil, nil, err
+	}
+	return model, docLib, nil
+}

@@ -1,0 +1,256 @@
+// Purchaseorder demonstrates the scenario that motivates the paper's
+// introduction: B2B e-commerce partners in different business contexts
+// (an EU seller and a US buyer) sharing one library of core components
+// but exchanging context-specific documents. Both document schemas are
+// generated from the same ACCs; the derivation-by-restriction mechanism
+// guarantees they stay semantically aligned, while each context only
+// carries the fields it needs — avoiding the "overloaded and highly
+// optional document structures of which only about 3% are used".
+//
+// Run with: go run ./examples/purchaseorder
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ccts "github.com/go-ccts/ccts"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	model := ccts.NewModel("TradeModel")
+	biz := model.AddBusinessLibrary("Trade")
+	cat, err := ccts.InstallCatalog(biz)
+	if err != nil {
+		return err
+	}
+
+	// Shared core components: the ontological base both partners agree
+	// on.
+	ccLib := biz.AddLibrary(ccts.KindCCLibrary, "TradeComponents", "urn:trade:cc")
+	ccLib.Version = "1.0"
+
+	party, err := ccLib.AddACC("Party")
+	if err != nil {
+		return err
+	}
+	mustBCC(party, "Name", cat.CDT(ccts.CDTName), ccts.One)
+	mustBCC(party, "Identifier", cat.CDT(ccts.CDTIdentifier), ccts.Optional)
+	mustBCC(party, "TaxRegistration", cat.CDT(ccts.CDTIdentifier), ccts.Optional)
+
+	lineItem, err := ccLib.AddACC("LineItem")
+	if err != nil {
+		return err
+	}
+	mustBCC(lineItem, "Description", cat.CDT(ccts.CDTText), ccts.One)
+	mustBCC(lineItem, "Quantity", cat.CDT(ccts.CDTQuantity), ccts.One)
+	mustBCC(lineItem, "Price", cat.CDT(ccts.CDTAmount), ccts.One)
+	mustBCC(lineItem, "HazardCode", cat.CDT(ccts.CDTCode), ccts.Optional)
+
+	order, err := ccLib.AddACC("Order")
+	if err != nil {
+		return err
+	}
+	mustBCC(order, "Number", cat.CDT(ccts.CDTIdentifier), ccts.One)
+	mustBCC(order, "IssueDate", cat.CDT(ccts.CDTDate), ccts.One)
+	mustBCC(order, "Currency", cat.CDT(ccts.CDTCode), ccts.Optional)
+	mustBCC(order, "Total", cat.CDT(ccts.CDTAmount), ccts.Optional)
+	if _, err := order.AddASCC("Buyer", party, ccts.One, ccts.AggregationComposite); err != nil {
+		return err
+	}
+	if _, err := order.AddASCC("Seller", party, ccts.One, ccts.AggregationComposite); err != nil {
+		return err
+	}
+	if _, err := order.AddASCC("Included", lineItem, ccts.OneOrMore, ccts.AggregationComposite); err != nil {
+		return err
+	}
+
+	// EU context: VAT registration is mandatory, currency restricted to
+	// an enumeration.
+	euEnumLib := biz.AddLibrary(ccts.KindENUMLibrary, "EUEnumerations", "urn:trade:eu:enum")
+	euEnumLib.Version = "1.0"
+	euCurrency, err := euEnumLib.AddENUM("EUCurrency_Code")
+	if err != nil {
+		return err
+	}
+	euCurrency.AddLiteral("EUR", "Euro").AddLiteral("SEK", "Swedish krona").AddLiteral("DKK", "Danish krone")
+
+	euQDTLib := biz.AddLibrary(ccts.KindQDTLibrary, "EUDataTypes", "urn:trade:eu:qdt")
+	euQDTLib.Version = "1.0"
+	euCurrencyType, err := ccts.DeriveQDT(euQDTLib, cat.CDT(ccts.CDTCode), ccts.QDTRestriction{
+		Name: "EUCurrencyType", ContentEnum: euCurrency,
+	})
+	if err != nil {
+		return err
+	}
+
+	euDoc, err := buildContext(biz, "EU", "urn:trade:eu", order, party, lineItem, contextSpec{
+		partyPicks: []ccts.BBIEPick{
+			{BCC: "Name"},
+			{BCC: "TaxRegistration", Rename: "VATNumber"}, // mandatory in the EU context
+		},
+		orderPicks: []ccts.BBIEPick{
+			{BCC: "Number"}, {BCC: "IssueDate"},
+			{BCC: "Currency", Type: euCurrencyType},
+		},
+		linePicks: []ccts.BBIEPick{{BCC: "Description"}, {BCC: "Quantity"}, {BCC: "Price"}},
+	})
+	if err != nil {
+		return err
+	}
+
+	// US context: no VAT, but line items carry hazard codes.
+	usDoc, err := buildContext(biz, "US", "urn:trade:us", order, party, lineItem, contextSpec{
+		partyPicks: []ccts.BBIEPick{{BCC: "Name"}, {BCC: "Identifier"}},
+		orderPicks: []ccts.BBIEPick{{BCC: "Number"}, {BCC: "IssueDate"}, {BCC: "Total"}},
+		linePicks: []ccts.BBIEPick{
+			{BCC: "Description"}, {BCC: "Quantity"}, {BCC: "Price"}, {BCC: "HazardCode"},
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Validate and generate both document schemas from the shared model.
+	if report := ccts.ValidateModel(model); report.HasErrors() {
+		for _, f := range report.Findings {
+			fmt.Println(f)
+		}
+		return fmt.Errorf("model invalid")
+	}
+	for _, doc := range []*ccts.Library{euDoc, usDoc} {
+		res, err := ccts.GenerateDocument(doc, doc.ABIEs[0].Name, ccts.GenerateOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: generated %d schemas, root element %s\n",
+			doc.Name, len(res.Order), res.RootElement)
+
+		set, err := ccts.CompileSchemas(res)
+		if err != nil {
+			return err
+		}
+		msg := sampleMessage(doc)
+		vr, err := set.ValidateString(msg)
+		if err != nil {
+			return err
+		}
+		if vr.Valid() {
+			fmt.Printf("%s: sample order message validates\n", doc.Name)
+		} else {
+			for _, e := range vr.Errors {
+				fmt.Println("  " + e.Error())
+			}
+			return fmt.Errorf("%s: sample message invalid", doc.Name)
+		}
+	}
+
+	// Cross-context check: an EU message with a currency outside the EU
+	// enumeration is rejected, a US message has no VATNumber element.
+	res, err := ccts.GenerateDocument(euDoc, "EU_Order", ccts.GenerateOptions{})
+	if err != nil {
+		return err
+	}
+	set, err := ccts.CompileSchemas(res)
+	if err != nil {
+		return err
+	}
+	bad := sampleMessageWithCurrency(euDoc, "USD")
+	vr, err := set.ValidateString(bad)
+	if err != nil {
+		return err
+	}
+	fmt.Println("EU order priced in USD produces:")
+	for _, e := range vr.Errors {
+		fmt.Println("  " + e.Error())
+	}
+	return nil
+}
+
+type contextSpec struct {
+	partyPicks []ccts.BBIEPick
+	orderPicks []ccts.BBIEPick
+	linePicks  []ccts.BBIEPick
+}
+
+// buildContext derives the BIEs of one business context and assembles
+// the order document library.
+func buildContext(biz *ccts.BusinessLibrary, qualifier, urnBase string,
+	order, party, lineItem *ccts.ACC, spec contextSpec) (*ccts.Library, error) {
+
+	bieLib := biz.AddLibrary(ccts.KindBIELibrary, qualifier+"Aggregates", urnBase+":bie")
+	bieLib.Version = "1.0"
+	docLib := biz.AddLibrary(ccts.KindDOCLibrary, qualifier+"Order", urnBase+":order")
+	docLib.Version = "1.0"
+
+	partyBIE, err := ccts.DeriveABIE(bieLib, party, ccts.Restriction{
+		Qualifier: qualifier, BBIEs: spec.partyPicks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lineBIE, err := ccts.DeriveABIE(bieLib, lineItem, ccts.Restriction{
+		Qualifier: qualifier, BBIEs: spec.linePicks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ccts.DeriveABIE(docLib, order, ccts.Restriction{
+		Qualifier: qualifier,
+		BBIEs:     spec.orderPicks,
+		ASBIEs: []ccts.ASBIEPick{
+			{Role: "Buyer", Target: partyBIE},
+			{Role: "Seller", Target: partyBIE},
+			{Role: "Included", Target: lineBIE},
+		},
+	}); err != nil {
+		return nil, err
+	}
+	return docLib, nil
+}
+
+func sampleMessage(doc *ccts.Library) string {
+	if doc.Name == "EUOrder" {
+		return sampleMessageWithCurrency(doc, "EUR")
+	}
+	return `<o:US_Order xmlns:o="urn:trade:us:order" xmlns:b="urn:trade:us:bie">
+	  <o:Number>PO-9918</o:Number>
+	  <o:IssueDate>2026-07-05</o:IssueDate>
+	  <o:Total CurrencyIdentifier="USD">145.50</o:Total>
+	  <o:BuyerUS_Party><b:Name>Acme Corp.</b:Name><b:Identifier>ACME</b:Identifier></o:BuyerUS_Party>
+	  <o:SellerUS_Party><b:Name>Gadget LLC</b:Name></o:SellerUS_Party>
+	  <o:IncludedUS_LineItem>
+	    <b:Description>Widget</b:Description>
+	    <b:Quantity>12</b:Quantity>
+	    <b:Price CurrencyIdentifier="USD">12.10</b:Price>
+	    <b:HazardCode CodeListAgName="UN" CodeListName="ADR" CodeListSchemeURI="urn:adr">3</b:HazardCode>
+	  </o:IncludedUS_LineItem>
+	</o:US_Order>`
+}
+
+func sampleMessageWithCurrency(_ *ccts.Library, currency string) string {
+	return `<o:EU_Order xmlns:o="urn:trade:eu:order" xmlns:b="urn:trade:eu:bie">
+	  <o:Number>PO-2026-17</o:Number>
+	  <o:IssueDate>2026-07-05</o:IssueDate>
+	  <o:Currency>` + currency + `</o:Currency>
+	  <o:BuyerEU_Party><b:Name>Beispiel GmbH</b:Name><b:VATNumber>ATU1234567</b:VATNumber></o:BuyerEU_Party>
+	  <o:SellerEU_Party><b:Name>Exempel AB</b:Name><b:VATNumber>SE5561234567</b:VATNumber></o:SellerEU_Party>
+	  <o:IncludedEU_LineItem>
+	    <b:Description>Widget</b:Description>
+	    <b:Quantity>12</b:Quantity>
+	    <b:Price CurrencyIdentifier="EUR">10.40</b:Price>
+	  </o:IncludedEU_LineItem>
+	</o:EU_Order>`
+}
+
+func mustBCC(acc *ccts.ACC, name string, cdt *ccts.CDT, card ccts.Cardinality) {
+	if _, err := acc.AddBCC(name, cdt, card); err != nil {
+		log.Fatal(err)
+	}
+}

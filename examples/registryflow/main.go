@@ -1,0 +1,96 @@
+// Registryflow demonstrates the registration and harmonisation workflow
+// the paper says core components were missing: exchanging models via
+// XMI, indexing them in a registry by dictionary entry name, and moving
+// the registry through the spreadsheet (CSV) format the UN/CEFACT
+// harmonisation process uses.
+//
+// Run with: go run ./examples/registryflow
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	ccts "github.com/go-ccts/ccts"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Organisation A models a core component library...
+	model := ccts.NewModel("OrgA")
+	biz := model.AddBusinessLibrary("OrgA")
+	cat, err := ccts.InstallCatalog(biz)
+	if err != nil {
+		return err
+	}
+	ccLib := biz.AddLibrary(ccts.KindCCLibrary, "PartyComponents", "urn:orga:cc")
+	ccLib.Version = "0.3"
+	partyACC, err := ccLib.AddACC("Party")
+	if err != nil {
+		return err
+	}
+	partyACC.Definition = "A person or organization participating in a business transaction."
+	if _, err := partyACC.AddBCC("Name", cat.CDT(ccts.CDTName), ccts.One); err != nil {
+		return err
+	}
+	if _, err := partyACC.AddBCC("Identifier", cat.CDT(ccts.CDTIdentifier), ccts.Optional); err != nil {
+		return err
+	}
+
+	// ...and exchanges it as XMI.
+	var wire bytes.Buffer
+	if err := ccts.ExportXMI(model, &wire); err != nil {
+		return err
+	}
+	fmt.Printf("exported model as XMI (%d bytes)\n", wire.Len())
+
+	// Organisation B imports the XMI and registers it.
+	imported, err := ccts.ImportXMI(&wire)
+	if err != nil {
+		return err
+	}
+	reg := ccts.NewRegistry()
+	added := reg.RegisterModel(imported)
+	fmt.Printf("registered %d dictionary entries\n", added)
+
+	// Harmonisation: search the registry by dictionary entry name.
+	for _, query := range []string{"party", "identifier"} {
+		hits := reg.Search(query)
+		fmt.Printf("search %q: %d hit(s)\n", query, len(hits))
+		for _, h := range hits {
+			fmt.Printf("  %-5s %s\n", h.Kind, h.DEN)
+		}
+	}
+
+	// Round-trip the registry through the harmonisation spreadsheet.
+	var sheet bytes.Buffer
+	if err := reg.ExportCSV(&sheet); err != nil {
+		return err
+	}
+	lines := strings.Count(sheet.String(), "\n")
+	fmt.Printf("harmonisation spreadsheet: %d rows\n", lines-1)
+
+	merged := ccts.NewRegistry()
+	if err := merged.ImportCSV(bytes.NewReader(sheet.Bytes())); err != nil {
+		return err
+	}
+	fmt.Printf("spreadsheet re-import: %d entries\n", merged.Len())
+
+	// Versioning: a revised library supersedes the old entries.
+	ccLib.Version = "0.4"
+	partyACC.Definition += " Revised during harmonisation."
+	reg.RegisterModel(model)
+	entry, ok := reg.Find("Party. Details")
+	if !ok {
+		return fmt.Errorf("Party lost from registry")
+	}
+	fmt.Printf("best version of %q: %s (%s)\n", entry.DEN, entry.Version, entry.Library)
+	return nil
+}

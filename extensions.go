@@ -1,0 +1,131 @@
+package ccts
+
+import (
+	"github.com/go-ccts/ccts/internal/diagram"
+	"github.com/go-ccts/ccts/internal/diff"
+	"github.com/go-ccts/ccts/internal/gogen"
+	"github.com/go-ccts/ccts/internal/instgen"
+	"github.com/go-ccts/ccts/internal/maintain"
+	"github.com/go-ccts/ccts/internal/rdfs"
+	"github.com/go-ccts/ccts/internal/rng"
+)
+
+// RELAX NG generation — the paper's named future extension ("future
+// extensions could include the generation of RELAX NG or RDF schemas").
+
+// RelaxNGGrammar is a generated RELAX NG grammar (XML syntax).
+type RelaxNGGrammar = rng.Grammar
+
+// GenerateRelaxNGDocument builds a RELAX NG grammar for a DOCLibrary
+// rooted at the named ABIE.
+func GenerateRelaxNGDocument(lib *Library, rootABIE string) (*RelaxNGGrammar, error) {
+	return rng.GenerateDocument(lib, rootABIE)
+}
+
+// GenerateRelaxNG builds a RELAX NG grammar covering a BIE, CDT, QDT or
+// ENUM library.
+func GenerateRelaxNG(lib *Library) (*RelaxNGGrammar, error) {
+	return rng.Generate(lib)
+}
+
+// DiagramOptions control PlantUML rendering.
+type DiagramOptions = diagram.Options
+
+// RenderDiagram produces PlantUML class-diagram source in the visual
+// language of the paper's figures (stereotyped classes, «basedOn»
+// dependencies, aggregation connectors).
+func RenderDiagram(m *Model, opts DiagramOptions) string {
+	return diagram.Render(m, opts)
+}
+
+// GenerateRDFSchema renders the whole model as an RDF Schema vocabulary
+// (RDF/XML) — the other transfer syntax the paper names as a future
+// extension.
+func GenerateRDFSchema(m *Model) (string, error) { return rdfs.Generate(m) }
+
+// Sample instance generation.
+
+// SampleMode selects how much optional content a generated sample
+// message carries.
+type SampleMode = instgen.Mode
+
+// Sample generation modes.
+const (
+	// SampleMinimal emits only required elements and attributes.
+	SampleMinimal = instgen.Minimal
+	// SampleFull emits every optional item once and unbounded elements
+	// twice.
+	SampleFull = instgen.Full
+)
+
+// GenerateSample produces a sample XML message for the named root
+// element that validates against the schema set by construction.
+func GenerateSample(set *SchemaSet, rootNamespace, rootName string, mode SampleMode) (string, error) {
+	return instgen.Generate(set, rootNamespace, rootName, instgen.Options{Mode: mode})
+}
+
+// Maintenance console operations (the paper's planned "core components
+// management console").
+
+// Usage records one reference to a model element.
+type Usage = maintain.Usage
+
+// ModelStats summarises a model's element counts.
+type ModelStats = maintain.Stats
+
+// UpdateNamespaces rewrites every library baseURN starting with
+// oldPrefix; it returns the number of libraries changed.
+func UpdateNamespaces(m *Model, oldPrefix, newPrefix string) int {
+	return maintain.UpdateNamespaces(m, oldPrefix, newPrefix)
+}
+
+// BumpVersions sets every library's version.
+func BumpVersions(m *Model, version string) int {
+	return maintain.BumpVersions(m, version)
+}
+
+// WhereUsed lists every reference to the named element.
+func WhereUsed(m *Model, name string) []Usage { return maintain.WhereUsed(m, name) }
+
+// UnusedComponents lists elements nothing references.
+func UnusedComponents(m *Model) []string { return maintain.Unused(m) }
+
+// RenameABIE safely renames an ABIE (references follow automatically).
+func RenameABIE(abie *ABIE, newName string) error { return maintain.RenameABIE(abie, newName) }
+
+// RenameACC safely renames an ACC.
+func RenameACC(acc *ACC, newName string) error { return maintain.RenameACC(acc, newName) }
+
+// CollectStats counts a model's elements.
+func CollectStats(m *Model) ModelStats { return maintain.Collect(m) }
+
+// GoBindingsOptions configure Go message-binding generation.
+type GoBindingsOptions = gogen.Options
+
+// GenerateGoBindings emits Go struct bindings for the document rooted at
+// the named ABIE — the paper's "transferred into code" step. Marshalled
+// values validate against the schema set generated from the same model.
+func GenerateGoBindings(lib *Library, rootABIE string, opts GoBindingsOptions) (string, error) {
+	return gogen.GenerateDocument(lib, rootABIE, opts)
+}
+
+// Model comparison for harmonisation rounds.
+type (
+	// DiffReport lists the changes between two model versions.
+	DiffReport = diff.Report
+	// DiffChange is one reported difference.
+	DiffChange = diff.Change
+)
+
+// Change kinds reported by CompareModels.
+const (
+	DiffAdded    = diff.Added
+	DiffRemoved  = diff.Removed
+	DiffModified = diff.Modified
+)
+
+// CompareModels diffs two versions of a model (old → new), reporting
+// added, removed and modified libraries and elements.
+func CompareModels(oldModel, newModel *Model) *DiffReport {
+	return diff.Compare(oldModel, newModel)
+}

@@ -1,0 +1,132 @@
+package ccts
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/go-ccts/ccts/internal/gen"
+	"github.com/go-ccts/ccts/internal/ndr"
+	"github.com/go-ccts/ccts/internal/xsd"
+	"github.com/go-ccts/ccts/internal/xsdval"
+)
+
+// Schema generation (paper Section 4).
+type (
+	// GenerateOptions steer a generation run, mirroring the generator
+	// dialog of the paper's Figure 5 (annotate flag, output layout,
+	// status messages).
+	GenerateOptions = gen.Options
+	// GenerateResult holds the generated schema set.
+	GenerateResult = gen.Result
+	// ASBIEStyle selects the global-element rule for ASBIEs.
+	ASBIEStyle = gen.ASBIEStyle
+
+	// Schema is one generated XML schema document.
+	Schema = xsd.Schema
+)
+
+// ASBIE generation styles; see the paper's Figure 7 discussion.
+const (
+	// GlobalShared declares shared-aggregation ASBIEs globally (the
+	// paper's example behaviour). Default.
+	GlobalShared = gen.GlobalShared
+	// GlobalComposite declares composition ASBIEs globally (the paper's
+	// Section 4.1 prose).
+	GlobalComposite = gen.GlobalComposite
+)
+
+// ErrPRIMLibrary is returned when generation is requested for a
+// PRIMLibrary (primitives map to XSD built-ins instead).
+var ErrPRIMLibrary = gen.ErrPRIMLibrary
+
+// GenerateDocument generates the schema set for a DOCLibrary starting at
+// the named root ABIE, plus all transitively imported library schemas.
+func GenerateDocument(lib *Library, rootABIE string, opts GenerateOptions) (*GenerateResult, error) {
+	return gen.GenerateDocument(lib, rootABIE, opts)
+}
+
+// Generate generates the schema set for a BIE, CDT, QDT or ENUM library.
+func Generate(lib *Library, opts GenerateOptions) (*GenerateResult, error) {
+	return gen.Generate(lib, opts)
+}
+
+// SchemaFileName returns the file name the generator uses for a
+// library's schema (e.g. "CommonAggregates_0.1.xsd").
+func SchemaFileName(lib *Library) string { return ndr.SchemaFileName(lib) }
+
+// WriteSchemas writes every generated schema into dir, creating it if
+// needed, and returns the written file paths in generation order.
+func WriteSchemas(res *GenerateResult, dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ccts: %w", err)
+	}
+	var paths []string
+	for _, file := range res.Order {
+		path := filepath.Join(dir, file)
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("ccts: %w", err)
+		}
+		if err := res.Schemas[file].Write(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ccts: writing %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("ccts: %w", err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// Instance validation (the schemas "are then used to validate XML
+// messages exchanged during a business process").
+type (
+	// SchemaSet is a compiled group of schemas for instance validation.
+	SchemaSet = xsdval.SchemaSet
+	// ValidationResult reports instance validation findings.
+	ValidationResult = xsdval.Result
+)
+
+// CompileSchemas compiles a generation result into an instance
+// validator.
+func CompileSchemas(res *GenerateResult) (*SchemaSet, error) {
+	schemas := make([]*xsd.Schema, 0, len(res.Order))
+	for _, file := range res.Order {
+		schemas = append(schemas, res.Schemas[file])
+	}
+	return xsdval.NewSchemaSet(schemas...)
+}
+
+// ParseSchema reads an XSD document (of the NDR subset) from r.
+func ParseSchema(r io.Reader) (*Schema, error) { return xsd.Parse(r) }
+
+// LoadSchemaSet parses every .xsd file in dir into a SchemaSet.
+func LoadSchemaSet(dir string) (*SchemaSet, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ccts: %w", err)
+	}
+	var schemas []*xsd.Schema
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".xsd" {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("ccts: %w", err)
+		}
+		s, err := xsd.Parse(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("ccts: parsing %s: %w", e.Name(), err)
+		}
+		schemas = append(schemas, s)
+	}
+	if len(schemas) == 0 {
+		return nil, fmt.Errorf("ccts: no .xsd files in %s", dir)
+	}
+	return xsdval.NewSchemaSet(schemas...)
+}

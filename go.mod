@@ -1,0 +1,3 @@
+module github.com/go-ccts/ccts
+
+go 1.22

@@ -1,0 +1,47 @@
+package ccts
+
+import (
+	"io"
+
+	"github.com/go-ccts/ccts/internal/registry"
+	"github.com/go-ccts/ccts/internal/xmi"
+)
+
+// XMI interchange ("to use XMI for registering and exchanging core
+// components").
+
+// ExportXMI renders the model through the UML profile and writes it as
+// an XMI document.
+func ExportXMI(m *Model, w io.Writer) error {
+	return xmi.Export(ToUML(m), w)
+}
+
+// ImportXMI reads an XMI document and extracts the typed model through
+// the profile.
+func ImportXMI(r io.Reader) (*Model, error) {
+	um, err := xmi.Import(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromUML(um)
+}
+
+// ExportUMLXMI writes a UML model as XMI without extraction, for tooling
+// that works on the stereotyped representation directly.
+func ExportUMLXMI(um *UMLModel, w io.Writer) error { return xmi.Export(um, w) }
+
+// ImportUMLXMI reads an XMI document into a UML model without
+// extraction.
+func ImportUMLXMI(r io.Reader) (*UMLModel, error) { return xmi.Import(r) }
+
+// Registry types (the paper's registration/harmonisation workflow).
+type (
+	// Registry indexes registered core components by dictionary entry
+	// name.
+	Registry = registry.Registry
+	// RegistryEntry is one registered dictionary item.
+	RegistryEntry = registry.Entry
+)
+
+// NewRegistry returns an empty component registry.
+func NewRegistry() *Registry { return registry.New() }

@@ -1,0 +1,320 @@
+// Package catalog provides the normative content referenced by the
+// paper: the CCTS 2.01 primitive types and the approved Core Component
+// Types (core data types) with their content and supplementary
+// components. "A core data type (CDT) is a complex data type according to
+// the approved Core Component Types listed in the CCTS standard."
+//
+// The Code CDT reproduces the paper's Figure 4 package 4 / Figure 8
+// exactly: one Content component of type String plus the supplementary
+// components CodeListAgName, CodeListName, CodeListSchemeURI (required)
+// and LanguageIdentifier (optional).
+package catalog
+
+import (
+	"fmt"
+
+	"github.com/go-ccts/ccts/internal/core"
+)
+
+// Primitive names of CCTS 2.01 (Figure 4 package 7 shows String, Boolean
+// and Integer; the standard's full set follows).
+const (
+	PrimBinary       = "Binary"
+	PrimBoolean      = "Boolean"
+	PrimDecimal      = "Decimal"
+	PrimDouble       = "Double"
+	PrimFloat        = "Float"
+	PrimInteger      = "Integer"
+	PrimString       = "String"
+	PrimTimeDuration = "TimeDuration"
+	PrimTimePoint    = "TimePoint"
+)
+
+// PrimitiveNames lists the CCTS 2.01 primitives in standard order.
+var PrimitiveNames = []string{
+	PrimBinary, PrimBoolean, PrimDecimal, PrimDouble, PrimFloat,
+	PrimInteger, PrimString, PrimTimeDuration, PrimTimePoint,
+}
+
+// Approved core data type names. Amount through Text are the ten approved
+// Core Component Types of CCTS 2.01; Date, Time and Name are the
+// secondary-representation-term types the paper's example models as CDTs
+// ("four core data types are shown namely Code, Identifier, Text and
+// Name"; the Application ACC uses Date).
+const (
+	CDTAmount       = "Amount"
+	CDTBinaryObject = "BinaryObject"
+	CDTCode         = "Code"
+	CDTDateTime     = "DateTime"
+	CDTIdentifier   = "Identifier"
+	CDTIndicator    = "Indicator"
+	CDTMeasure      = "Measure"
+	CDTNumeric      = "Numeric"
+	CDTQuantity     = "Quantity"
+	CDTText         = "Text"
+	CDTDate         = "Date"
+	CDTTime         = "Time"
+	CDTName         = "Name"
+)
+
+// CDTNames lists the catalog CDTs in standard order.
+var CDTNames = []string{
+	CDTAmount, CDTBinaryObject, CDTCode, CDTDateTime, CDTIdentifier,
+	CDTIndicator, CDTMeasure, CDTNumeric, CDTQuantity, CDTText,
+	CDTDate, CDTTime, CDTName,
+}
+
+// Default namespaces. The CDT namespace matches Figure 6 line 2.
+const (
+	DefaultPRIMURN = "urn:un:unece:uncefact:data:standard:PRIMLibrary:1.0"
+	DefaultCDTURN  = "un:unece:uncefact:data:standard:CDTLibrary:1.0"
+)
+
+// Catalog bundles the installed standard libraries and indexes their
+// contents by name.
+type Catalog struct {
+	PRIMLibrary *core.Library
+	CDTLibrary  *core.Library
+	Prims       map[string]*core.PRIM
+	CDTs        map[string]*core.CDT
+}
+
+// Prim returns the primitive with the given name; it panics on unknown
+// names, which indicates a programming error (the catalog is static).
+func (c *Catalog) Prim(name string) *core.PRIM {
+	p, ok := c.Prims[name]
+	if !ok {
+		panic(fmt.Sprintf("catalog: unknown primitive %q", name))
+	}
+	return p
+}
+
+// CDT returns the core data type with the given name; it panics on
+// unknown names.
+func (c *Catalog) CDT(name string) *core.CDT {
+	d, ok := c.CDTs[name]
+	if !ok {
+		panic(fmt.Sprintf("catalog: unknown CDT %q", name))
+	}
+	return d
+}
+
+// Options configures how the standard libraries are installed.
+type Options struct {
+	// PRIMName/CDTName name the library packages. Defaults:
+	// "PrimitiveTypes" and "CDTLibrary".
+	PRIMName string
+	CDTName  string
+	// PRIMBaseURN/CDTBaseURN set the target namespaces. Defaults are the
+	// standard UN/CEFACT URNs.
+	PRIMBaseURN string
+	CDTBaseURN  string
+	// Version applies to both libraries; default "1.0".
+	Version string
+}
+
+// Install adds a PRIMLibrary and a CDTLibrary populated with the standard
+// content to the business library, using default names and URNs.
+func Install(b *core.BusinessLibrary) (*Catalog, error) {
+	return InstallWith(b, Options{})
+}
+
+// InstallWith is Install with explicit library names, URNs and version —
+// the paper's example names its CDT library "coredatatypes".
+func InstallWith(b *core.BusinessLibrary, opts Options) (*Catalog, error) {
+	if opts.PRIMName == "" {
+		opts.PRIMName = "PrimitiveTypes"
+	}
+	if opts.CDTName == "" {
+		opts.CDTName = "CDTLibrary"
+	}
+	if opts.PRIMBaseURN == "" {
+		opts.PRIMBaseURN = DefaultPRIMURN
+	}
+	if opts.CDTBaseURN == "" {
+		opts.CDTBaseURN = DefaultCDTURN
+	}
+	if opts.Version == "" {
+		opts.Version = "1.0"
+	}
+	primLib := b.AddLibrary(core.KindPRIMLibrary, opts.PRIMName, opts.PRIMBaseURN)
+	primLib.Version = opts.Version
+	cdtLib := b.AddLibrary(core.KindCDTLibrary, opts.CDTName, opts.CDTBaseURN)
+	cdtLib.Version = opts.Version
+	cat := &Catalog{PRIMLibrary: primLib, CDTLibrary: cdtLib}
+	if err := cat.populatePrims(); err != nil {
+		return nil, err
+	}
+	if err := cat.populateCDTs(); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
+
+func (c *Catalog) populatePrims() error {
+	c.Prims = make(map[string]*core.PRIM, len(PrimitiveNames))
+	for _, name := range PrimitiveNames {
+		p, err := c.PRIMLibrary.AddPRIM(name)
+		if err != nil {
+			return err
+		}
+		c.Prims[name] = p
+	}
+	return nil
+}
+
+type supSpec struct {
+	name     string
+	prim     string
+	optional bool
+}
+
+type cdtSpec struct {
+	name       string
+	content    string
+	sups       []supSpec
+	definition string
+}
+
+var cdtSpecs = []cdtSpec{
+	{
+		name: CDTAmount, content: PrimDecimal,
+		definition: "A number of monetary units specified in a currency.",
+		sups: []supSpec{
+			{"CurrencyIdentifier", PrimString, false},
+			{"CurrencyCodeListVersionIdentifier", PrimString, true},
+		},
+	},
+	{
+		name: CDTBinaryObject, content: PrimBinary,
+		definition: "A set of finite-length sequences of binary octets.",
+		sups: []supSpec{
+			{"Format", PrimString, true},
+			{"MimeCode", PrimString, true},
+			{"EncodingCode", PrimString, true},
+			{"CharacterSetCode", PrimString, true},
+			{"URI", PrimString, true},
+			{"Filename", PrimString, true},
+		},
+	},
+	{
+		// Figure 4 package 4 / Figure 8: exactly these four SUPs with
+		// these cardinalities.
+		name: CDTCode, content: PrimString,
+		definition: "A character string used as a shorthand for a fixed meaning, maintained in a code list.",
+		sups: []supSpec{
+			{"CodeListAgName", PrimString, false},
+			{"CodeListName", PrimString, false},
+			{"CodeListSchemeURI", PrimString, false},
+			{"LanguageIdentifier", PrimString, true},
+		},
+	},
+	{
+		name: CDTDateTime, content: PrimTimePoint,
+		definition: "A particular point in the progression of time together with relevant supplementary information.",
+		sups: []supSpec{
+			{"Format", PrimString, true},
+		},
+	},
+	{
+		name: CDTIdentifier, content: PrimString,
+		definition: "A character string used to establish the identity of an object within an identification scheme.",
+		sups: []supSpec{
+			{"SchemeIdentifier", PrimString, true},
+			{"SchemeName", PrimString, true},
+			{"SchemeAgencyIdentifier", PrimString, true},
+			{"SchemeAgencyName", PrimString, true},
+			{"SchemeVersionIdentifier", PrimString, true},
+			{"SchemeDataURI", PrimString, true},
+			{"SchemeURI", PrimString, true},
+		},
+	},
+	{
+		name: CDTIndicator, content: PrimString,
+		definition: "A list of two mutually exclusive boolean values.",
+		sups: []supSpec{
+			{"Format", PrimString, true},
+		},
+	},
+	{
+		name: CDTMeasure, content: PrimDecimal,
+		definition: "A numeric value determined by measuring an object along with the specified unit of measure.",
+		sups: []supSpec{
+			{"UnitCode", PrimString, false},
+			{"UnitCodeListVersionIdentifier", PrimString, true},
+		},
+	},
+	{
+		name: CDTNumeric, content: PrimDecimal,
+		definition: "Numeric information that is assigned or is determined by calculation, counting or sequencing.",
+		sups: []supSpec{
+			{"Format", PrimString, true},
+		},
+	},
+	{
+		name: CDTQuantity, content: PrimDecimal,
+		definition: "A counted number of non-monetary units, possibly including fractions.",
+		sups: []supSpec{
+			{"UnitCode", PrimString, true},
+			{"UnitCodeListIdentifier", PrimString, true},
+			{"UnitCodeListAgencyIdentifier", PrimString, true},
+			{"UnitCodeListAgencyName", PrimString, true},
+		},
+	},
+	{
+		name: CDTText, content: PrimString,
+		definition: "A character string generally in the form of words of a language.",
+		sups: []supSpec{
+			{"LanguageIdentifier", PrimString, true},
+		},
+	},
+	{
+		name: CDTDate, content: PrimTimePoint,
+		definition: "A day within a particular calendar year (secondary representation term of Date Time).",
+		sups: []supSpec{
+			{"Format", PrimString, true},
+		},
+	},
+	{
+		name: CDTTime, content: PrimTimePoint,
+		definition: "The time within a day (secondary representation term of Date Time).",
+		sups: []supSpec{
+			{"Format", PrimString, true},
+		},
+	},
+	{
+		name: CDTName, content: PrimString,
+		definition: "A word or phrase that constitutes the distinctive designation of a person, place, thing or concept (secondary representation term of Text).",
+		sups: []supSpec{
+			{"LanguageIdentifier", PrimString, true},
+		},
+	},
+}
+
+func (c *Catalog) populateCDTs() error {
+	c.CDTs = make(map[string]*core.CDT, len(cdtSpecs))
+	for _, spec := range cdtSpecs {
+		content, ok := c.Prims[spec.content]
+		if !ok {
+			return fmt.Errorf("catalog: CDT %q references unknown primitive %q", spec.name, spec.content)
+		}
+		cdt, err := c.CDTLibrary.AddCDT(spec.name, core.Content(content))
+		if err != nil {
+			return err
+		}
+		cdt.Definition = spec.definition
+		for _, s := range spec.sups {
+			prim, ok := c.Prims[s.prim]
+			if !ok {
+				return fmt.Errorf("catalog: SUP %q references unknown primitive %q", s.name, s.prim)
+			}
+			card := core.Cardinality{Lower: 1, Upper: 1}
+			if s.optional {
+				card = core.Cardinality{Lower: 0, Upper: 1}
+			}
+			cdt.AddSup(s.name, prim, card)
+		}
+		c.CDTs[spec.name] = cdt
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package catalog
+
+import (
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/core"
+)
+
+func install(t *testing.T) (*core.Model, *Catalog) {
+	t.Helper()
+	m := core.NewModel("Std")
+	biz := m.AddBusinessLibrary("Standard")
+	cat, err := Install(biz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, cat
+}
+
+func TestInstallCounts(t *testing.T) {
+	_, cat := install(t)
+	if got := len(cat.Prims); got != len(PrimitiveNames) {
+		t.Errorf("primitives = %d, want %d", got, len(PrimitiveNames))
+	}
+	if got := len(cat.CDTs); got != len(CDTNames) {
+		t.Errorf("CDTs = %d, want %d", got, len(CDTNames))
+	}
+	if cat.PRIMLibrary.Kind != core.KindPRIMLibrary || cat.CDTLibrary.Kind != core.KindCDTLibrary {
+		t.Error("library kinds wrong")
+	}
+	if cat.CDTLibrary.BaseURN != DefaultCDTURN {
+		t.Errorf("CDT URN = %q", cat.CDTLibrary.BaseURN)
+	}
+}
+
+func TestCodeMatchesFigure8(t *testing.T) {
+	_, cat := install(t)
+	code := cat.CDT(CDTCode)
+	// Figure 8: simpleContent extension base xsd:string with exactly
+	// these four attributes; LanguageIdentifier optional, others required.
+	if code.Content.Type.TypeName() != PrimString {
+		t.Errorf("Code content = %q, want String", code.Content.Type.TypeName())
+	}
+	if len(code.Sups) != 4 {
+		t.Fatalf("Code SUPs = %d, want 4", len(code.Sups))
+	}
+	wantRequired := map[string]bool{
+		"CodeListAgName":     true,
+		"CodeListName":       true,
+		"CodeListSchemeURI":  true,
+		"LanguageIdentifier": false,
+	}
+	for name, required := range wantRequired {
+		sup := code.Sup(name)
+		if sup == nil {
+			t.Errorf("Code missing SUP %q", name)
+			continue
+		}
+		if got := sup.Card.Lower == 1; got != required {
+			t.Errorf("SUP %q required = %v, want %v", name, got, required)
+		}
+		if sup.Card.Upper != 1 {
+			t.Errorf("SUP %q upper bound = %d, want 1", name, sup.Card.Upper)
+		}
+	}
+}
+
+func TestEveryCDTHasContentAndDefinition(t *testing.T) {
+	_, cat := install(t)
+	for _, name := range CDTNames {
+		cdt := cat.CDT(name)
+		if cdt.Content.Type == nil {
+			t.Errorf("CDT %q has no content type", name)
+		}
+		if cdt.Content.Name != "Content" {
+			t.Errorf("CDT %q content component named %q", name, cdt.Content.Name)
+		}
+		if cdt.Definition == "" {
+			t.Errorf("CDT %q has no definition", name)
+		}
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	_, cat := install(t)
+	for _, fn := range []func(){
+		func() { cat.Prim("Quaternion") },
+		func() { cat.CDT("Sentiment") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for unknown catalog name")
+				}
+			}()
+			fn()
+		}()
+	}
+	if cat.Prim(PrimString).Name != "String" {
+		t.Error("Prim accessor broken")
+	}
+}
+
+func TestModelLevelLookup(t *testing.T) {
+	m, _ := install(t)
+	if m.FindCDT(CDTCode) == nil {
+		t.Error("FindCDT(Code) failed after install")
+	}
+	if m.FindPRIM(PrimTimePoint) == nil {
+		t.Error("FindPRIM(TimePoint) failed after install")
+	}
+}

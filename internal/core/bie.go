@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/go-ccts/ccts/internal/uml"
+)
+
+// ABIE is an aggregate business information entity: a core component
+// qualified and refined for a specific business context, derived from an
+// ACC exclusively by restriction.
+type ABIE struct {
+	// Name includes the optional context qualifier prefix, e.g.
+	// "US_Person" (the paper shows the business context "by adding an
+	// optional prefix to the name of the underlying core component").
+	Name       string
+	Definition string
+	// Version is emitted in annotations; the CCTS standard makes Version
+	// and Definition mandatory annotation fields for ABIEs.
+	Version string
+	BasedOn *ACC
+	BBIEs   []*BBIE
+	ASBIEs  []*ASBIE
+
+	library *Library
+	// context is the business context the ABIE was qualified for; see
+	// context.go.
+	context Context
+}
+
+// Library returns the owning BIELibrary or DOCLibrary.
+func (a *ABIE) Library() *Library { return a.library }
+
+// Qualifier returns the context qualifier prefix of the ABIE name
+// relative to its underlying ACC ("US" for US_Person based on Person), or
+// "" when the ABIE keeps the ACC name.
+func (a *ABIE) Qualifier() string {
+	if a.BasedOn == nil {
+		return ""
+	}
+	base := a.BasedOn.Name
+	if a.Name == base {
+		return ""
+	}
+	if n := len(a.Name) - len(base); n > 1 && a.Name[n-1] == '_' && a.Name[n:] == base {
+		return a.Name[:n-1]
+	}
+	return ""
+}
+
+// AddBBIE appends a basic business information entity restricting the
+// given BCC of the underlying ACC. dt must be the BCC's own CDT or a QDT
+// based on it; card must be within the BCC cardinality.
+func (a *ABIE) AddBBIE(name string, basedOn *BCC, dt DataType, card Cardinality) (*BBIE, error) {
+	if basedOn == nil {
+		return nil, fmt.Errorf("core: BBIE %q of ABIE %q requires a basedOn BCC", name, a.Name)
+	}
+	if a.BasedOn != nil && basedOn.Owner() != a.BasedOn {
+		return nil, fmt.Errorf("core: BBIE %q of ABIE %q: BCC %q belongs to ACC %q, not to the underlying ACC %q",
+			name, a.Name, basedOn.Name, basedOn.Owner().Name, a.BasedOn.Name)
+	}
+	if dt == nil {
+		dt = basedOn.Type
+	}
+	if err := checkBBIEType(basedOn, dt); err != nil {
+		return nil, fmt.Errorf("core: BBIE %q of ABIE %q: %w", name, a.Name, err)
+	}
+	if !cardRestricts(card, basedOn.Card) {
+		return nil, fmt.Errorf("core: BBIE %q of ABIE %q: cardinality %s widens BCC cardinality %s",
+			name, a.Name, card, basedOn.Card)
+	}
+	if a.FindBBIE(name) != nil {
+		return nil, fmt.Errorf("core: ABIE %q already has a BBIE %q", a.Name, name)
+	}
+	b := &BBIE{Name: name, BasedOn: basedOn, Type: dt, Card: card, owner: a}
+	a.BBIEs = append(a.BBIEs, b)
+	return b, nil
+}
+
+// cardRestricts reports whether the derived cardinality is a legal
+// restriction of the base: a BIE may lower the lower bound (making a
+// required component optional is weaker than omitting it, which
+// derivation-by-restriction always allows — the paper's ABIE Application
+// keeps CreatedDate as [0..1]) but must not widen the upper bound.
+func cardRestricts(derived, base Cardinality) bool {
+	if base.Upper == Unbounded {
+		return true
+	}
+	return derived.Upper != Unbounded && derived.Upper <= base.Upper
+}
+
+// checkBBIEType verifies the BBIE data type is the BCC's CDT or a QDT
+// derived from it.
+func checkBBIEType(bcc *BCC, dt DataType) error {
+	switch t := dt.(type) {
+	case *CDT:
+		if t != bcc.Type {
+			return fmt.Errorf("CDT %q differs from the BCC's CDT %q", t.Name, bcc.Type.Name)
+		}
+	case *QDT:
+		if t.BasedOn != bcc.Type {
+			return fmt.Errorf("QDT %q is based on CDT %q, but the BCC uses CDT %q",
+				t.Name, t.BasedOn.Name, bcc.Type.Name)
+		}
+	default:
+		return fmt.Errorf("unsupported data type %T", dt)
+	}
+	return nil
+}
+
+// AddASBIE appends an association business information entity restricting
+// the given ASCC. target must be an ABIE based on the ASCC's target ACC;
+// card must be within the ASCC cardinality. Role defaults to the ASCC
+// role (with the ABIE's qualifier, modelers often re-qualify, e.g.
+// US_Private — any role is accepted, the basedOn link carries the
+// semantics).
+func (a *ABIE) AddASBIE(role string, basedOn *ASCC, target *ABIE, card Cardinality, kind uml.AggregationKind) (*ASBIE, error) {
+	if basedOn == nil {
+		return nil, fmt.Errorf("core: ASBIE %q of ABIE %q requires a basedOn ASCC", role, a.Name)
+	}
+	if a.BasedOn != nil && basedOn.Owner() != a.BasedOn {
+		return nil, fmt.Errorf("core: ASBIE %q of ABIE %q: ASCC belongs to ACC %q, not to the underlying ACC %q",
+			role, a.Name, basedOn.Owner().Name, a.BasedOn.Name)
+	}
+	if target == nil {
+		return nil, fmt.Errorf("core: ASBIE %q of ABIE %q requires a target ABIE", role, a.Name)
+	}
+	if target.BasedOn != basedOn.Target {
+		return nil, fmt.Errorf("core: ASBIE %q of ABIE %q: target ABIE %q is based on ACC %q, but the ASCC points at ACC %q",
+			role, a.Name, target.Name, target.BasedOn.Name, basedOn.Target.Name)
+	}
+	if !cardRestricts(card, basedOn.Card) {
+		return nil, fmt.Errorf("core: ASBIE %q of ABIE %q: cardinality %s widens ASCC cardinality %s",
+			role, a.Name, card, basedOn.Card)
+	}
+	if a.FindASBIE(role, target.Name) != nil {
+		return nil, fmt.Errorf("core: ABIE %q already has an ASBIE %q to %q", a.Name, role, target.Name)
+	}
+	s := &ASBIE{Role: role, BasedOn: basedOn, Target: target, Card: card, Kind: kind, owner: a}
+	a.ASBIEs = append(a.ASBIEs, s)
+	return s, nil
+}
+
+// FindBBIE returns the BBIE with the given name, or nil.
+func (a *ABIE) FindBBIE(name string) *BBIE {
+	for _, b := range a.BBIEs {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// FindASBIE returns the ASBIE with the given role and target ABIE name,
+// or nil. As with ASCCs, the pair is the identity: HoardingPermit has two
+// Included ASBIEs with different targets.
+func (a *ABIE) FindASBIE(role, targetName string) *ASBIE {
+	for _, s := range a.ASBIEs {
+		if s.Role == role && s.Target.Name == targetName {
+			return s
+		}
+	}
+	return nil
+}
+
+// BBIE is a basic business information entity: an atomic business value
+// restricting a BCC, typed by the BCC's CDT or a QDT derived from it.
+type BBIE struct {
+	Name       string
+	Definition string
+	BasedOn    *BCC
+	Type       DataType
+	Card       Cardinality
+
+	owner *ABIE
+}
+
+// Owner returns the ABIE declaring this BBIE.
+func (b *BBIE) Owner() *ABIE { return b.owner }
+
+// ASBIE is an association business information entity: a restricted ASCC
+// pointing at another ABIE. When transferred into a schema its element
+// name is the role name plus the target ABIE name (IncludedAttachment).
+type ASBIE struct {
+	Role       string
+	Definition string
+	BasedOn    *ASCC
+	Target     *ABIE
+	Card       Cardinality
+	// Kind selects the generation style: composite aggregations become
+	// inline local elements; shared aggregations are declared globally
+	// and referenced (Figure 7).
+	Kind uml.AggregationKind
+
+	owner *ABIE
+}
+
+// Owner returns the ABIE declaring this ASBIE.
+func (s *ASBIE) Owner() *ABIE { return s.owner }
+
+// ElementName returns the compound schema element name: role name + target
+// ABIE name, e.g. Included + Attachment = "IncludedAttachment".
+func (s *ASBIE) ElementName() string { return s.Role + s.Target.Name }

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the CCTS business context mechanism the paper
+// introduces in Section 2.2: "By introducing the business context, we
+// can qualify and refine core components according to the needs of a
+// specific industry or domain. ... Context in this case can for instance
+// be travel industry or chemical industry." CCTS 2.01 defines eight
+// context categories; a business information entity carries the context
+// it was qualified for, and consumers look up the most specific BIE
+// matching their own context.
+
+// ContextCategory is one of the eight CCTS 2.01 business context
+// categories.
+type ContextCategory string
+
+// The approved context categories of CCTS 2.01 Section 7.
+const (
+	CtxBusinessProcess        ContextCategory = "BusinessProcess"
+	CtxProductClassification  ContextCategory = "ProductClassification"
+	CtxIndustryClassification ContextCategory = "IndustryClassification"
+	CtxGeopolitical           ContextCategory = "Geopolitical"
+	CtxOfficialConstraints    ContextCategory = "OfficialConstraints"
+	CtxBusinessProcessRole    ContextCategory = "BusinessProcessRole"
+	CtxSupportingRole         ContextCategory = "SupportingRole"
+	CtxSystemCapabilities     ContextCategory = "SystemCapabilities"
+)
+
+// ContextCategories lists all eight categories in specification order.
+var ContextCategories = []ContextCategory{
+	CtxBusinessProcess, CtxProductClassification, CtxIndustryClassification,
+	CtxGeopolitical, CtxOfficialConstraints, CtxBusinessProcessRole,
+	CtxSupportingRole, CtxSystemCapabilities,
+}
+
+// validCategory reports whether c is an approved category.
+func validCategory(c ContextCategory) bool {
+	for _, k := range ContextCategories {
+		if k == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Context is a business context: a set of category → values assignments.
+// An empty context is the default (context-free) context. A category
+// may carry several values ("applies in AT and DE").
+type Context map[ContextCategory][]string
+
+// NewContext builds a context from category/value pairs.
+func NewContext() Context { return Context{} }
+
+// With returns a copy of the context with an additional value for the
+// category; it panics on unknown categories (a static programming
+// error).
+func (c Context) With(cat ContextCategory, values ...string) Context {
+	if !validCategory(cat) {
+		panic(fmt.Sprintf("core: unknown context category %q", cat))
+	}
+	out := c.Clone()
+	out[cat] = append(out[cat], values...)
+	return out
+}
+
+// Clone returns an independent copy.
+func (c Context) Clone() Context {
+	out := make(Context, len(c))
+	for k, v := range c {
+		out[k] = append([]string(nil), v...)
+	}
+	return out
+}
+
+// IsDefault reports whether the context carries no constraints.
+func (c Context) IsDefault() bool { return len(c) == 0 }
+
+// String renders the context deterministically:
+// "Geopolitical=AT,DE; IndustryClassification=Travel".
+func (c Context) String() string {
+	if len(c) == 0 {
+		return "(default)"
+	}
+	cats := make([]string, 0, len(c))
+	for k := range c {
+		cats = append(cats, string(k))
+	}
+	sort.Strings(cats)
+	parts := make([]string, 0, len(cats))
+	for _, k := range cats {
+		vals := append([]string(nil), c[ContextCategory(k)]...)
+		sort.Strings(vals)
+		parts = append(parts, k+"="+strings.Join(vals, ","))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// ParseContext is the inverse of String (the "(default)" form and the
+// empty string both produce the default context).
+func ParseContext(s string) (Context, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "(default)" {
+		return NewContext(), nil
+	}
+	out := NewContext()
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, vals, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("core: invalid context assignment %q", part)
+		}
+		cat := ContextCategory(strings.TrimSpace(key))
+		if !validCategory(cat) {
+			return nil, fmt.Errorf("core: unknown context category %q", key)
+		}
+		for _, v := range strings.Split(vals, ",") {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				return nil, fmt.Errorf("core: empty context value in %q", part)
+			}
+			out[cat] = append(out[cat], v)
+		}
+	}
+	return out, nil
+}
+
+// Matches reports whether a BIE declared for context c is applicable in
+// situation other: every category c constrains must include at least one
+// of the situation's values for that category. Categories the BIE does
+// not constrain match anything; categories the situation does not
+// specify fail constrained categories (an AT-specific address does not
+// apply when the country is unknown).
+func (c Context) Matches(situation Context) bool {
+	for cat, allowed := range c {
+		given, ok := situation[cat]
+		if !ok {
+			return false
+		}
+		found := false
+		for _, g := range given {
+			for _, a := range allowed {
+				if g == a {
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Specificity counts the constrained categories; more specific contexts
+// win during resolution.
+func (c Context) Specificity() int { return len(c) }
+
+// SetContext assigns the business context an ABIE was qualified for.
+func (a *ABIE) SetContext(c Context) { a.context = c.Clone() }
+
+// Context returns the ABIE's business context (default if never set).
+func (a *ABIE) Context() Context {
+	if a.context == nil {
+		return NewContext()
+	}
+	return a.context
+}
+
+// ResolveInContext finds, among the ABIEs based on the given ACC, the
+// most specific one whose declared context matches the situation. The
+// default-context ABIE acts as fallback. Ties on specificity are
+// resolved towards the earliest library/declaration order; ok is false
+// when no candidate matches.
+func (m *Model) ResolveInContext(acc *ACC, situation Context) (*ABIE, bool) {
+	var best *ABIE
+	bestSpec := -1
+	for _, lib := range m.Libraries() {
+		for _, abie := range lib.ABIEs {
+			if abie.BasedOn != acc {
+				continue
+			}
+			ctx := abie.Context()
+			if !ctx.Matches(situation) {
+				continue
+			}
+			if spec := ctx.Specificity(); spec > bestSpec {
+				best, bestSpec = abie, spec
+			}
+		}
+	}
+	return best, best != nil
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestContextBasics(t *testing.T) {
+	c := NewContext()
+	if !c.IsDefault() || c.Specificity() != 0 {
+		t.Error("fresh context should be default")
+	}
+	if c.String() != "(default)" {
+		t.Errorf("String = %q", c.String())
+	}
+	c2 := c.With(CtxGeopolitical, "AT", "DE").With(CtxIndustryClassification, "Travel")
+	if c2.IsDefault() || c2.Specificity() != 2 {
+		t.Errorf("c2 = %v", c2)
+	}
+	if !c.IsDefault() {
+		t.Error("With must not mutate the receiver")
+	}
+	want := "Geopolitical=AT,DE; IndustryClassification=Travel"
+	if got := c2.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestContextWithPanicsOnUnknownCategory(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewContext().With("Weather", "sunny")
+}
+
+func TestParseContext(t *testing.T) {
+	c, err := ParseContext("Geopolitical=AT,DE; IndustryClassification=Travel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c[CtxGeopolitical]) != 2 || c[CtxIndustryClassification][0] != "Travel" {
+		t.Errorf("parsed = %v", c)
+	}
+	for _, in := range []string{"", "(default)"} {
+		c, err := ParseContext(in)
+		if err != nil || !c.IsDefault() {
+			t.Errorf("ParseContext(%q) = %v, %v", in, c, err)
+		}
+	}
+	for _, bad := range []string{"NoEquals", "Weather=sunny", "Geopolitical=, "} {
+		if _, err := ParseContext(bad); err == nil {
+			t.Errorf("ParseContext(%q) should fail", bad)
+		}
+	}
+}
+
+func TestContextStringRoundTrip(t *testing.T) {
+	f := func(geo, ind bool, v1, v2 uint8) bool {
+		c := NewContext()
+		if geo {
+			c = c.With(CtxGeopolitical, string(rune('A'+v1%26)))
+		}
+		if ind {
+			c = c.With(CtxIndustryClassification, string(rune('A'+v2%26)))
+		}
+		back, err := ParseContext(c.String())
+		return err == nil && back.String() == c.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContextMatches(t *testing.T) {
+	at := NewContext().With(CtxGeopolitical, "AT")
+	atOrDe := NewContext().With(CtxGeopolitical, "AT", "DE")
+	travelAT := at.With(CtxIndustryClassification, "Travel")
+	def := NewContext()
+
+	situationAT := NewContext().With(CtxGeopolitical, "AT")
+	situationTravelAT := situationAT.With(CtxIndustryClassification, "Travel")
+	situationUS := NewContext().With(CtxGeopolitical, "US")
+
+	cases := []struct {
+		declared, situation Context
+		want                bool
+	}{
+		{def, situationAT, true}, // default matches everything
+		{def, def, true},
+		{at, situationAT, true},
+		{at, situationUS, false},
+		{atOrDe, situationAT, true},    // one of the allowed values
+		{at, def, false},               // constrained category unknown
+		{travelAT, situationAT, false}, // industry not given
+		{travelAT, situationTravelAT, true},
+	}
+	for i, c := range cases {
+		if got := c.declared.Matches(c.situation); got != c.want {
+			t.Errorf("case %d: (%s).Matches(%s) = %v, want %v",
+				i, c.declared, c.situation, got, c.want)
+		}
+	}
+}
+
+func TestResolveInContext(t *testing.T) {
+	f := newFixture(t)
+
+	// Three address BIEs: a default one, an AT one, an AT travel one.
+	def, err := DeriveABIE(f.bieLib, f.address, Restriction{Name: "Address"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atAddr, err := DeriveABIE(f.bieLib, f.address, Restriction{Name: "AT_Address"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atAddr.SetContext(NewContext().With(CtxGeopolitical, "AT"))
+	travelAddr, err := DeriveABIE(f.bieLib, f.address, Restriction{Name: "ATTravel_Address"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	travelAddr.SetContext(NewContext().
+		With(CtxGeopolitical, "AT").
+		With(CtxIndustryClassification, "Travel"))
+
+	// Unknown situation: only the default applies.
+	got, ok := f.model.ResolveInContext(f.address, NewContext())
+	if !ok || got != def {
+		t.Errorf("default resolution = %v, %v", got, ok)
+	}
+	// AT situation: the AT-specific BIE wins over the default.
+	atSituation := NewContext().With(CtxGeopolitical, "AT")
+	got, ok = f.model.ResolveInContext(f.address, atSituation)
+	if !ok || got != atAddr {
+		t.Errorf("AT resolution = %v", got)
+	}
+	// AT travel: the most specific BIE wins.
+	travelSituation := atSituation.With(CtxIndustryClassification, "Travel")
+	got, ok = f.model.ResolveInContext(f.address, travelSituation)
+	if !ok || got != travelAddr {
+		t.Errorf("travel resolution = %v", got)
+	}
+	// US situation still falls back to the default.
+	got, ok = f.model.ResolveInContext(f.address, NewContext().With(CtxGeopolitical, "US"))
+	if !ok || got != def {
+		t.Errorf("US resolution = %v", got)
+	}
+	// An ACC without any BIEs resolves to nothing.
+	other, err := f.ccLib.AddACC("Lonely")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.model.ResolveInContext(other, atSituation); ok {
+		t.Error("resolution without candidates should fail")
+	}
+}
+
+func TestABIEContextAccessors(t *testing.T) {
+	f := newFixture(t)
+	abie, err := DeriveABIE(f.bieLib, f.address, Restriction{Qualifier: "X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !abie.Context().IsDefault() {
+		t.Error("unset context should be default")
+	}
+	ctx := NewContext().With(CtxGeopolitical, "AT")
+	abie.SetContext(ctx)
+	ctx[CtxGeopolitical][0] = "MUTATED"
+	if abie.Context()[CtxGeopolitical][0] != "AT" {
+		t.Error("SetContext must clone")
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"strings"
+	"unicode"
+)
+
+// This file implements the naming views the paper uses for core
+// components and business information entities:
+//
+//   - the compact dotted entity paths of Figure 1, e.g.
+//     "Person.Private.Address (ASCC)";
+//   - CCTS-style dictionary entry names (DEN), e.g.
+//     "Person. Date Of Birth. Date", used by the registry for search and
+//     harmonisation.
+
+// splitWords splits a CamelCase model name into space-separated words:
+// "DateofBirth" -> "Dateof Birth", "CodeListAgName" -> "Code List Ag
+// Name". Underscores also separate words.
+func splitWords(name string) string {
+	var b strings.Builder
+	prevLower := false
+	for _, r := range name {
+		switch {
+		case r == '_':
+			b.WriteByte(' ')
+			prevLower = false
+			continue
+		case unicode.IsUpper(r) && prevLower:
+			b.WriteByte(' ')
+		}
+		b.WriteRune(r)
+		prevLower = unicode.IsLower(r) || unicode.IsDigit(r)
+	}
+	return b.String()
+}
+
+// DEN returns the CCTS dictionary entry name of the ACC:
+// "ObjectClassTerm. Details".
+func (a *ACC) DEN() string { return splitWords(a.Name) + ". Details" }
+
+// DEN returns the CCTS dictionary entry name of the BCC:
+// "ObjectClass. Property Term. Representation Term".
+func (b *BCC) DEN() string {
+	return splitWords(b.owner.Name) + ". " + splitWords(b.Name) + ". " + splitWords(b.Type.Name)
+}
+
+// DEN returns the CCTS dictionary entry name of the ASCC:
+// "ObjectClass. Role. Target Object Class".
+func (s *ASCC) DEN() string {
+	return splitWords(s.owner.Name) + ". " + splitWords(s.Role) + ". " + splitWords(s.Target.Name)
+}
+
+// DEN returns the CCTS dictionary entry name of the ABIE:
+// "Qualified Object Class. Details".
+func (a *ABIE) DEN() string { return splitWords(a.Name) + ". Details" }
+
+// DEN returns the CCTS dictionary entry name of the BBIE.
+func (b *BBIE) DEN() string {
+	return splitWords(b.owner.Name) + ". " + splitWords(b.Name) + ". " + splitWords(b.Type.TypeName())
+}
+
+// DEN returns the CCTS dictionary entry name of the ASBIE.
+func (s *ASBIE) DEN() string {
+	return splitWords(s.owner.Name) + ". " + splitWords(s.Role) + ". " + splitWords(s.Target.Name)
+}
+
+// DEN returns the CCTS dictionary entry name of the CDT:
+// "Name. Type".
+func (d *CDT) DEN() string { return splitWords(d.Name) + ". Type" }
+
+// DEN returns the CCTS dictionary entry name of the QDT:
+// "Qualified Name. Type".
+func (d *QDT) DEN() string { return splitWords(d.Name) + ". Type" }
+
+// EntitySet returns the flattened set of core components the ACC results
+// in, in the notation of the paper's Section 2.1: "Person (ACC),
+// Person.DateofBirth (BCC), Person.FirstName (BCC),
+// Person.Private.Address (ASCC), Person.Work.Address (ASCC)".
+func (a *ACC) EntitySet() []string {
+	out := []string{a.Name + " (ACC)"}
+	for _, b := range a.BCCs {
+		out = append(out, a.Name+"."+b.Name+" (BCC)")
+	}
+	for _, s := range a.ASCCs {
+		out = append(out, a.Name+"."+s.Role+"."+s.Target.Name+" (ASCC)")
+	}
+	return out
+}
+
+// EntitySet returns the flattened set of business information entities
+// the ABIE results in, in the notation of the paper's Section 2.2:
+// "US_Person (ABIE), US_Person.DateofBirth (BBIE), ...,
+// US_Person.US_Private.US_Address (ASBIE)".
+func (a *ABIE) EntitySet() []string {
+	out := []string{a.Name + " (ABIE)"}
+	for _, b := range a.BBIEs {
+		out = append(out, a.Name+"."+b.Name+" (BBIE)")
+	}
+	for _, s := range a.ASBIEs {
+		out = append(out, a.Name+"."+s.Role+"."+s.Target.Name+" (ASBIE)")
+	}
+	return out
+}

@@ -1,0 +1,500 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/uml"
+)
+
+// deriveFigure1 reproduces the derivation of Figure 1: US_Address drops
+// Country; US_Person keeps both BCCs and re-qualifies the two ASCCs.
+func deriveFigure1(t *testing.T, f *testFixture) (*ABIE, *ABIE) {
+	t.Helper()
+	usAddress, err := DeriveABIE(f.bieLib, f.address, Restriction{
+		Qualifier: "US",
+		BBIEs:     []BBIEPick{{BCC: "PostalCode"}, {BCC: "Street"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	usPerson, err := DeriveABIE(f.bieLib, f.person, Restriction{
+		Qualifier: "US",
+		BBIEs:     []BBIEPick{{BCC: "DateofBirth"}, {BCC: "FirstName"}},
+		ASBIEs: []ASBIEPick{
+			{Role: "Private", Target: usAddress, Rename: "US_Private"},
+			{Role: "Work", Target: usAddress, Rename: "US_Work"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return usPerson, usAddress
+}
+
+func TestDeriveABIEFigure1(t *testing.T) {
+	f := newFixture(t)
+	usPerson, usAddress := deriveFigure1(t, f)
+
+	if usAddress.Name != "US_Address" || usPerson.Name != "US_Person" {
+		t.Fatalf("names = %q, %q", usAddress.Name, usPerson.Name)
+	}
+	if usAddress.Qualifier() != "US" || usPerson.Qualifier() != "US" {
+		t.Errorf("qualifiers = %q, %q", usAddress.Qualifier(), usPerson.Qualifier())
+	}
+	// Country was restricted away.
+	if usAddress.FindBBIE("Country") != nil {
+		t.Error("US_Address must not contain Country")
+	}
+	if len(usAddress.BBIEs) != 2 {
+		t.Errorf("US_Address BBIEs = %d, want 2", len(usAddress.BBIEs))
+	}
+	if usPerson.BasedOn != f.person || usAddress.BasedOn != f.address {
+		t.Error("basedOn links broken")
+	}
+	if len(usPerson.ASBIEs) != 2 {
+		t.Fatalf("US_Person ASBIEs = %d, want 2", len(usPerson.ASBIEs))
+	}
+	if usPerson.ASBIEs[0].Role != "US_Private" || usPerson.ASBIEs[0].Target != usAddress {
+		t.Errorf("first ASBIE = %q -> %q", usPerson.ASBIEs[0].Role, usPerson.ASBIEs[0].Target.Name)
+	}
+	if f.bieLib.FindABIE("US_Person") != usPerson {
+		t.Error("library lookup failed")
+	}
+}
+
+func TestFigure1EntitySets(t *testing.T) {
+	f := newFixture(t)
+	usPerson, _ := deriveFigure1(t, f)
+
+	// Paper Section 2.1: the exact resulting set of core components.
+	wantCC := []string{
+		"Person (ACC)",
+		"Person.DateofBirth (BCC)",
+		"Person.FirstName (BCC)",
+		"Person.Private.Address (ASCC)",
+		"Person.Work.Address (ASCC)",
+	}
+	if got := f.person.EntitySet(); !reflect.DeepEqual(got, wantCC) {
+		t.Errorf("Person entity set = %v, want %v", got, wantCC)
+	}
+
+	// Paper Section 2.2: the exact resulting set of BIEs.
+	wantBIE := []string{
+		"US_Person (ABIE)",
+		"US_Person.DateofBirth (BBIE)",
+		"US_Person.FirstName (BBIE)",
+		"US_Person.US_Private.US_Address (ASBIE)",
+		"US_Person.US_Work.US_Address (ASBIE)",
+	}
+	if got := usPerson.EntitySet(); !reflect.DeepEqual(got, wantBIE) {
+		t.Errorf("US_Person entity set = %v, want %v", got, wantBIE)
+	}
+}
+
+func TestDeriveABIEErrors(t *testing.T) {
+	f := newFixture(t)
+
+	if _, err := DeriveABIE(f.bieLib, nil, Restriction{}); err == nil {
+		t.Error("nil ACC must fail")
+	}
+	// Unknown BCC.
+	if _, err := DeriveABIE(f.bieLib, f.address, Restriction{
+		BBIEs: []BBIEPick{{BCC: "Nonexistent"}},
+	}); err == nil {
+		t.Error("unknown BCC pick must fail")
+	}
+	// Unknown ASCC.
+	if _, err := DeriveABIE(f.bieLib, f.person, Restriction{
+		ASBIEs: []ASBIEPick{{Role: "Nope"}},
+	}); err == nil {
+		t.Error("unknown ASCC pick must fail")
+	}
+	// Ambiguous ASCC role without TargetACC: give Person two ASCCs with
+	// the same role but different targets.
+	att, err := f.ccLib.AddACC("Attachment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.person.AddASCC("Included", f.address, uml.One, uml.AggregationComposite); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.person.AddASCC("Included", att, uml.One, uml.AggregationComposite); err != nil {
+		t.Fatal(err)
+	}
+	usAddress, err := DeriveABIE(f.bieLib, f.address, Restriction{Qualifier: "US"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DeriveABIE(f.bieLib, f.person, Restriction{
+		Name:   "AmbPerson",
+		ASBIEs: []ASBIEPick{{Role: "Included", Target: usAddress}},
+	}); err == nil {
+		t.Error("ambiguous role pick without TargetACC must fail")
+	}
+	if _, err := DeriveABIE(f.bieLib, f.person, Restriction{
+		Name:   "DisambPerson",
+		ASBIEs: []ASBIEPick{{Role: "Included", TargetACC: "Address", Target: usAddress}},
+	}); err != nil {
+		t.Errorf("disambiguated pick should work: %v", err)
+	}
+
+	// Failed derivation must leave the library unchanged.
+	before := len(f.bieLib.ABIEs)
+	if _, err := DeriveABIE(f.bieLib, f.person, Restriction{
+		Name:  "Broken",
+		BBIEs: []BBIEPick{{BCC: "Nonexistent"}},
+	}); err == nil {
+		t.Fatal("expected failure")
+	}
+	if len(f.bieLib.ABIEs) != before {
+		t.Error("failed derivation must not attach the ABIE")
+	}
+}
+
+func TestDeriveABIEWrongTargetABIE(t *testing.T) {
+	f := newFixture(t)
+	// An ABIE based on Person cannot serve as target of an ASBIE whose
+	// ASCC points at Address.
+	wrongTarget, err := DeriveABIE(f.bieLib, f.person, Restriction{Name: "OtherPerson"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = DeriveABIE(f.bieLib, f.person, Restriction{
+		Name:   "BadPerson",
+		ASBIEs: []ASBIEPick{{Role: "Private", Target: wrongTarget}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "based on ACC") {
+		t.Errorf("wrong-target derivation error = %v", err)
+	}
+}
+
+func TestDeriveABIECardinalityNarrowing(t *testing.T) {
+	f := newFixture(t)
+	opt := uml.Optional
+	many := uml.Many
+	usAddress, err := DeriveABIE(f.bieLib, f.address, Restriction{
+		Qualifier: "US",
+		BBIEs:     []BBIEPick{{BCC: "Street"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Making a required BBIE optional is a legal restriction (the paper's
+	// ABIE Application keeps CreatedDate as [0..1] although the BCC is
+	// required).
+	if _, err := DeriveABIE(f.bieLib, f.person, Restriction{
+		Name:  "OptPerson",
+		BBIEs: []BBIEPick{{BCC: "FirstName", Card: &opt}},
+	}); err != nil {
+		t.Errorf("relaxing a BBIE to optional should work: %v", err)
+	}
+	// Widening 1 -> 0..* on a BBIE upper bound is not a restriction.
+	if _, err := DeriveABIE(f.bieLib, f.person, Restriction{
+		Name:  "WidePerson",
+		BBIEs: []BBIEPick{{BCC: "FirstName", Card: &many}},
+	}); err == nil {
+		t.Error("widening BBIE upper bound must fail")
+	}
+	// Widening 1 -> 0..* on an ASBIE is not a restriction.
+	if _, err := DeriveABIE(f.bieLib, f.person, Restriction{
+		Name:   "WideAssoc",
+		ASBIEs: []ASBIEPick{{Role: "Private", Target: usAddress, Card: &many}},
+	}); err == nil {
+		t.Error("widening ASBIE cardinality must fail")
+	}
+}
+
+func TestDeriveABIEQDTNarrowing(t *testing.T) {
+	f := newFixture(t)
+	enum, err := f.enumLib.AddENUM("CountryType_Code")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enum.AddLiteral("USA", "United States of America")
+	countryType, err := DeriveQDT(f.qdtLib, f.code, QDTRestriction{
+		Name:        "CountryType",
+		ContentEnum: enum,
+		Sups:        []SupPick{{Sup: "CodeListName"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	abie, err := DeriveABIE(f.bieLib, f.address, Restriction{
+		Qualifier: "AU",
+		BBIEs: []BBIEPick{
+			{BCC: "Country", Rename: "CountryName", Type: countryType},
+			{BCC: "Street"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bbie := abie.FindBBIE("CountryName")
+	if bbie == nil || bbie.Type != countryType {
+		t.Fatalf("CountryName BBIE = %v", bbie)
+	}
+	if bbie.BasedOn.Name != "Country" {
+		t.Errorf("basedOn BCC = %q", bbie.BasedOn.Name)
+	}
+
+	// A QDT based on a different CDT is rejected.
+	textQDT, err := DeriveQDT(f.qdtLib, f.text, QDTRestriction{Name: "ShortText"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DeriveABIE(f.bieLib, f.address, Restriction{
+		Name:  "BadAddress",
+		BBIEs: []BBIEPick{{BCC: "Country", Type: textQDT}},
+	}); err == nil {
+		t.Error("QDT of foreign CDT must fail")
+	}
+}
+
+func TestDeriveQDT(t *testing.T) {
+	f := newFixture(t)
+	enum, err := f.enumLib.AddENUM("CouncilType_Code")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enum.AddLiteral("portphillip", "Port Phillip City Council")
+
+	opt := uml.Optional
+	councilType, err := DeriveQDT(f.qdtLib, f.code, QDTRestriction{
+		Name:        "CouncilType",
+		ContentEnum: enum,
+		Sups:        []SupPick{{Sup: "CodeListName", Card: &opt}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if councilType.BasedOn != f.code {
+		t.Error("basedOn broken")
+	}
+	if councilType.ContentEnum() != enum {
+		t.Error("ContentEnum broken")
+	}
+	if len(councilType.Sups) != 1 || councilType.Sups[0].Name != "CodeListName" {
+		t.Errorf("Sups = %v", councilType.Sups)
+	}
+	if councilType.Sups[0].Card != uml.Optional {
+		t.Errorf("SUP card = %v, want 0..1", councilType.Sups[0].Card)
+	}
+	if councilType.Sup("CodeListName") == nil || councilType.Sup("Nope") != nil {
+		t.Error("QDT.Sup lookup broken")
+	}
+
+	// Plain QDT without enum keeps the primitive content.
+	plain, err := DeriveQDT(f.qdtLib, f.text, QDTRestriction{Name: "PlainText"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.ContentEnum() != nil {
+		t.Error("plain QDT should have no content enum")
+	}
+	if plain.Content.Type.TypeName() != "String" {
+		t.Errorf("content = %q", plain.Content.Type.TypeName())
+	}
+}
+
+func TestDeriveQDTErrors(t *testing.T) {
+	f := newFixture(t)
+	if _, err := DeriveQDT(f.qdtLib, nil, QDTRestriction{Name: "X"}); err == nil {
+		t.Error("nil CDT must fail")
+	}
+	if _, err := DeriveQDT(f.qdtLib, f.code, QDTRestriction{}); err == nil {
+		t.Error("missing name must fail")
+	}
+	if _, err := DeriveQDT(f.qdtLib, f.code, QDTRestriction{
+		Name: "X", Sups: []SupPick{{Sup: "Nonexistent"}},
+	}); err == nil {
+		t.Error("unknown SUP pick must fail")
+	}
+	// Widening a SUP cardinality is not a restriction. LanguageIdentifier
+	// is 0..1; 0..* would widen it.
+	many := uml.Many
+	if _, err := DeriveQDT(f.qdtLib, f.code, QDTRestriction{
+		Name: "Y", Sups: []SupPick{{Sup: "LanguageIdentifier", Card: &many}},
+	}); err == nil {
+		t.Error("widening SUP cardinality must fail")
+	}
+}
+
+func TestCheckRestrictionDirect(t *testing.T) {
+	f := newFixture(t)
+	intPrim := mustPrim(t, f.primLib, "Integer")
+
+	// Foreign SUP.
+	q := &QDT{Name: "Bad", BasedOn: f.code, Content: f.code.Content,
+		Sups: []SupplementaryComponent{{Name: "Invented", Type: f.str, Card: uml.One}}}
+	if err := q.CheckRestriction(); err == nil {
+		t.Error("foreign SUP must fail")
+	}
+	// Changed content primitive.
+	q2 := &QDT{Name: "Bad2", BasedOn: f.code, Content: Content(intPrim)}
+	if err := q2.CheckRestriction(); err == nil {
+		t.Error("changed content primitive must fail")
+	}
+	// Changed SUP primitive.
+	q3 := &QDT{Name: "Bad3", BasedOn: f.code, Content: f.code.Content,
+		Sups: []SupplementaryComponent{{Name: "CodeListName", Type: intPrim, Card: uml.One}}}
+	if err := q3.CheckRestriction(); err == nil {
+		t.Error("changed SUP primitive must fail")
+	}
+	// No basedOn.
+	q4 := &QDT{Name: "Bad4", Content: f.code.Content}
+	if err := q4.CheckRestriction(); err == nil {
+		t.Error("missing basedOn must fail")
+	}
+	// Missing content type.
+	q5 := &QDT{Name: "Bad5", BasedOn: f.code}
+	if err := q5.CheckRestriction(); err == nil {
+		t.Error("missing content type must fail")
+	}
+}
+
+func TestABIEDuplicateMembers(t *testing.T) {
+	f := newFixture(t)
+	usAddress, err := DeriveABIE(f.bieLib, f.address, Restriction{
+		Qualifier: "US", BBIEs: []BBIEPick{{BCC: "Street"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	street := f.address.FindBCC("Street")
+	if _, err := usAddress.AddBBIE("Street", street, nil, uml.One); err == nil {
+		t.Error("duplicate BBIE must fail")
+	}
+
+	usPerson, err := DeriveABIE(f.bieLib, f.person, Restriction{
+		Qualifier: "US",
+		ASBIEs:    []ASBIEPick{{Role: "Private", Target: usAddress}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ascc := f.person.FindASCC("Private", "Address")
+	if _, err := usPerson.AddASBIE("Private", ascc, usAddress, uml.One, uml.AggregationComposite); err == nil {
+		t.Error("duplicate ASBIE must fail")
+	}
+}
+
+func TestBBIEForeignBCC(t *testing.T) {
+	f := newFixture(t)
+	usAddress, err := DeriveABIE(f.bieLib, f.address, Restriction{Qualifier: "US"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := f.person.FindBCC("FirstName")
+	if _, err := usAddress.AddBBIE("FirstName", foreign, nil, uml.One); err == nil {
+		t.Error("BBIE based on a foreign ACC's BCC must fail")
+	}
+	if _, err := usAddress.AddBBIE("X", nil, nil, uml.One); err == nil {
+		t.Error("BBIE without basedOn must fail")
+	}
+}
+
+func TestASBIEForeignASCCAndNilTarget(t *testing.T) {
+	f := newFixture(t)
+	att, err := f.ccLib.AddACC("Attachment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := att.AddASCC("Owner", f.person, uml.One, uml.AggregationComposite); err != nil {
+		t.Fatal(err)
+	}
+	usAddress, err := DeriveABIE(f.bieLib, f.address, Restriction{Qualifier: "US"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreignASCC := att.FindASCC("Owner", "Person")
+	if _, err := usAddress.AddASBIE("Owner", foreignASCC, usAddress, uml.One, uml.AggregationComposite); err == nil {
+		t.Error("ASBIE based on a foreign ACC's ASCC must fail")
+	}
+	ascc := f.person.FindASCC("Private", "Address")
+	usPerson, err := DeriveABIE(f.bieLib, f.person, Restriction{Qualifier: "US"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := usPerson.AddASBIE("Private", ascc, nil, uml.One, uml.AggregationComposite); err == nil {
+		t.Error("ASBIE without target must fail")
+	}
+	if _, err := usPerson.AddASBIE("Private", nil, usAddress, uml.One, uml.AggregationComposite); err == nil {
+		t.Error("ASBIE without basedOn must fail")
+	}
+}
+
+func TestQualifierEdgeCases(t *testing.T) {
+	f := newFixture(t)
+	same, err := DeriveABIE(f.bieLib, f.address, Restriction{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Name != "Address" || same.Qualifier() != "" {
+		t.Errorf("unqualified derive: name=%q qualifier=%q", same.Name, same.Qualifier())
+	}
+	renamed, err := DeriveABIE(f.bieLib, f.address, Restriction{Name: "Location"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renamed.Qualifier() != "" {
+		t.Errorf("free rename should have empty qualifier, got %q", renamed.Qualifier())
+	}
+	orphan := &ABIE{Name: "X"}
+	if orphan.Qualifier() != "" {
+		t.Error("ABIE without basedOn should have empty qualifier")
+	}
+}
+
+func TestASBIEElementName(t *testing.T) {
+	f := newFixture(t)
+	usAddress, err := DeriveABIE(f.bieLib, f.address, Restriction{Qualifier: "US"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	usPerson, err := DeriveABIE(f.bieLib, f.person, Restriction{
+		Qualifier: "US",
+		ASBIEs:    []ASBIEPick{{Role: "Private", Target: usAddress, Rename: "Assigned"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: "The name of an ASBIE is determined by the role name of the
+	// ASBIE aggregation plus the name of the target ABIE."
+	if got := usPerson.ASBIEs[0].ElementName(); got != "AssignedUS_Address" {
+		t.Errorf("ElementName = %q", got)
+	}
+}
+
+func TestDENs(t *testing.T) {
+	f := newFixture(t)
+	usPerson, _ := deriveFigure1(t, f)
+
+	cases := []struct{ got, want string }{
+		{f.person.DEN(), "Person. Details"},
+		{f.person.FindBCC("DateofBirth").DEN(), "Person. Dateof Birth. Date"},
+		{f.person.FindBCC("FirstName").DEN(), "Person. First Name. Text"},
+		{f.person.FindASCC("Private", "Address").DEN(), "Person. Private. Address"},
+		{usPerson.DEN(), "US Person. Details"},
+		{usPerson.FindBBIE("FirstName").DEN(), "US Person. First Name. Text"},
+		{usPerson.ASBIEs[0].DEN(), "US Person. US Private. US Address"},
+		{f.code.DEN(), "Code. Type"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("DEN = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestQDTDEN(t *testing.T) {
+	f := newFixture(t)
+	q, err := DeriveQDT(f.qdtLib, f.code, QDTRestriction{Name: "CountryType"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.DEN(); got != "Country Type. Type" {
+		t.Errorf("QDT DEN = %q", got)
+	}
+}

@@ -1,0 +1,361 @@
+// Package core implements the conceptual model of the UN/CEFACT Core
+// Components Technical Specification (CCTS) 2.01 as described in Section
+// 2 of the paper: core components (ACC, BCC, ASCC), business information
+// entities (ABIE, BBIE, ASBIE), core and qualified data types (CDT, QDT)
+// with content (CON) and supplementary (SUP) components, enumerations
+// (ENUM) and primitives (PRIM), organised into typed libraries that are
+// grouped into business libraries.
+//
+// The model is transfer-syntax independent; internal/gen derives XML
+// schemas from it and internal/profile maps it to and from the
+// stereotyped UML representation.
+package core
+
+import (
+	"fmt"
+
+	"github.com/go-ccts/ccts/internal/uml"
+)
+
+// Cardinality is the occurrence range of a component. It reuses the UML
+// multiplicity implementation; CCTS derivation-by-restriction narrows
+// cardinalities via Cardinality.Within.
+type Cardinality = uml.Multiplicity
+
+// Unbounded re-exports the unbounded upper bound for convenience.
+const Unbounded = uml.Unbounded
+
+// LibraryKind identifies the seven library stereotypes of the profile's
+// Management package (Figure 3), minus BusinessLibrary which groups
+// libraries rather than containing elements.
+type LibraryKind int
+
+const (
+	// KindCCLibrary contains aggregate core components.
+	KindCCLibrary LibraryKind = iota
+	// KindBIELibrary contains aggregate business information entities for
+	// reuse in DOC libraries.
+	KindBIELibrary
+	// KindCDTLibrary contains core data types.
+	KindCDTLibrary
+	// KindQDTLibrary contains qualified data types.
+	KindQDTLibrary
+	// KindENUMLibrary contains enumeration types.
+	KindENUMLibrary
+	// KindPRIMLibrary contains primitive types.
+	KindPRIMLibrary
+	// KindDOCLibrary assembles business information entities into a final
+	// business document.
+	KindDOCLibrary
+)
+
+var libraryKindNames = [...]string{
+	KindCCLibrary:   "CCLibrary",
+	KindBIELibrary:  "BIELibrary",
+	KindCDTLibrary:  "CDTLibrary",
+	KindQDTLibrary:  "QDTLibrary",
+	KindENUMLibrary: "ENUMLibrary",
+	KindPRIMLibrary: "PRIMLibrary",
+	KindDOCLibrary:  "DOCLibrary",
+}
+
+// String returns the profile stereotype name for the kind.
+func (k LibraryKind) String() string {
+	if int(k) < len(libraryKindNames) {
+		return libraryKindNames[k]
+	}
+	return fmt.Sprintf("LibraryKind(%d)", int(k))
+}
+
+// ParseLibraryKind is the inverse of String.
+func ParseLibraryKind(s string) (LibraryKind, error) {
+	for i, n := range libraryKindNames {
+		if n == s {
+			return LibraryKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown library kind %q", s)
+}
+
+// Model is the root of a core components repository. The paper notes that
+// "a core components model can contain multiple business libraries".
+type Model struct {
+	Name              string
+	BusinessLibraries []*BusinessLibrary
+}
+
+// NewModel returns an empty model.
+func NewModel(name string) *Model { return &Model{Name: name} }
+
+// AddBusinessLibrary appends a business library and returns it.
+func (m *Model) AddBusinessLibrary(name string) *BusinessLibrary {
+	b := &BusinessLibrary{Name: name, model: m}
+	m.BusinessLibraries = append(m.BusinessLibraries, b)
+	return b
+}
+
+// Libraries returns all libraries across all business libraries, in
+// declaration order.
+func (m *Model) Libraries() []*Library {
+	var out []*Library
+	for _, b := range m.BusinessLibraries {
+		out = append(out, b.Libraries...)
+	}
+	return out
+}
+
+// FindLibrary locates a library by name across all business libraries.
+func (m *Model) FindLibrary(name string) *Library {
+	for _, l := range m.Libraries() {
+		if l.Name == name {
+			return l
+		}
+	}
+	return nil
+}
+
+// FindACC locates an aggregate core component by name anywhere in the
+// model.
+func (m *Model) FindACC(name string) *ACC {
+	for _, l := range m.Libraries() {
+		for _, a := range l.ACCs {
+			if a.Name == name {
+				return a
+			}
+		}
+	}
+	return nil
+}
+
+// FindABIE locates an aggregate business information entity by name
+// anywhere in the model.
+func (m *Model) FindABIE(name string) *ABIE {
+	for _, l := range m.Libraries() {
+		for _, a := range l.ABIEs {
+			if a.Name == name {
+				return a
+			}
+		}
+	}
+	return nil
+}
+
+// FindCDT locates a core data type by name anywhere in the model.
+func (m *Model) FindCDT(name string) *CDT {
+	for _, l := range m.Libraries() {
+		for _, d := range l.CDTs {
+			if d.Name == name {
+				return d
+			}
+		}
+	}
+	return nil
+}
+
+// FindQDT locates a qualified data type by name anywhere in the model.
+func (m *Model) FindQDT(name string) *QDT {
+	for _, l := range m.Libraries() {
+		for _, d := range l.QDTs {
+			if d.Name == name {
+				return d
+			}
+		}
+	}
+	return nil
+}
+
+// FindENUM locates an enumeration by name anywhere in the model.
+func (m *Model) FindENUM(name string) *ENUM {
+	for _, l := range m.Libraries() {
+		for _, e := range l.ENUMs {
+			if e.Name == name {
+				return e
+			}
+		}
+	}
+	return nil
+}
+
+// FindPRIM locates a primitive type by name anywhere in the model.
+func (m *Model) FindPRIM(name string) *PRIM {
+	for _, l := range m.Libraries() {
+		for _, p := range l.PRIMs {
+			if p.Name == name {
+				return p
+			}
+		}
+	}
+	return nil
+}
+
+// BusinessLibrary groups the typed libraries of one business domain, as
+// in the left-hand tree of the paper's Figure 4 (the EasyBiz business
+// library holding seven sub-libraries).
+type BusinessLibrary struct {
+	Name string
+	// Tags carries annotation tagged values (e.g. copyright, owner).
+	Tags      uml.TaggedValues
+	Libraries []*Library
+
+	model *Model
+}
+
+// Model returns the owning model.
+func (b *BusinessLibrary) Model() *Model { return b.model }
+
+// AddLibrary appends a typed library. BaseURN becomes the target
+// namespace of the schema generated for the library; the paper: "The
+// namespace of a specific schema ... is determined by the tagged value
+// baseURN."
+func (b *BusinessLibrary) AddLibrary(kind LibraryKind, name, baseURN string) *Library {
+	l := &Library{Kind: kind, Name: name, BaseURN: baseURN, business: b}
+	b.Libraries = append(b.Libraries, l)
+	return l
+}
+
+// Library is one typed container of CCTS elements. Which element slices
+// may be populated depends on Kind; Add* methods enforce the containment
+// rules of the meta model (Figure 2).
+type Library struct {
+	Kind LibraryKind
+	Name string
+	// BaseURN is the target namespace of the generated schema.
+	BaseURN string
+	// NamespacePrefix is the user-chosen prefix for imports of this
+	// library's schema; when empty a standard prefix (cdt1, qdt1, bie2,
+	// ...) is generated, as in Figure 6 line 14.
+	NamespacePrefix string
+	// Version participates in generated file names
+	// (data_draft_CommonAggregates_0.1.xsd).
+	Version string
+	// Tags carries annotation tagged values consumed when the generator
+	// runs with annotations enabled.
+	Tags uml.TaggedValues
+
+	ACCs  []*ACC
+	ABIEs []*ABIE
+	CDTs  []*CDT
+	QDTs  []*QDT
+	ENUMs []*ENUM
+	PRIMs []*PRIM
+
+	business *BusinessLibrary
+}
+
+// Business returns the owning business library.
+func (l *Library) Business() *BusinessLibrary { return l.business }
+
+// Model returns the owning model, or nil for a detached library.
+func (l *Library) Model() *Model {
+	if l.business == nil {
+		return nil
+	}
+	return l.business.model
+}
+
+func (l *Library) requireKind(op string, kinds ...LibraryKind) error {
+	for _, k := range kinds {
+		if l.Kind == k {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: %s not allowed in %s %q", op, l.Kind, l.Name)
+}
+
+// AddACC creates an aggregate core component. Only CCLibraries contain
+// ACCs.
+func (l *Library) AddACC(name string) (*ACC, error) {
+	if err := l.requireKind("ACC", KindCCLibrary); err != nil {
+		return nil, err
+	}
+	a := &ACC{Name: name, library: l}
+	l.ACCs = append(l.ACCs, a)
+	return a, nil
+}
+
+// AddABIE creates an aggregate business information entity based on the
+// given ACC. BIELibraries and DOCLibraries contain ABIEs (the paper's
+// DOCLibrary HoardingPermit itself defines two ABIEs).
+func (l *Library) AddABIE(name string, basedOn *ACC) (*ABIE, error) {
+	if err := l.requireKind("ABIE", KindBIELibrary, KindDOCLibrary); err != nil {
+		return nil, err
+	}
+	if basedOn == nil {
+		return nil, fmt.Errorf("core: ABIE %q requires a basedOn ACC", name)
+	}
+	a := &ABIE{Name: name, BasedOn: basedOn, library: l}
+	l.ABIEs = append(l.ABIEs, a)
+	return a, nil
+}
+
+// AddCDT creates a core data type with the given content component. Only
+// CDTLibraries contain CDTs.
+func (l *Library) AddCDT(name string, content ContentComponent) (*CDT, error) {
+	if err := l.requireKind("CDT", KindCDTLibrary); err != nil {
+		return nil, err
+	}
+	d := &CDT{Name: name, Content: content, library: l}
+	l.CDTs = append(l.CDTs, d)
+	return d, nil
+}
+
+// AddQDT creates a qualified data type based on the given CDT. Only
+// QDTLibraries contain QDTs. Restriction legality is enforced by
+// DeriveQDT; AddQDT is the low-level constructor used by it and by the
+// XMI importer (whose output is re-checked by internal/validate).
+func (l *Library) AddQDT(name string, basedOn *CDT, content ContentComponent) (*QDT, error) {
+	if err := l.requireKind("QDT", KindQDTLibrary); err != nil {
+		return nil, err
+	}
+	if basedOn == nil {
+		return nil, fmt.Errorf("core: QDT %q requires a basedOn CDT", name)
+	}
+	d := &QDT{Name: name, BasedOn: basedOn, Content: content, library: l}
+	l.QDTs = append(l.QDTs, d)
+	return d, nil
+}
+
+// AddENUM creates an enumeration type. Only ENUMLibraries contain ENUMs.
+func (l *Library) AddENUM(name string) (*ENUM, error) {
+	if err := l.requireKind("ENUM", KindENUMLibrary); err != nil {
+		return nil, err
+	}
+	e := &ENUM{Name: name, library: l}
+	l.ENUMs = append(l.ENUMs, e)
+	return e, nil
+}
+
+// AddPRIM creates a primitive type. Only PRIMLibraries contain PRIMs.
+func (l *Library) AddPRIM(name string) (*PRIM, error) {
+	if err := l.requireKind("PRIM", KindPRIMLibrary); err != nil {
+		return nil, err
+	}
+	p := &PRIM{Name: name, library: l}
+	l.PRIMs = append(l.PRIMs, p)
+	return p, nil
+}
+
+// FindABIE locates an ABIE of this library by name.
+func (l *Library) FindABIE(name string) *ABIE {
+	for _, a := range l.ABIEs {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// FindACC locates an ACC of this library by name.
+func (l *Library) FindACC(name string) *ACC {
+	for _, a := range l.ACCs {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// ElementCount returns the number of elements contained in the library.
+func (l *Library) ElementCount() int {
+	return len(l.ACCs) + len(l.ABIEs) + len(l.CDTs) + len(l.QDTs) + len(l.ENUMs) + len(l.PRIMs)
+}

@@ -1,0 +1,193 @@
+// Package diagram renders core components models as PlantUML class
+// diagrams, reproducing the visual language of the paper's figures:
+// packages per library, «stereotyped» classes with their attributes and
+// multiplicities, aggregation/composition connectors with role names,
+// and dashed «basedOn» dependencies (Figures 1 and 4 were drawn this way
+// in Enterprise Architect; this renderer replaces the proprietary
+// canvas with a text format any PlantUML processor can draw).
+package diagram
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/go-ccts/ccts/internal/core"
+	"github.com/go-ccts/ccts/internal/uml"
+)
+
+// Options control rendering.
+type Options struct {
+	// Libraries restricts output to the named libraries; empty renders
+	// the whole model.
+	Libraries []string
+	// HideDataTypes omits CDT/QDT/ENUM/PRIM classes, matching the paper's
+	// Figure 1 which shows only components and entities.
+	HideDataTypes bool
+}
+
+// Render produces PlantUML source for the model.
+func Render(m *core.Model, opts Options) string {
+	r := &renderer{b: &strings.Builder{}, opts: opts, alias: map[string]string{}}
+	r.b.WriteString("@startuml\n")
+	r.b.WriteString("hide empty members\n")
+	r.b.WriteString("skinparam class { BackgroundColor White; BorderColor Black }\n")
+	for _, biz := range m.BusinessLibraries {
+		for _, lib := range biz.Libraries {
+			if !r.include(lib) {
+				continue
+			}
+			r.library(lib)
+		}
+	}
+	// Relationships last, outside the packages.
+	for _, biz := range m.BusinessLibraries {
+		for _, lib := range biz.Libraries {
+			if !r.include(lib) {
+				continue
+			}
+			r.relationships(lib)
+		}
+	}
+	r.b.WriteString("@enduml\n")
+	return r.b.String()
+}
+
+type renderer struct {
+	b     *strings.Builder
+	opts  Options
+	alias map[string]string
+	seq   int
+}
+
+func (r *renderer) include(lib *core.Library) bool {
+	if r.opts.HideDataTypes {
+		switch lib.Kind {
+		case core.KindCDTLibrary, core.KindQDTLibrary, core.KindENUMLibrary, core.KindPRIMLibrary:
+			return false
+		}
+	}
+	if len(r.opts.Libraries) == 0 {
+		return true
+	}
+	for _, name := range r.opts.Libraries {
+		if lib.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// aliasFor returns a stable PlantUML identifier for a library-scoped
+// element name.
+func (r *renderer) aliasFor(lib *core.Library, name string) string {
+	key := lib.Name + "::" + name
+	if a, ok := r.alias[key]; ok {
+		return a
+	}
+	r.seq++
+	a := fmt.Sprintf("E%d", r.seq)
+	r.alias[key] = a
+	return a
+}
+
+func (r *renderer) library(lib *core.Library) {
+	fmt.Fprintf(r.b, "package %q <<%s>> {\n", lib.Name, lib.Kind)
+	for _, acc := range lib.ACCs {
+		r.class(lib, acc.Name, "ACC", func() {
+			for _, bcc := range acc.BCCs {
+				r.attribute(bcc.Name, "BCC", bcc.Type.Name, bcc.Card)
+			}
+		})
+	}
+	for _, abie := range lib.ABIEs {
+		r.class(lib, abie.Name, "ABIE", func() {
+			for _, bbie := range abie.BBIEs {
+				r.attribute(bbie.Name, "BBIE", bbie.Type.TypeName(), bbie.Card)
+			}
+		})
+	}
+	for _, cdt := range lib.CDTs {
+		r.class(lib, cdt.Name, "CDT", func() {
+			r.attribute(cdt.Content.Name, "CON", cdt.Content.Type.TypeName(), core.Cardinality{Lower: 1, Upper: 1})
+			for _, sup := range cdt.Sups {
+				r.attribute(sup.Name, "SUP", sup.Type.TypeName(), sup.Card)
+			}
+		})
+	}
+	for _, qdt := range lib.QDTs {
+		r.class(lib, qdt.Name, "QDT", func() {
+			r.attribute(qdt.Content.Name, "CON", qdt.Content.Type.TypeName(), core.Cardinality{Lower: 1, Upper: 1})
+			for _, sup := range qdt.Sups {
+				r.attribute(sup.Name, "SUP", sup.Type.TypeName(), sup.Card)
+			}
+		})
+	}
+	for _, e := range lib.ENUMs {
+		fmt.Fprintf(r.b, "  enum %q as %s <<ENUM>> {\n", e.Name, r.aliasFor(lib, e.Name))
+		for _, l := range e.Literals {
+			fmt.Fprintf(r.b, "    %s = %s\n", l.Name, quoteValue(l.Value))
+		}
+		r.b.WriteString("  }\n")
+	}
+	for _, p := range lib.PRIMs {
+		fmt.Fprintf(r.b, "  class %q as %s <<PRIM>>\n", p.Name, r.aliasFor(lib, p.Name))
+	}
+	r.b.WriteString("}\n")
+}
+
+func (r *renderer) class(lib *core.Library, name, stereotype string, body func()) {
+	fmt.Fprintf(r.b, "  class %q as %s <<%s>> {\n", name, r.aliasFor(lib, name), stereotype)
+	body()
+	r.b.WriteString("  }\n")
+}
+
+func (r *renderer) attribute(name, stereotype, typeName string, card core.Cardinality) {
+	suffix := ""
+	if !(card.Lower == 1 && card.Upper == 1) {
+		suffix = " [" + card.String() + "]"
+	}
+	fmt.Fprintf(r.b, "    +%s : %s <<%s>>%s\n", name, typeName, stereotype, suffix)
+}
+
+func (r *renderer) relationships(lib *core.Library) {
+	connector := func(kind uml.AggregationKind) string {
+		switch kind {
+		case uml.AggregationComposite:
+			return "*--"
+		case uml.AggregationShared:
+			return "o--"
+		default:
+			return "--"
+		}
+	}
+	for _, acc := range lib.ACCs {
+		for _, ascc := range acc.ASCCs {
+			fmt.Fprintf(r.b, "%s %s \"%s %s\" %s : <<ASCC>>\n",
+				r.aliasFor(lib, acc.Name), connector(ascc.Kind),
+				ascc.Role, ascc.Card, r.aliasFor(ascc.Target.Library(), ascc.Target.Name))
+		}
+	}
+	for _, abie := range lib.ABIEs {
+		if abie.BasedOn != nil && r.include(abie.BasedOn.Library()) {
+			fmt.Fprintf(r.b, "%s ..> %s : <<basedOn>>\n",
+				r.aliasFor(lib, abie.Name),
+				r.aliasFor(abie.BasedOn.Library(), abie.BasedOn.Name))
+		}
+		for _, asbie := range abie.ASBIEs {
+			fmt.Fprintf(r.b, "%s %s \"%s %s\" %s : <<ASBIE>>\n",
+				r.aliasFor(lib, abie.Name), connector(asbie.Kind),
+				asbie.Role, asbie.Card, r.aliasFor(asbie.Target.Library(), asbie.Target.Name))
+		}
+	}
+	for _, qdt := range lib.QDTs {
+		if qdt.BasedOn != nil && r.include(qdt.BasedOn.DataTypeLibrary()) {
+			fmt.Fprintf(r.b, "%s ..> %s : <<basedOn>>\n",
+				r.aliasFor(lib, qdt.Name),
+				r.aliasFor(qdt.BasedOn.DataTypeLibrary(), qdt.BasedOn.Name))
+		}
+	}
+}
+
+func quoteValue(v string) string {
+	return `"` + strings.ReplaceAll(v, `"`, `'`) + `"`
+}

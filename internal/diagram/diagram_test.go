@@ -1,0 +1,87 @@
+package diagram
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/fixture"
+)
+
+func TestRenderFullModel(t *testing.T) {
+	f := fixture.MustBuildHoardingPermit()
+	out := Render(f.Model, Options{})
+	for _, want := range []string{
+		"@startuml",
+		"@enduml",
+		`package "EB005-HoardingPermit" <<DOCLibrary>> {`,
+		`package "CandidateCoreComponents" <<CCLibrary>> {`,
+		`class "HoardingPermit"`,
+		"<<ABIE>>",
+		"<<ACC>>",
+		"<<basedOn>>",
+		"<<ASBIE>>",
+		"<<ASCC>>",
+		// Optional multiplicity shown like the paper's diagrams.
+		"+ClosureReason : Text <<BBIE>> [0..1]",
+		// Enumerations with literals.
+		`enum "CountryType_Code"`,
+		`AUT = "Austria"`,
+		// Composition vs shared aggregation connectors.
+		"*--",
+		"o--",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagram missing %q", want)
+		}
+	}
+}
+
+func TestRenderFiltered(t *testing.T) {
+	f := fixture.MustBuildHoardingPermit()
+	out := Render(f.Model, Options{Libraries: []string{"CommonAggregates"}})
+	if !strings.Contains(out, `package "CommonAggregates"`) {
+		t.Error("selected library missing")
+	}
+	if strings.Contains(out, `package "EB005-HoardingPermit"`) {
+		t.Error("unselected library rendered")
+	}
+	// basedOn targets outside the filter are suppressed.
+	if strings.Contains(out, "<<basedOn>>") {
+		t.Error("cross-filter basedOn rendered")
+	}
+}
+
+func TestHideDataTypes(t *testing.T) {
+	f := fixture.MustBuildHoardingPermit()
+	out := Render(f.Model, Options{HideDataTypes: true})
+	if strings.Contains(out, "<<CDT>>") || strings.Contains(out, "<<PRIM>>") {
+		t.Error("data types rendered despite HideDataTypes")
+	}
+	if !strings.Contains(out, "<<ACC>>") {
+		t.Error("components missing")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	f := fixture.MustBuildHoardingPermit()
+	a := Render(f.Model, Options{})
+	b := Render(f.Model, Options{})
+	if a != b {
+		t.Error("diagram rendering not deterministic")
+	}
+}
+
+func TestAliasStability(t *testing.T) {
+	f := fixture.MustBuildFigure1()
+	out := Render(f.Model, Options{HideDataTypes: true})
+	// Two ASCCs (Person -> Address) and two ASBIEs (US_Person ->
+	// US_Address), all composite.
+	count := strings.Count(out, "*--")
+	if count != 4 {
+		t.Errorf("composition connectors = %d, want 4\n%s", count, out)
+	}
+	// Quotes in literal values are neutralised.
+	if got := quoteValue(`say "hi"`); got != `"say 'hi'"` {
+		t.Errorf("quoteValue = %q", got)
+	}
+}

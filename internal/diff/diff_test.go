@@ -1,0 +1,187 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/catalog"
+	"github.com/go-ccts/ccts/internal/core"
+	"github.com/go-ccts/ccts/internal/fixture"
+)
+
+func TestIdenticalModels(t *testing.T) {
+	a := fixture.MustBuildHoardingPermit()
+	b := fixture.MustBuildHoardingPermit()
+	r := Compare(a.Model, b.Model)
+	if !r.Empty() {
+		t.Errorf("identical models differ: %v", r.Changes)
+	}
+}
+
+func hasChange(r *Report, fragment string) bool {
+	for _, c := range r.Changes {
+		if strings.Contains(c.String(), fragment) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLibraryChanges(t *testing.T) {
+	a := fixture.MustBuildHoardingPermit()
+	b := fixture.MustBuildHoardingPermit()
+
+	// Remove a library, add a library, change version and URN.
+	b.Biz.Libraries = b.Biz.Libraries[:len(b.Biz.Libraries)-1] // drop DOC lib
+	extra := b.Biz.AddLibrary(core.KindBIELibrary, "Extra", "urn:extra")
+	_ = extra
+	b.Common.Version = "0.2"
+	b.QDTLib.BaseURN = "urn:changed"
+
+	r := Compare(a.Model, b.Model)
+	for _, want := range []string{
+		"removed Library EB005-HoardingPermit",
+		"added Library Extra",
+		`version "0.1" -> "0.2"`,
+		`baseURN "urn:au:gov:vic:easybiz:types:draft:QualifiedDataTypes" -> "urn:changed"`,
+	} {
+		if !hasChange(r, want) {
+			t.Errorf("missing change %q in %v", want, r.Changes)
+		}
+	}
+	if len(r.ByKind(Removed)) == 0 || len(r.ByKind(Added)) == 0 || len(r.ByKind(Modified)) == 0 {
+		t.Error("ByKind buckets empty")
+	}
+}
+
+func TestElementChanges(t *testing.T) {
+	a := fixture.MustBuildHoardingPermit()
+	b := fixture.MustBuildHoardingPermit()
+
+	// ACC: remove a BCC, add a BCC, change a cardinality, drop an ASCC.
+	permit := b.Model.FindACC("Permit")
+	permit.BCCs = permit.BCCs[1:] // drop ClosureReason
+	if _, err := permit.AddBCC("NightWork", b.Catalog.CDT(catalog.CDTIndicator), core.Cardinality{Lower: 0, Upper: 1}); err != nil {
+		t.Fatal(err)
+	}
+	permit.BCCs[0].Card = core.Cardinality{Lower: 1, Upper: 1} // IsClosedFootpath now required
+	permit.ASCCs = permit.ASCCs[:3]                            // drop Billing
+
+	// ABIE: retype a BBIE and remove an ASBIE.
+	hp := b.Permit
+	hp.BBIEs = hp.BBIEs[:3] // drop SafetyPrecaution
+	hp.ASBIEs = hp.ASBIEs[1:]
+
+	// ENUM: add a literal.
+	b.Model.FindENUM("CountryType_Code").AddLiteral("NZL", "New Zealand")
+
+	// QDT: drop a SUP.
+	b.Model.FindQDT("CountryType").Sups = nil
+
+	r := Compare(a.Model, b.Model)
+	for _, want := range []string{
+		"BCC ClosureReason removed",
+		"BCC NightWork added",
+		"BCC IsClosedFootpath cardinality 0..1 -> 1",
+		"ASCC Billing>Person removed",
+		"BBIE SafetyPrecaution removed",
+		"ASBIE Included>Attachment removed",
+		"literal NZL added",
+		"SUP CodeListName removed",
+	} {
+		if !hasChange(r, want) {
+			t.Errorf("missing change %q in:\n%v", want, r.Changes)
+		}
+	}
+}
+
+func TestRebasedABIE(t *testing.T) {
+	a := fixture.MustBuildFigure1()
+	b := fixture.MustBuildFigure1()
+	b.USAddress.BasedOn = b.Person
+	r := Compare(a.Model, b.Model)
+	if !hasChange(r, "basedOn Address -> Person") {
+		t.Errorf("missing rebase change: %v", r.Changes)
+	}
+}
+
+func TestContextChange(t *testing.T) {
+	a := fixture.MustBuildFigure1()
+	b := fixture.MustBuildFigure1()
+	b.USAddress.SetContext(core.NewContext().With(core.CtxGeopolitical, "US"))
+	r := Compare(a.Model, b.Model)
+	if !hasChange(r, "context (default) -> Geopolitical=US") {
+		t.Errorf("missing context change: %v", r.Changes)
+	}
+}
+
+func TestTypeAndKindChanges(t *testing.T) {
+	a := fixture.MustBuildFigure1()
+	b := fixture.MustBuildFigure1()
+	// Retype a BCC.
+	street := b.Address.FindBCC("Street")
+	street.Type = b.Catalog.CDT(catalog.CDTName)
+	// Retype a BBIE via the underlying map.
+	r := Compare(a.Model, b.Model)
+	if !hasChange(r, "BCC Street type Text -> Name") {
+		t.Errorf("missing retype change: %v", r.Changes)
+	}
+}
+
+func TestASCCCardinalityChange(t *testing.T) {
+	a := fixture.MustBuildFigure1()
+	b := fixture.MustBuildFigure1()
+	b.Person.FindASCC("Work", "Address").Card = core.Cardinality{Lower: 0, Upper: 1}
+	r := Compare(a.Model, b.Model)
+	if !hasChange(r, "ASCC Work>Address cardinality 1 -> 0..1") {
+		t.Errorf("missing cardinality change: %v", r.Changes)
+	}
+}
+
+func TestQDTContentAndBaseChange(t *testing.T) {
+	a := fixture.MustBuildHoardingPermit()
+	b := fixture.MustBuildHoardingPermit()
+	q := b.Model.FindQDT("Indicator_Code")
+	q.BasedOn = b.Catalog.CDT(catalog.CDTText)
+	q.Content = core.Content(b.Model.FindENUM("CountryType_Code"))
+	r := Compare(a.Model, b.Model)
+	if !hasChange(r, "basedOn Code -> Text") {
+		t.Errorf("missing QDT base change: %v", r.Changes)
+	}
+	if !hasChange(r, "content String -> CountryType_Code") {
+		t.Errorf("missing QDT content change: %v", r.Changes)
+	}
+}
+
+func TestChangeString(t *testing.T) {
+	c := Change{Kind: Added, Element: "ACC X::Y"}
+	if c.String() != "added ACC X::Y" {
+		t.Errorf("String = %q", c.String())
+	}
+	c2 := Change{Kind: Modified, Element: "ACC X::Y", Details: []string{"a", "b"}}
+	if c2.String() != "modified ACC X::Y: a; b" {
+		t.Errorf("String = %q", c2.String())
+	}
+}
+
+func TestPrimLibraryDiff(t *testing.T) {
+	oldM := core.NewModel("A")
+	bizA := oldM.AddBusinessLibrary("B")
+	libA := bizA.AddLibrary(core.KindPRIMLibrary, "P", "urn:p")
+	if _, err := libA.AddPRIM("String"); err != nil {
+		t.Fatal(err)
+	}
+	newM := core.NewModel("B")
+	bizB := newM.AddBusinessLibrary("B")
+	libB := bizB.AddLibrary(core.KindPRIMLibrary, "P", "urn:p")
+	if _, err := libB.AddPRIM("String"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := libB.AddPRIM("Decimal"); err != nil {
+		t.Fatal(err)
+	}
+	r := Compare(oldM, newM)
+	if !hasChange(r, "added PRIM P::Decimal") {
+		t.Errorf("missing PRIM addition: %v", r.Changes)
+	}
+}

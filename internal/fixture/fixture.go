@@ -1,0 +1,542 @@
+// Package fixture builds the models the paper uses as running examples —
+// the Person/Address model of Figure 1 and the complete EB005
+// HoardingPermit business library of Figure 4 — plus synthetic models of
+// configurable size for scaling benchmarks. The fixtures are shared by
+// tests, benchmarks and the example programs.
+package fixture
+
+import (
+	"fmt"
+
+	"github.com/go-ccts/ccts/internal/catalog"
+	"github.com/go-ccts/ccts/internal/core"
+	"github.com/go-ccts/ccts/internal/uml"
+)
+
+var (
+	card1  = core.Cardinality{Lower: 1, Upper: 1}
+	card01 = core.Cardinality{Lower: 0, Upper: 1}
+	card0N = core.Cardinality{Lower: 0, Upper: core.Unbounded}
+)
+
+// Figure1 holds the Person/Address example of the paper's Figure 1.
+type Figure1 struct {
+	Model     *core.Model
+	Catalog   *catalog.Catalog
+	Person    *core.ACC
+	Address   *core.ACC
+	USPerson  *core.ABIE
+	USAddress *core.ABIE
+}
+
+// BuildFigure1 constructs the Figure 1 model: the core components Person
+// and Address with two ASCCs Private and Work, and the business
+// information entities US_Person and US_Address derived by restriction
+// (US_Address drops Country).
+func BuildFigure1() (*Figure1, error) {
+	m := core.NewModel("Figure1")
+	biz := m.AddBusinessLibrary("Example")
+	cat, err := catalog.Install(biz)
+	if err != nil {
+		return nil, err
+	}
+	ccLib := biz.AddLibrary(core.KindCCLibrary, "CoreComponents", "urn:example:cc")
+	ccLib.Version = "1.0"
+	bieLib := biz.AddLibrary(core.KindBIELibrary, "USEntities", "urn:example:us")
+	bieLib.Version = "1.0"
+
+	person, err := ccLib.AddACC("Person")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := person.AddBCC("DateofBirth", cat.CDT(catalog.CDTDate), card1); err != nil {
+		return nil, err
+	}
+	if _, err := person.AddBCC("FirstName", cat.CDT(catalog.CDTText), card1); err != nil {
+		return nil, err
+	}
+	address, err := ccLib.AddACC("Address")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := address.AddBCC("Country", cat.CDT(catalog.CDTCode), card1); err != nil {
+		return nil, err
+	}
+	if _, err := address.AddBCC("PostalCode", cat.CDT(catalog.CDTText), card1); err != nil {
+		return nil, err
+	}
+	if _, err := address.AddBCC("Street", cat.CDT(catalog.CDTText), card1); err != nil {
+		return nil, err
+	}
+	if _, err := person.AddASCC("Private", address, card1, uml.AggregationComposite); err != nil {
+		return nil, err
+	}
+	if _, err := person.AddASCC("Work", address, card1, uml.AggregationComposite); err != nil {
+		return nil, err
+	}
+
+	usAddress, err := core.DeriveABIE(bieLib, address, core.Restriction{
+		Qualifier: "US",
+		BBIEs:     []core.BBIEPick{{BCC: "PostalCode"}, {BCC: "Street"}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	usPerson, err := core.DeriveABIE(bieLib, person, core.Restriction{
+		Qualifier: "US",
+		BBIEs:     []core.BBIEPick{{BCC: "DateofBirth"}, {BCC: "FirstName"}},
+		ASBIEs: []core.ASBIEPick{
+			{Role: "Private", Target: usAddress, Rename: "US_Private"},
+			{Role: "Work", Target: usAddress, Rename: "US_Work"},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure1{
+		Model: m, Catalog: cat,
+		Person: person, Address: address,
+		USPerson: usPerson, USAddress: usAddress,
+	}, nil
+}
+
+// HoardingPermit holds the complete EB005 HoardingPermit model of the
+// paper's Figure 4: seven libraries inside the EasyBiz business library.
+type HoardingPermit struct {
+	Model   *core.Model
+	Biz     *core.BusinessLibrary
+	Catalog *catalog.Catalog
+
+	DOCLib  *core.Library // EB005-HoardingPermit
+	Common  *core.Library // CommonAggregates (BIELibrary)
+	Local   *core.Library // LocalLawAggregates (BIELibrary)
+	QDTLib  *core.Library // BuildingAndPlanningDataTypes
+	EnumLib *core.Library // EnumerationTypes
+	CCLib   *core.Library // CandidateCoreComponents
+
+	Permit          *core.ABIE // HoardingPermit ABIE (root)
+	PersonIdent     *core.ABIE
+	SignatureABIE   *core.ABIE
+	AddressABIE     *core.ABIE
+	ApplicationBIE  *core.ABIE
+	AttachmentBIE   *core.ABIE
+	RegistrationBIE *core.ABIE
+}
+
+// BuildHoardingPermit constructs the Figure 4 model. The paper does not
+// show the ACCs underlying every ABIE (space limits); the missing ones
+// (Permit, Person, Signature, Address, Registration) are reconstructed in
+// the CandidateCoreComponents library following the visible Application,
+// Attachment and Party ACCs.
+func BuildHoardingPermit() (*HoardingPermit, error) {
+	f := &HoardingPermit{}
+	f.Model = core.NewModel("EasyBiz")
+	f.Biz = f.Model.AddBusinessLibrary("EasyBiz")
+
+	cat, err := catalog.InstallWith(f.Biz, catalog.Options{
+		CDTName:    "coredatatypes",
+		CDTBaseURN: "un:unece:uncefact:data:standard:CDTLibrary:1.0",
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.Catalog = cat
+
+	f.EnumLib = f.Biz.AddLibrary(core.KindENUMLibrary, "EnumerationTypes",
+		"urn:au:gov:vic:easybiz:types:draft:EnumerationTypes")
+	f.EnumLib.Version = "0.1"
+	f.QDTLib = f.Biz.AddLibrary(core.KindQDTLibrary, "BuildingAndPlanningDataTypes",
+		"urn:au:gov:vic:easybiz:types:draft:QualifiedDataTypes")
+	f.QDTLib.Version = "0.1"
+	f.CCLib = f.Biz.AddLibrary(core.KindCCLibrary, "CandidateCoreComponents",
+		"urn:au:gov:vic:easybiz:components:draft:CandidateCoreComponents")
+	f.CCLib.Version = "0.1"
+	f.Common = f.Biz.AddLibrary(core.KindBIELibrary, "CommonAggregates",
+		"urn:au:gov:vic:easybiz:data:draft:CommonAggregates")
+	f.Common.Version = "0.1"
+	f.Common.NamespacePrefix = "commonAggregates"
+	f.Local = f.Biz.AddLibrary(core.KindBIELibrary, "LocalLawAggregates",
+		"urn:au:gov:vic:easybiz:data:draft:LocalLawAggregates")
+	f.Local.Version = "0.1"
+	f.DOCLib = f.Biz.AddLibrary(core.KindDOCLibrary, "EB005-HoardingPermit",
+		"urn:au:gov:vic:easybiz:data:draft:EB005-HoardingPermit")
+	f.DOCLib.Version = "0.4"
+	f.DOCLib.NamespacePrefix = "doc"
+
+	if err := f.buildEnums(); err != nil {
+		return nil, err
+	}
+	if err := f.buildQDTs(); err != nil {
+		return nil, err
+	}
+	if err := f.buildACCs(); err != nil {
+		return nil, err
+	}
+	if err := f.buildBIEs(); err != nil {
+		return nil, err
+	}
+	if err := f.buildDocument(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *HoardingPermit) buildEnums() error {
+	council, err := f.EnumLib.AddENUM("CouncilType_Code")
+	if err != nil {
+		return err
+	}
+	council.AddLiteral("kingston", "Kingston City Council").
+		AddLiteral("morningtonpeninsula", "Mornington Peninsula Shire Council").
+		AddLiteral("northerngrampians", "Northern Grampians Shire Council").
+		AddLiteral("portphillip", "Port Phillip City Council").
+		AddLiteral("pyrenees", "Pyrenees Shire Council")
+	country, err := f.EnumLib.AddENUM("CountryType_Code")
+	if err != nil {
+		return err
+	}
+	country.AddLiteral("USA", "United States of America").
+		AddLiteral("AUT", "Austria").
+		AddLiteral("AUS", "Australia")
+	return nil
+}
+
+func (f *HoardingPermit) buildQDTs() error {
+	code := f.Catalog.CDT(catalog.CDTCode)
+	opt := card01
+	// CountryType and CouncilType (Figure 4 package 3): content
+	// restricted by enumeration, only CodeListName kept (as optional).
+	if _, err := core.DeriveQDT(f.QDTLib, code, core.QDTRestriction{
+		Name:        "CountryType",
+		ContentEnum: f.Model.FindENUM("CountryType_Code"),
+		Sups:        []core.SupPick{{Sup: "CodeListName", Card: &opt}},
+	}); err != nil {
+		return err
+	}
+	if _, err := core.DeriveQDT(f.QDTLib, code, core.QDTRestriction{
+		Name:        "CouncilType",
+		ContentEnum: f.Model.FindENUM("CouncilType_Code"),
+		Sups:        []core.SupPick{{Sup: "CodeListName", Card: &opt}},
+	}); err != nil {
+		return err
+	}
+	// Indicator_Code and RegistrationType_Code type the BBIEs of
+	// HoardingPermit and Registration.
+	if _, err := core.DeriveQDT(f.QDTLib, code, core.QDTRestriction{Name: "Indicator_Code"}); err != nil {
+		return err
+	}
+	if _, err := core.DeriveQDT(f.QDTLib, code, core.QDTRestriction{Name: "RegistrationType_Code"}); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (f *HoardingPermit) buildACCs() error {
+	cdt := f.Catalog.CDT
+	type bccSpec struct {
+		name string
+		cdt  string
+		card core.Cardinality
+	}
+	addACC := func(name string, bccs []bccSpec) (*core.ACC, error) {
+		acc, err := f.CCLib.AddACC(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range bccs {
+			if _, err := acc.AddBCC(b.name, cdt(b.cdt), b.card); err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	}
+
+	// Figure 4 package 5: Application with eleven BCCs.
+	application, err := addACC("Application", []bccSpec{
+		{"CreatedDate", catalog.CDTDate, card1},
+		{"Fee", catalog.CDTAmount, card1},
+		{"Justification", catalog.CDTText, card1},
+		{"LastUpdatedDate", catalog.CDTDate, card1},
+		{"LocalReferenceNumber", catalog.CDTText, card1},
+		{"NationalReferenceNumber", catalog.CDTIdentifier, card1},
+		{"Reference", catalog.CDTText, card1},
+		{"RelatedReference", catalog.CDTText, card1},
+		{"Result", catalog.CDTCode, card1},
+		{"Status", catalog.CDTCode, card1},
+		{"Type", catalog.CDTCode, card1},
+	})
+	if err != nil {
+		return err
+	}
+	attachment, err := addACC("Attachment", []bccSpec{
+		{"Description", catalog.CDTText, card01},
+		{"File", catalog.CDTBinaryObject, card01},
+		{"Location", catalog.CDTText, card01},
+		{"Size", catalog.CDTMeasure, card01},
+	})
+	if err != nil {
+		return err
+	}
+	party, err := addACC("Party", []bccSpec{
+		{"Description", catalog.CDTText, card01},
+		{"Role", catalog.CDTText, card01},
+		{"Type", catalog.CDTCode, card01},
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := application.AddASCC("Applicant", party, card1, uml.AggregationComposite); err != nil {
+		return err
+	}
+
+	// Reconstructed ACCs (not shown in the paper's diagram).
+	signature, err := addACC("Signature", []bccSpec{
+		{"Date", catalog.CDTDateTime, card01},
+		{"PersonName", catalog.CDTText, card01},
+		{"SignatureData", catalog.CDTBinaryObject, card01},
+	})
+	if err != nil {
+		return err
+	}
+	address, err := addACC("Address", []bccSpec{
+		{"Country", catalog.CDTCode, card01},
+		{"PostalCode", catalog.CDTText, card01},
+		{"Street", catalog.CDTText, card01},
+	})
+	if err != nil {
+		return err
+	}
+	person, err := addACC("Person", []bccSpec{
+		{"Designation", catalog.CDTIdentifier, card1},
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := person.AddASCC("Personal", signature, card1, uml.AggregationComposite); err != nil {
+		return err
+	}
+	// Shared aggregation: generated as a global element + ref (Figure 7).
+	if _, err := person.AddASCC("Assigned", address, card1, uml.AggregationShared); err != nil {
+		return err
+	}
+	registration, err := addACC("Registration", []bccSpec{
+		{"Type", catalog.CDTCode, card01},
+	})
+	if err != nil {
+		return err
+	}
+	permit, err := addACC("Permit", []bccSpec{
+		{"ClosureReason", catalog.CDTText, card01},
+		{"IsClosedFootpath", catalog.CDTCode, card01},
+		{"IsClosedRoad", catalog.CDTCode, card01},
+		{"SafetyPrecaution", catalog.CDTText, card01},
+	})
+	if err != nil {
+		return err
+	}
+	// ASCC order fixes the ASBIE order of Figure 6.
+	if _, err := permit.AddASCC("Included", attachment, card0N, uml.AggregationComposite); err != nil {
+		return err
+	}
+	if _, err := permit.AddASCC("Current", application, card01, uml.AggregationComposite); err != nil {
+		return err
+	}
+	if _, err := permit.AddASCC("Included", registration, card1, uml.AggregationComposite); err != nil {
+		return err
+	}
+	if _, err := permit.AddASCC("Billing", person, card01, uml.AggregationComposite); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (f *HoardingPermit) buildBIEs() error {
+	find := f.Model.FindACC
+	qdt := f.Model.FindQDT
+
+	var err error
+	// Figure 4 package 2: CommonAggregates.
+	f.SignatureABIE, err = core.DeriveABIE(f.Common, find("Signature"), core.Restriction{
+		BBIEs: []core.BBIEPick{{BCC: "Date"}, {BCC: "PersonName"}, {BCC: "SignatureData"}},
+	})
+	if err != nil {
+		return err
+	}
+	f.AddressABIE, err = core.DeriveABIE(f.Common, find("Address"), core.Restriction{
+		BBIEs: []core.BBIEPick{{BCC: "Country", Rename: "CountryName", Type: qdt("CountryType")}},
+	})
+	if err != nil {
+		return err
+	}
+	f.PersonIdent, err = core.DeriveABIE(f.Common, find("Person"), core.Restriction{
+		Name:  "Person_Identification",
+		BBIEs: []core.BBIEPick{{BCC: "Designation"}},
+		ASBIEs: []core.ASBIEPick{
+			{Role: "Personal", Target: f.SignatureABIE},
+			{Role: "Assigned", Target: f.AddressABIE},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	f.ApplicationBIE, err = core.DeriveABIE(f.Common, find("Application"), core.Restriction{
+		// Only CreatedDate and Type survive the restriction of the eleven
+		// BCCs, both made optional.
+		BBIEs: []core.BBIEPick{
+			{BCC: "CreatedDate", Card: &card01},
+			{BCC: "Type", Card: &card01},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	f.AttachmentBIE, err = core.DeriveABIE(f.Common, find("Attachment"), core.Restriction{
+		BBIEs: []core.BBIEPick{{BCC: "Description"}},
+	})
+	if err != nil {
+		return err
+	}
+	// Figure 4: LocalLawAggregates with Registration.
+	f.RegistrationBIE, err = core.DeriveABIE(f.Local, find("Registration"), core.Restriction{
+		BBIEs: []core.BBIEPick{{BCC: "Type", Type: qdt("RegistrationType_Code")}},
+	})
+	return err
+}
+
+func (f *HoardingPermit) buildDocument() error {
+	find := f.Model.FindACC
+	qdt := f.Model.FindQDT
+	var err error
+	f.Permit, err = core.DeriveABIE(f.DOCLib, find("Permit"), core.Restriction{
+		Name: "HoardingPermit",
+		BBIEs: []core.BBIEPick{
+			{BCC: "ClosureReason"},
+			{BCC: "IsClosedFootpath", Type: qdt("Indicator_Code")},
+			{BCC: "IsClosedRoad", Type: qdt("Indicator_Code")},
+			{BCC: "SafetyPrecaution"},
+		},
+		ASBIEs: []core.ASBIEPick{
+			{Role: "Included", TargetACC: "Attachment", Target: f.AttachmentBIE},
+			{Role: "Current", Target: f.ApplicationBIE},
+			{Role: "Included", TargetACC: "Registration", Target: f.RegistrationBIE},
+			{Role: "Billing", Target: f.PersonIdent},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	// HoardingDetails is defined in the DOCLibrary but not referenced by
+	// the document; the generator must not emit it (Figure 6 contains no
+	// HoardingDetailsType).
+	_, err = core.DeriveABIE(f.DOCLib, find("Permit"), core.Restriction{
+		Name:  "HoardingDetails",
+		BBIEs: []core.BBIEPick{{BCC: "ClosureReason", Rename: "Description"}},
+	})
+	return err
+}
+
+// MustBuildHoardingPermit panics on construction errors; for benchmarks
+// and examples where the fixture is known-good.
+func MustBuildHoardingPermit() *HoardingPermit {
+	f, err := BuildHoardingPermit()
+	if err != nil {
+		panic(fmt.Sprintf("fixture: %v", err))
+	}
+	return f
+}
+
+// MustBuildFigure1 panics on construction errors.
+func MustBuildFigure1() *Figure1 {
+	f, err := BuildFigure1()
+	if err != nil {
+		panic(fmt.Sprintf("fixture: %v", err))
+	}
+	return f
+}
+
+// SyntheticSpec sizes a synthetic model for scaling benchmarks.
+type SyntheticSpec struct {
+	// ABIEs is the number of aggregate entities in the BIE library.
+	ABIEs int
+	// BBIEsPerABIE is the number of basic entities per aggregate.
+	BBIEsPerABIE int
+	// Chain links each ABIE to the next with an ASBIE, forming one long
+	// document; otherwise the ABIEs are independent.
+	Chain bool
+}
+
+// BuildSynthetic constructs a well-formed model of the requested size:
+// the standard catalog, one CC library with matching ACCs and one BIE
+// library with spec.ABIEs aggregates, plus a DOC library whose root
+// references the first ABIE.
+func BuildSynthetic(spec SyntheticSpec) (*core.Model, *core.ABIE, error) {
+	if spec.ABIEs < 1 {
+		spec.ABIEs = 1
+	}
+	if spec.BBIEsPerABIE < 1 {
+		spec.BBIEsPerABIE = 1
+	}
+	m := core.NewModel("Synthetic")
+	biz := m.AddBusinessLibrary("Synthetic")
+	cat, err := catalog.Install(biz)
+	if err != nil {
+		return nil, nil, err
+	}
+	ccLib := biz.AddLibrary(core.KindCCLibrary, "SynCC", "urn:syn:cc")
+	ccLib.Version = "1.0"
+	bieLib := biz.AddLibrary(core.KindBIELibrary, "SynBIE", "urn:syn:bie")
+	bieLib.Version = "1.0"
+	docLib := biz.AddLibrary(core.KindDOCLibrary, "SynDoc", "urn:syn:doc")
+	docLib.Version = "1.0"
+
+	text := cat.CDT(catalog.CDTText)
+	accs := make([]*core.ACC, spec.ABIEs)
+	for i := range accs {
+		acc, err := ccLib.AddACC(fmt.Sprintf("Agg%04d", i))
+		if err != nil {
+			return nil, nil, err
+		}
+		for j := 0; j < spec.BBIEsPerABIE; j++ {
+			if _, err := acc.AddBCC(fmt.Sprintf("Field%03d", j), text, card01); err != nil {
+				return nil, nil, err
+			}
+		}
+		accs[i] = acc
+	}
+	if spec.Chain {
+		for i := 0; i+1 < len(accs); i++ {
+			if _, err := accs[i].AddASCC("Next", accs[i+1], card01, uml.AggregationComposite); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	abies := make([]*core.ABIE, spec.ABIEs)
+	for i := len(accs) - 1; i >= 0; i-- {
+		r := core.Restriction{Qualifier: "Syn"}
+		for j := 0; j < spec.BBIEsPerABIE; j++ {
+			r.BBIEs = append(r.BBIEs, core.BBIEPick{BCC: fmt.Sprintf("Field%03d", j)})
+		}
+		if spec.Chain && i+1 < len(accs) {
+			r.ASBIEs = append(r.ASBIEs, core.ASBIEPick{Role: "Next", Target: abies[i+1]})
+		}
+		abie, err := core.DeriveABIE(bieLib, accs[i], r)
+		if err != nil {
+			return nil, nil, err
+		}
+		abies[i] = abie
+	}
+	root, err := core.DeriveABIE(docLib, accs[0], core.Restriction{
+		Name:  "Document",
+		BBIEs: []core.BBIEPick{{BCC: "Field000"}},
+		ASBIEs: func() []core.ASBIEPick {
+			if spec.Chain && len(abies) > 1 {
+				return []core.ASBIEPick{{Role: "Next", Target: abies[1]}}
+			}
+			return nil
+		}(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, root, nil
+}

@@ -1,0 +1,111 @@
+package fixture
+
+import (
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/core"
+)
+
+func TestBuildFigure1(t *testing.T) {
+	f, err := BuildFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Person == nil || f.Address == nil || f.USPerson == nil || f.USAddress == nil {
+		t.Fatal("fixture handles nil")
+	}
+	if len(f.Person.BCCs) != 2 || len(f.Person.ASCCs) != 2 {
+		t.Errorf("Person = %d BCCs, %d ASCCs", len(f.Person.BCCs), len(f.Person.ASCCs))
+	}
+	if f.USAddress.FindBBIE("Country") != nil {
+		t.Error("US_Address must not keep Country")
+	}
+}
+
+func TestBuildHoardingPermit(t *testing.T) {
+	f, err := BuildHoardingPermit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Permit.Library() != f.DOCLib {
+		t.Error("HoardingPermit not in DOC library")
+	}
+	// The exact ASBIE order drives the Figure 6 element order.
+	roles := make([]string, len(f.Permit.ASBIEs))
+	for i, a := range f.Permit.ASBIEs {
+		roles[i] = a.Role + ">" + a.Target.Name
+	}
+	want := []string{
+		"Included>Attachment", "Current>Application",
+		"Included>Registration", "Billing>Person_Identification",
+	}
+	for i := range want {
+		if roles[i] != want[i] {
+			t.Errorf("ASBIE %d = %s, want %s", i, roles[i], want[i])
+		}
+	}
+}
+
+func TestMustHelpers(t *testing.T) {
+	if MustBuildFigure1() == nil || MustBuildHoardingPermit() == nil {
+		t.Fatal("must helpers returned nil")
+	}
+}
+
+func TestBuildSynthetic(t *testing.T) {
+	m, root, err := BuildSynthetic(SyntheticSpec{ABIEs: 7, BBIEsPerABIE: 3, Chain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root == nil || root.Name != "Document" {
+		t.Fatalf("root = %v", root)
+	}
+	bie := m.FindLibrary("SynBIE")
+	if len(bie.ABIEs) != 7 {
+		t.Errorf("ABIEs = %d", len(bie.ABIEs))
+	}
+	if len(bie.ABIEs[0].BBIEs) != 3 {
+		t.Errorf("BBIEs = %d", len(bie.ABIEs[0].BBIEs))
+	}
+	// Chain links each aggregate to the next.
+	first := bie.FindABIE("Syn_Agg0000")
+	if first == nil || len(first.ASBIEs) != 1 || first.ASBIEs[0].Target.Name != "Syn_Agg0001" {
+		t.Errorf("chain broken: %+v", first)
+	}
+	// Defaults clamp to 1.
+	m2, root2, err := BuildSynthetic(SyntheticSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root2 == nil || m2.FindLibrary("SynBIE") == nil {
+		t.Error("minimal synthetic broken")
+	}
+	// Unchained variant has no ASBIEs.
+	m3, _, err := BuildSynthetic(SyntheticSpec{ABIEs: 3, BBIEsPerABIE: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, abie := range m3.FindLibrary("SynBIE").ABIEs {
+		if len(abie.ASBIEs) != 0 {
+			t.Error("unchained synthetic has ASBIEs")
+		}
+	}
+}
+
+func TestSyntheticValidates(t *testing.T) {
+	m, _, err := BuildSynthetic(SyntheticSpec{ABIEs: 10, BBIEsPerABIE: 5, Chain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural sanity: every ABIE keeps its underlying ACC.
+	for _, lib := range m.Libraries() {
+		if lib.Kind != core.KindBIELibrary {
+			continue
+		}
+		for _, abie := range lib.ABIEs {
+			if abie.BasedOn == nil {
+				t.Errorf("ABIE %s has no basedOn", abie.Name)
+			}
+		}
+	}
+}

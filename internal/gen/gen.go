@@ -1,0 +1,511 @@
+// Package gen implements the paper's XSD generator (Section 4): starting
+// from a selected library — usually a DOCLibrary root element — it walks
+// every outgoing aggregation and composition connector, generates the
+// schema for the library and, recursively, for every other library whose
+// elements are used, wiring up imports, namespace prefixes and CCTS
+// annotations along the way.
+package gen
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/go-ccts/ccts/internal/core"
+	"github.com/go-ccts/ccts/internal/ndr"
+	"github.com/go-ccts/ccts/internal/uml"
+	"github.com/go-ccts/ccts/internal/xsd"
+)
+
+// ASBIEStyle selects which aggregation kind is generated as a global
+// element plus ref (Figure 7) rather than an inline local element.
+type ASBIEStyle int
+
+const (
+	// GlobalShared follows the paper's running example: shared (hollow
+	// diamond) aggregations are declared globally and referenced, while
+	// compositions become inline local elements. Default.
+	GlobalShared ASBIEStyle = iota
+	// GlobalComposite follows the paper's Section 4.1 prose ("If an ASBIE
+	// is connected by a composition the ASBIE is first declared globally")
+	// which contradicts its own example; provided for completeness.
+	GlobalComposite
+)
+
+// Options steer the generation run, mirroring the dialog of Figure 5.
+type Options struct {
+	// Annotate adds the CCTS documentation blocks to every generated
+	// construct.
+	Annotate bool
+	// Style selects the global-element rule; see ASBIEStyle.
+	Style ASBIEStyle
+	// SchemaLocationPrefix is prepended to file names in schemaLocation
+	// attributes (e.g. "../schemas").
+	SchemaLocationPrefix string
+	// Status receives progress messages during generation ("status
+	// messages are passed back to the user interface"); nil discards
+	// them.
+	Status func(string)
+}
+
+func (o Options) statusf(format string, args ...any) {
+	if o.Status != nil {
+		o.Status(fmt.Sprintf(format, args...))
+	}
+}
+
+// ErrPRIMLibrary is returned when schema generation is requested for a
+// PRIMLibrary; the paper: "For PRIMLibraries currently no schema
+// generation mechanism is implemented. Where primitive types are needed
+// (String, Integer ...) the build-in types of the XSD schema are taken."
+var ErrPRIMLibrary = errors.New("gen: PRIMLibraries generate no schema; XSD built-in types are used instead")
+
+// Result is the outcome of one generation run: the schema for the
+// requested library plus every transitively imported schema.
+type Result struct {
+	// Schemas maps generated file names to schema documents.
+	Schemas map[string]*xsd.Schema
+	// Order lists the file names in deterministic generation order; the
+	// requested library's schema is first.
+	Order []string
+	// RootElement is the selected root element name for DOCLibrary runs.
+	RootElement string
+}
+
+// Schema returns the generated schema for the given library, or nil.
+func (r *Result) Schema(lib *core.Library) *xsd.Schema {
+	return r.Schemas[ndr.SchemaFileName(lib)]
+}
+
+// Primary returns the schema of the requested library.
+func (r *Result) Primary() *xsd.Schema {
+	if len(r.Order) == 0 {
+		return nil
+	}
+	return r.Schemas[r.Order[0]]
+}
+
+// GenerateDocument generates the schema set for a DOCLibrary, starting at
+// the named root ABIE — the workflow of Figure 5: "Because a DOCLibrary
+// can contain many aggregate business information entities, the user must
+// first select a root element for the schema."
+func GenerateDocument(lib *core.Library, rootABIE string, opts Options) (*Result, error) {
+	if lib == nil {
+		return nil, errors.New("gen: nil library")
+	}
+	if lib.Kind != core.KindDOCLibrary {
+		return nil, fmt.Errorf("gen: GenerateDocument requires a DOCLibrary, got %s %q", lib.Kind, lib.Name)
+	}
+	root := lib.FindABIE(rootABIE)
+	if root == nil {
+		return nil, fmt.Errorf("gen: DOCLibrary %q has no ABIE %q to use as root", lib.Name, rootABIE)
+	}
+	g, err := newGenerator(opts)
+	if err != nil {
+		return nil, err
+	}
+	opts.statusf("generating document schema for %s (root %s)", lib.Name, rootABIE)
+	schema, err := g.schemaFor(lib)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.emitABIETree(schema, lib, root); err != nil {
+		return nil, err
+	}
+	// The selected root element: exactly one global element declaration.
+	rootName := ndr.XMLName(root.Name)
+	schema.Elements = append(schema.Elements, &xsd.Element{
+		Name: rootName,
+		Type: g.prefixes.Prefix(lib) + ":" + ndr.TypeName(root.Name),
+	})
+	g.result.RootElement = rootName
+	opts.statusf("generated %d schema(s)", len(g.result.Order))
+	return g.result, nil
+}
+
+// Generate generates the schema set for a BIE, CDT, QDT or ENUM library
+// (all elements of the library, plus imported schemas). PRIMLibraries
+// return ErrPRIMLibrary; DOCLibraries must use GenerateDocument.
+func Generate(lib *core.Library, opts Options) (*Result, error) {
+	if lib == nil {
+		return nil, errors.New("gen: nil library")
+	}
+	g, err := newGenerator(opts)
+	if err != nil {
+		return nil, err
+	}
+	opts.statusf("generating schema for %s %s", lib.Kind, lib.Name)
+	switch lib.Kind {
+	case core.KindPRIMLibrary:
+		return nil, ErrPRIMLibrary
+	case core.KindDOCLibrary:
+		return nil, fmt.Errorf("gen: DOCLibrary %q requires GenerateDocument with a root element", lib.Name)
+	case core.KindCCLibrary:
+		return nil, fmt.Errorf("gen: CCLibrary %q: core components are conceptual; schemas are generated from business information entities", lib.Name)
+	case core.KindBIELibrary, core.KindCDTLibrary, core.KindQDTLibrary, core.KindENUMLibrary:
+		if _, err := g.ensureLibrary(lib); err != nil {
+			return nil, err
+		}
+		opts.statusf("generated %d schema(s)", len(g.result.Order))
+		return g.result, nil
+	default:
+		return nil, fmt.Errorf("gen: unsupported library kind %v", lib.Kind)
+	}
+}
+
+type generator struct {
+	opts     Options
+	prefixes *ndr.PrefixAllocator
+	result   *Result
+	// schemas tracks the schema per library; done marks fully generated
+	// libraries (guarding against reference cycles).
+	schemas map[*core.Library]*xsd.Schema
+	done    map[*core.Library]bool
+	// emitted tracks ABIE types already written, and globals the global
+	// element declarations per schema document.
+	emitted map[*core.ABIE]bool
+	globals map[*xsd.Schema]map[string]bool
+}
+
+func newGenerator(opts Options) (*generator, error) {
+	return &generator{
+		opts:     opts,
+		prefixes: ndr.NewPrefixAllocator(),
+		result: &Result{
+			Schemas: map[string]*xsd.Schema{},
+		},
+		schemas: map[*core.Library]*xsd.Schema{},
+		done:    map[*core.Library]bool{},
+		emitted: map[*core.ABIE]bool{},
+		globals: map[*xsd.Schema]map[string]bool{},
+	}, nil
+}
+
+// schemaFor returns (creating on first use) the schema document of a
+// library and registers it in the result.
+func (g *generator) schemaFor(lib *core.Library) (*xsd.Schema, error) {
+	if s, ok := g.schemas[lib]; ok {
+		return s, nil
+	}
+	if lib.BaseURN == "" {
+		return nil, fmt.Errorf("gen: library %q has no baseURN tagged value; cannot determine target namespace", lib.Name)
+	}
+	s := xsd.NewSchema(lib.BaseURN)
+	s.Version = lib.Version
+	prefix := g.prefixes.Prefix(lib)
+	if err := s.DeclareNamespace(prefix, lib.BaseURN); err != nil {
+		return nil, err
+	}
+	if g.opts.Annotate {
+		if err := s.DeclareNamespace("ccts", xsd.CCTSDocumentationNamespace); err != nil {
+			return nil, err
+		}
+	}
+	g.schemas[lib] = s
+	file := ndr.SchemaFileName(lib)
+	if _, dup := g.result.Schemas[file]; dup {
+		return nil, fmt.Errorf("gen: two libraries produce the same schema file %q", file)
+	}
+	g.result.Schemas[file] = s
+	g.result.Order = append(g.result.Order, file)
+	return s, nil
+}
+
+// ensureLibrary generates the full schema of a library (all its
+// elements) exactly once and returns its schema.
+func (g *generator) ensureLibrary(lib *core.Library) (*xsd.Schema, error) {
+	s, err := g.schemaFor(lib)
+	if err != nil {
+		return nil, err
+	}
+	if g.done[lib] {
+		return s, nil
+	}
+	g.done[lib] = true
+	g.opts.statusf("processing %s %s", lib.Kind, lib.Name)
+	switch lib.Kind {
+	case core.KindBIELibrary:
+		for _, abie := range lib.ABIEs {
+			if err := g.emitABIETree(s, lib, abie); err != nil {
+				return nil, err
+			}
+		}
+	case core.KindCDTLibrary:
+		for _, cdt := range lib.CDTs {
+			g.emitCDT(s, cdt)
+		}
+	case core.KindQDTLibrary:
+		for _, qdt := range lib.QDTs {
+			if err := g.emitQDT(s, lib, qdt); err != nil {
+				return nil, err
+			}
+		}
+	case core.KindENUMLibrary:
+		for _, e := range lib.ENUMs {
+			g.emitENUM(s, e)
+		}
+	default:
+		return nil, fmt.Errorf("gen: cannot generate %s %q as an import", lib.Kind, lib.Name)
+	}
+	return s, nil
+}
+
+// importLibrary makes sure target's schema exists (generating it fully)
+// and records an import in the using schema; it returns the prefix to
+// reference target's types with.
+func (g *generator) importLibrary(using *xsd.Schema, usingLib, target *core.Library) (string, error) {
+	prefix := g.prefixes.Prefix(target)
+	if target == usingLib {
+		return prefix, nil
+	}
+	if _, err := g.ensureLibrary(target); err != nil {
+		return "", err
+	}
+	if err := using.DeclareNamespace(prefix, target.BaseURN); err != nil {
+		return "", err
+	}
+	loc := ndr.SchemaLocation(g.opts.SchemaLocationPrefix, target)
+	for _, imp := range using.Imports {
+		if imp.Namespace == target.BaseURN {
+			return prefix, nil
+		}
+	}
+	using.Imports = append(using.Imports, xsd.Import{
+		Namespace:      target.BaseURN,
+		SchemaLocation: loc,
+	})
+	return prefix, nil
+}
+
+// globalStyle reports whether an ASBIE of the given aggregation kind is
+// declared globally and referenced.
+func (g *generator) globalStyle(kind uml.AggregationKind) bool {
+	if g.opts.Style == GlobalComposite {
+		return kind == uml.AggregationComposite
+	}
+	return kind == uml.AggregationShared
+}
+
+// emitABIETree writes the complexType for an ABIE into the schema of the
+// library owning it, then recurses into the ASBIE targets ("the Add-In
+// starts at the selected root element and pursues every outgoing
+// aggregation and composition connector").
+func (g *generator) emitABIETree(s *xsd.Schema, lib *core.Library, abie *core.ABIE) error {
+	if g.emitted[abie] {
+		return nil
+	}
+	if abie.Library() != lib {
+		// Foreign ABIE: generate its whole library and import it; the
+		// recursion continues there.
+		_, err := g.importLibrary(s, lib, abie.Library())
+		return err
+	}
+	g.emitted[abie] = true
+
+	ct := &xsd.ComplexType{Name: ndr.TypeName(abie.Name)}
+	if g.opts.Annotate {
+		ct.Annotation = ndr.ABIEAnnotation(abie)
+	}
+	s.ComplexTypes = append(s.ComplexTypes, ct)
+
+	// BBIE elements first (Figure 6: "first the elements for the BBIEs
+	// are defined").
+	for _, bbie := range abie.BBIEs {
+		typeRef, err := g.dataTypeRef(s, lib, bbie.Type)
+		if err != nil {
+			return fmt.Errorf("gen: BBIE %q of ABIE %q: %w", bbie.Name, abie.Name, err)
+		}
+		el := &xsd.Element{
+			Name:   ndr.XMLName(bbie.Name),
+			Type:   typeRef,
+			Occurs: occursOf(bbie.Card),
+		}
+		if g.opts.Annotate {
+			el.Annotation = ndr.BBIEAnnotation(bbie)
+		}
+		ct.Sequence = append(ct.Sequence, el)
+	}
+
+	// Then the ASBIEs emanating from the ABIE.
+	for _, asbie := range abie.ASBIEs {
+		if err := g.emitASBIE(s, lib, ct, asbie); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *generator) emitASBIE(s *xsd.Schema, lib *core.Library, ct *xsd.ComplexType, asbie *core.ASBIE) error {
+	target := asbie.Target
+	targetLib := target.Library()
+	prefix, err := g.importLibrary(s, lib, targetLib)
+	if err != nil {
+		return fmt.Errorf("gen: ASBIE %q of ABIE %q: %w", asbie.Role, asbie.Owner().Name, err)
+	}
+	// Local targets recurse within this schema.
+	if targetLib == lib {
+		if err := g.emitABIETree(s, lib, target); err != nil {
+			return err
+		}
+	}
+	name := ndr.ASBIEElementName(asbie.Role, target.Name)
+	typeRef := prefix + ":" + ndr.TypeName(target.Name)
+
+	if g.globalStyle(asbie.Kind) {
+		// Figure 7: declare the element globally, then reference it.
+		if g.globals[s] == nil {
+			g.globals[s] = map[string]bool{}
+		}
+		if !g.globals[s][name] {
+			g.globals[s][name] = true
+			global := &xsd.Element{Name: name, Type: typeRef}
+			if g.opts.Annotate {
+				global.Annotation = ndr.ASBIEAnnotation(asbie)
+			}
+			s.Elements = append(s.Elements, global)
+		}
+		ownPrefix := g.prefixes.Prefix(lib)
+		ct.Sequence = append(ct.Sequence, &xsd.Element{
+			Ref:    ownPrefix + ":" + name,
+			Occurs: occursOf(asbie.Card),
+		})
+		return nil
+	}
+
+	el := &xsd.Element{
+		Name:   name,
+		Type:   typeRef,
+		Occurs: occursOf(asbie.Card),
+	}
+	if g.opts.Annotate {
+		el.Annotation = ndr.ASBIEAnnotation(asbie)
+	}
+	ct.Sequence = append(ct.Sequence, el)
+	return nil
+}
+
+// dataTypeRef resolves a BBIE/BCC data type to a prefixed type reference,
+// importing the defining library when foreign.
+func (g *generator) dataTypeRef(s *xsd.Schema, lib *core.Library, dt core.DataType) (string, error) {
+	dtLib := dt.DataTypeLibrary()
+	if dtLib == nil {
+		return "", fmt.Errorf("data type %q has no owning library", dt.TypeName())
+	}
+	prefix, err := g.importLibrary(s, lib, dtLib)
+	if err != nil {
+		return "", err
+	}
+	return prefix + ":" + ndr.TypeName(dt.TypeName()), nil
+}
+
+// emitCDT writes the Figure 8 pattern: a complexType with simpleContent
+// extending the XSD built-in of the content component's primitive, with
+// the supplementary components as attributes.
+func (g *generator) emitCDT(s *xsd.Schema, cdt *core.CDT) {
+	ext := &xsd.Extension{Base: ndr.ContentBuiltin(cdt)}
+	for i := range cdt.Sups {
+		sup := &cdt.Sups[i]
+		ext.Attributes = append(ext.Attributes, &xsd.Attribute{
+			Name: ndr.XMLName(sup.Name),
+			Type: supAttributeType(sup),
+			Use:  ndr.AttributeUse(sup.Card),
+		})
+	}
+	ct := &xsd.ComplexType{
+		Name:          ndr.TypeName(cdt.Name),
+		SimpleContent: &xsd.SimpleContent{Extension: ext},
+	}
+	if g.opts.Annotate {
+		ct.Annotation = ndr.CDTAnnotation(cdt)
+	}
+	s.ComplexTypes = append(s.ComplexTypes, ct)
+}
+
+// supAttributeType maps a supplementary component's type to an attribute
+// type; primitives use XSD built-ins.
+func supAttributeType(sup *core.SupplementaryComponent) string {
+	if prim, ok := sup.Type.(*core.PRIM); ok {
+		return ndr.XSDBuiltin(prim)
+	}
+	// ENUM-restricted SUPs fall back to xsd:token at the attribute level;
+	// the QDT emitter upgrades them to the enum simple type when it can
+	// import the ENUM library.
+	return "xsd:token"
+}
+
+// emitQDT writes a qualified data type: like a CDT, but when the content
+// component is restricted by an enumeration the enumeration's simpleType
+// becomes the extension base ("the complexType of the enumeration is
+// used for the restriction").
+func (g *generator) emitQDT(s *xsd.Schema, lib *core.Library, qdt *core.QDT) error {
+	var base string
+	switch t := qdt.Content.Type.(type) {
+	case *core.ENUM:
+		prefix, err := g.importLibrary(s, lib, t.Library())
+		if err != nil {
+			return fmt.Errorf("gen: QDT %q: %w", qdt.Name, err)
+		}
+		base = prefix + ":" + ndr.TypeName(t.Name)
+	case *core.PRIM:
+		// Inherit the representation-term refinement of the underlying
+		// CDT (Date -> xsd:date), falling back to the primitive mapping.
+		if qdt.BasedOn != nil {
+			base = ndr.ContentBuiltin(qdt.BasedOn)
+		} else {
+			base = ndr.XSDBuiltin(t)
+		}
+	default:
+		return fmt.Errorf("gen: QDT %q has unsupported content type %T", qdt.Name, qdt.Content.Type)
+	}
+	ext := &xsd.Extension{Base: base}
+	for i := range qdt.Sups {
+		sup := &qdt.Sups[i]
+		typeRef := ""
+		if en, ok := sup.Type.(*core.ENUM); ok {
+			prefix, err := g.importLibrary(s, lib, en.Library())
+			if err != nil {
+				return fmt.Errorf("gen: QDT %q SUP %q: %w", qdt.Name, sup.Name, err)
+			}
+			typeRef = prefix + ":" + ndr.TypeName(en.Name)
+		} else {
+			typeRef = supAttributeType(sup)
+		}
+		ext.Attributes = append(ext.Attributes, &xsd.Attribute{
+			Name: ndr.XMLName(sup.Name),
+			Type: typeRef,
+			Use:  ndr.AttributeUse(sup.Card),
+		})
+	}
+	ct := &xsd.ComplexType{
+		Name:          ndr.TypeName(qdt.Name),
+		SimpleContent: &xsd.SimpleContent{Extension: ext},
+	}
+	if g.opts.Annotate {
+		ct.Annotation = ndr.QDTAnnotation(qdt)
+	}
+	s.ComplexTypes = append(s.ComplexTypes, ct)
+	return nil
+}
+
+// emitENUM writes the enumeration pattern: "The simpleType contains a
+// restriction with base xsd:token. The values are then defined in
+// enumeration tags."
+func (g *generator) emitENUM(s *xsd.Schema, e *core.ENUM) {
+	st := &xsd.SimpleType{
+		Name: ndr.TypeName(e.Name),
+		Restriction: &xsd.Restriction{
+			Base:         "xsd:token",
+			Enumerations: e.LiteralNames(),
+		},
+	}
+	if g.opts.Annotate {
+		st.Annotation = ndr.ENUMAnnotation(e)
+	}
+	s.SimpleTypes = append(s.SimpleTypes, st)
+}
+
+// occursOf maps a CCTS cardinality to an XSD occurrence range, emitting
+// minOccurs/maxOccurs only when they differ from the defaults (Figure 6
+// shows bare elements for [1..1]).
+func occursOf(card core.Cardinality) xsd.Occurs {
+	return xsd.Occurs{Min: card.Lower, Max: card.Upper}
+}

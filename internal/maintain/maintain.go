@@ -1,0 +1,262 @@
+// Package maintain implements the "core components management console"
+// the paper plans as tool support beyond generation: bulk namespace
+// updates ("updating all namespaces"), safe renames, where-used
+// analysis, and detection of unused components — the maintenance
+// operations a growing shared library needs ("even experienced core
+// component modelers often get lost in a model because the
+// interdependencies between CDTs, QDTs etc. blur with the increasing
+// complexity").
+package maintain
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/go-ccts/ccts/internal/core"
+)
+
+// UpdateNamespaces rewrites the baseURN of every library whose URN
+// starts with oldPrefix, replacing that prefix with newPrefix. It
+// returns the number of libraries changed.
+func UpdateNamespaces(m *core.Model, oldPrefix, newPrefix string) int {
+	changed := 0
+	for _, lib := range m.Libraries() {
+		if strings.HasPrefix(lib.BaseURN, oldPrefix) {
+			lib.BaseURN = newPrefix + strings.TrimPrefix(lib.BaseURN, oldPrefix)
+			changed++
+		}
+	}
+	return changed
+}
+
+// BumpVersions sets the version of every library in the model and
+// returns the number of libraries changed.
+func BumpVersions(m *core.Model, version string) int {
+	changed := 0
+	for _, lib := range m.Libraries() {
+		if lib.Version != version {
+			lib.Version = version
+			changed++
+		}
+	}
+	return changed
+}
+
+// Usage records one reference to a model element.
+type Usage struct {
+	// User is the qualified name of the referencing element.
+	User string
+	// Via describes the reference kind ("BBIE type", "ASBIE target",
+	// "basedOn", "BCC type", "content component", ...).
+	Via string
+}
+
+// String renders the usage for reports.
+func (u Usage) String() string { return u.User + " (" + u.Via + ")" }
+
+// WhereUsed lists every reference to the named element (ACC, ABIE, CDT,
+// QDT or ENUM). References are reported in model order.
+func WhereUsed(m *core.Model, name string) []Usage {
+	var out []Usage
+	add := func(user, via string) {
+		out = append(out, Usage{User: user, Via: via})
+	}
+	for _, lib := range m.Libraries() {
+		for _, acc := range lib.ACCs {
+			for _, bcc := range acc.BCCs {
+				if bcc.Type != nil && bcc.Type.Name == name {
+					add(lib.Name+"::"+acc.Name+"."+bcc.Name, "BCC type")
+				}
+			}
+			for _, ascc := range acc.ASCCs {
+				if ascc.Target != nil && ascc.Target.Name == name {
+					add(lib.Name+"::"+acc.Name+"."+ascc.Role, "ASCC target")
+				}
+			}
+		}
+		for _, abie := range lib.ABIEs {
+			if abie.BasedOn != nil && abie.BasedOn.Name == name {
+				add(lib.Name+"::"+abie.Name, "basedOn")
+			}
+			for _, bbie := range abie.BBIEs {
+				if bbie.Type != nil && bbie.Type.TypeName() == name {
+					add(lib.Name+"::"+abie.Name+"."+bbie.Name, "BBIE type")
+				}
+			}
+			for _, asbie := range abie.ASBIEs {
+				if asbie.Target != nil && asbie.Target.Name == name {
+					add(lib.Name+"::"+abie.Name+"."+asbie.Role, "ASBIE target")
+				}
+			}
+		}
+		for _, qdt := range lib.QDTs {
+			if qdt.BasedOn != nil && qdt.BasedOn.Name == name {
+				add(lib.Name+"::"+qdt.Name, "basedOn")
+			}
+			if qdt.Content.Type != nil && qdt.Content.Type.TypeName() == name {
+				add(lib.Name+"::"+qdt.Name, "content component")
+			}
+			for _, sup := range qdt.Sups {
+				if sup.Type != nil && sup.Type.TypeName() == name {
+					add(lib.Name+"::"+qdt.Name+"."+sup.Name, "supplementary component")
+				}
+			}
+		}
+		for _, cdt := range lib.CDTs {
+			if cdt.Content.Type != nil && cdt.Content.Type.TypeName() == name {
+				add(lib.Name+"::"+cdt.Name, "content component")
+			}
+			for _, sup := range cdt.Sups {
+				if sup.Type != nil && sup.Type.TypeName() == name {
+					add(lib.Name+"::"+cdt.Name+"."+sup.Name, "supplementary component")
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Unused lists the elements never referenced anywhere: ACCs no ABIE is
+// based on and no ASCC targets, ABIEs no ASBIE targets that live outside
+// DOC libraries, data types no component uses, and enumerations no QDT
+// restricts. Results are sorted, each as "Kind Library::Name".
+func Unused(m *core.Model) []string {
+	used := map[any]bool{}
+	for _, lib := range m.Libraries() {
+		for _, acc := range lib.ACCs {
+			for _, bcc := range acc.BCCs {
+				used[core.DataType(bcc.Type)] = true
+			}
+			for _, ascc := range acc.ASCCs {
+				used[ascc.Target] = true
+			}
+		}
+		for _, abie := range lib.ABIEs {
+			used[abie.BasedOn] = true
+			for _, bbie := range abie.BBIEs {
+				used[bbie.Type] = true
+			}
+			for _, asbie := range abie.ASBIEs {
+				used[asbie.Target] = true
+			}
+		}
+		for _, qdt := range lib.QDTs {
+			used[core.DataType(qdt.BasedOn)] = true
+			used[qdt.Content.Type] = true
+			for _, sup := range qdt.Sups {
+				used[sup.Type] = true
+			}
+		}
+		for _, cdt := range lib.CDTs {
+			used[cdt.Content.Type] = true
+			for _, sup := range cdt.Sups {
+				used[sup.Type] = true
+			}
+		}
+	}
+	var out []string
+	for _, lib := range m.Libraries() {
+		for _, acc := range lib.ACCs {
+			if !used[acc] {
+				out = append(out, "ACC "+lib.Name+"::"+acc.Name)
+			}
+		}
+		for _, abie := range lib.ABIEs {
+			// Document roots are used by definition.
+			if lib.Kind != core.KindDOCLibrary && !used[abie] {
+				out = append(out, "ABIE "+lib.Name+"::"+abie.Name)
+			}
+		}
+		for _, cdt := range lib.CDTs {
+			if !used[core.DataType(cdt)] {
+				out = append(out, "CDT "+lib.Name+"::"+cdt.Name)
+			}
+		}
+		for _, qdt := range lib.QDTs {
+			if !used[core.DataType(qdt)] {
+				out = append(out, "QDT "+lib.Name+"::"+qdt.Name)
+			}
+		}
+		for _, e := range lib.ENUMs {
+			if !used[core.ComponentType(e)] {
+				out = append(out, "ENUM "+lib.Name+"::"+e.Name)
+			}
+		}
+		for _, p := range lib.PRIMs {
+			if !used[core.ComponentType(p)] {
+				out = append(out, "PRIM "+lib.Name+"::"+p.Name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RenameABIE renames an ABIE, checking name uniqueness in its library.
+// References follow automatically because the model is pointer-linked;
+// qualifier prefixes are a naming convention, so any unique name is
+// accepted.
+func RenameABIE(abie *core.ABIE, newName string) error {
+	if newName == "" {
+		return fmt.Errorf("maintain: empty name")
+	}
+	lib := abie.Library()
+	if lib != nil {
+		if other := lib.FindABIE(newName); other != nil && other != abie {
+			return fmt.Errorf("maintain: library %q already has an ABIE %q", lib.Name, newName)
+		}
+	}
+	abie.Name = newName
+	return nil
+}
+
+// RenameACC renames an ACC with the same uniqueness check.
+func RenameACC(acc *core.ACC, newName string) error {
+	if newName == "" {
+		return fmt.Errorf("maintain: empty name")
+	}
+	lib := acc.Library()
+	if lib != nil {
+		if other := lib.FindACC(newName); other != nil && other != acc {
+			return fmt.Errorf("maintain: library %q already has an ACC %q", lib.Name, newName)
+		}
+	}
+	acc.Name = newName
+	return nil
+}
+
+// Stats summarises a model for the console's overview display.
+type Stats struct {
+	BusinessLibraries int
+	Libraries         int
+	ACCs, BCCs, ASCCs int
+	ABIEs, BBIEs      int
+	ASBIEs            int
+	CDTs, QDTs        int
+	ENUMs, PRIMs      int
+}
+
+// Collect counts the model's elements.
+func Collect(m *core.Model) Stats {
+	var s Stats
+	s.BusinessLibraries = len(m.BusinessLibraries)
+	for _, lib := range m.Libraries() {
+		s.Libraries++
+		s.ACCs += len(lib.ACCs)
+		for _, acc := range lib.ACCs {
+			s.BCCs += len(acc.BCCs)
+			s.ASCCs += len(acc.ASCCs)
+		}
+		s.ABIEs += len(lib.ABIEs)
+		for _, abie := range lib.ABIEs {
+			s.BBIEs += len(abie.BBIEs)
+			s.ASBIEs += len(abie.ASBIEs)
+		}
+		s.CDTs += len(lib.CDTs)
+		s.QDTs += len(lib.QDTs)
+		s.ENUMs += len(lib.ENUMs)
+		s.PRIMs += len(lib.PRIMs)
+	}
+	return s
+}

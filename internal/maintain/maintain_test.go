@@ -1,0 +1,188 @@
+package maintain
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/fixture"
+)
+
+func TestUpdateNamespaces(t *testing.T) {
+	f := fixture.MustBuildHoardingPermit()
+	old := "urn:au:gov:vic:easybiz"
+	changed := UpdateNamespaces(f.Model, old, "urn:au:gov:vic:easybiz:v2")
+	if changed != 6 {
+		t.Errorf("changed = %d, want 6 (the easybiz libraries)", changed)
+	}
+	if f.DOCLib.BaseURN != "urn:au:gov:vic:easybiz:v2:data:draft:EB005-HoardingPermit" {
+		t.Errorf("DOC URN = %q", f.DOCLib.BaseURN)
+	}
+	// Catalog URNs are untouched.
+	if !strings.HasPrefix(f.Catalog.CDTLibrary.BaseURN, "un:unece") {
+		t.Errorf("CDT URN touched: %q", f.Catalog.CDTLibrary.BaseURN)
+	}
+	if UpdateNamespaces(f.Model, "urn:no:such:prefix", "x") != 0 {
+		t.Error("no-op update should change nothing")
+	}
+}
+
+func TestBumpVersions(t *testing.T) {
+	f := fixture.MustBuildHoardingPermit()
+	n := BumpVersions(f.Model, "2.0")
+	if n != 8 {
+		t.Errorf("changed = %d, want 8", n)
+	}
+	for _, lib := range f.Model.Libraries() {
+		if lib.Version != "2.0" {
+			t.Errorf("library %s version = %q", lib.Name, lib.Version)
+		}
+	}
+	if BumpVersions(f.Model, "2.0") != 0 {
+		t.Error("idempotent bump should change nothing")
+	}
+}
+
+func TestWhereUsed(t *testing.T) {
+	f := fixture.MustBuildHoardingPermit()
+
+	// The Code CDT is used by many BCCs and as QDT base.
+	uses := WhereUsed(f.Model, "Code")
+	if len(uses) < 5 {
+		t.Fatalf("Code uses = %d: %v", len(uses), uses)
+	}
+	vias := map[string]bool{}
+	for _, u := range uses {
+		vias[u.Via] = true
+		if u.String() == "" {
+			t.Error("empty usage string")
+		}
+	}
+	for _, want := range []string{"BCC type", "basedOn"} {
+		if !vias[want] {
+			t.Errorf("missing via %q in %v", want, uses)
+		}
+	}
+
+	// The Address ACC is targeted by an ASCC and based-on by an ABIE.
+	uses = WhereUsed(f.Model, "Address")
+	vias = map[string]bool{}
+	for _, u := range uses {
+		vias[u.Via] = true
+	}
+	for _, want := range []string{"ASCC target", "basedOn", "ASBIE target"} {
+		if !vias[want] {
+			t.Errorf("missing via %q in %v", want, uses)
+		}
+	}
+
+	// Enumerations are used as content components.
+	uses = WhereUsed(f.Model, "CountryType_Code")
+	if len(uses) != 1 || uses[0].Via != "content component" {
+		t.Errorf("CountryType_Code uses = %v", uses)
+	}
+
+	// The String primitive backs CON and SUP components.
+	uses = WhereUsed(f.Model, "String")
+	vias = map[string]bool{}
+	for _, u := range uses {
+		vias[u.Via] = true
+	}
+	if !vias["content component"] || !vias["supplementary component"] {
+		t.Errorf("String uses incomplete: %v", uses)
+	}
+
+	if got := WhereUsed(f.Model, "Nonexistent"); got != nil {
+		t.Errorf("phantom uses: %v", got)
+	}
+}
+
+func TestUnused(t *testing.T) {
+	f := fixture.MustBuildHoardingPermit()
+	unused := Unused(f.Model)
+	// The fixture uses Party (via Application's ASCC), so Party is used;
+	// several catalog CDTs and primitives are unused.
+	joined := strings.Join(unused, "\n")
+	for _, want := range []string{
+		"CDT coredatatypes::Numeric",  // never referenced in the fixture
+		"PRIM PrimitiveTypes::Double", // never referenced
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("unused list missing %q:\n%s", want, joined)
+		}
+	}
+	for _, mustNot := range []string{
+		"ACC CandidateCoreComponents::Party",        // ASCC target
+		"ABIE CommonAggregates::Application",        // ASBIE target
+		"ABIE EB005-HoardingPermit::HoardingPermit", // doc root
+		"CDT coredatatypes::Code",
+		"ENUM EnumerationTypes::CountryType_Code",
+	} {
+		if strings.Contains(joined, mustNot) {
+			t.Errorf("%q wrongly reported unused", mustNot)
+		}
+	}
+	// Sorted.
+	for i := 1; i < len(unused); i++ {
+		if unused[i-1] > unused[i] {
+			t.Fatalf("not sorted at %d: %q > %q", i, unused[i-1], unused[i])
+		}
+	}
+}
+
+func TestRename(t *testing.T) {
+	f := fixture.MustBuildHoardingPermit()
+
+	// Renaming an ABIE follows through to references automatically.
+	if err := RenameABIE(f.AttachmentBIE, "Enclosure"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Permit.ASBIEs[0].Target.Name != "Enclosure" {
+		t.Error("rename did not propagate to ASBIE target")
+	}
+	if f.Permit.ASBIEs[0].ElementName() != "IncludedEnclosure" {
+		t.Errorf("element name = %q", f.Permit.ASBIEs[0].ElementName())
+	}
+
+	// Collisions and empty names are rejected.
+	if err := RenameABIE(f.AttachmentBIE, "Signature"); err == nil {
+		t.Error("collision rename must fail")
+	}
+	if err := RenameABIE(f.AttachmentBIE, ""); err == nil {
+		t.Error("empty rename must fail")
+	}
+	// Renaming to its own name is fine.
+	if err := RenameABIE(f.AttachmentBIE, "Enclosure"); err != nil {
+		t.Errorf("self-rename failed: %v", err)
+	}
+
+	acc := f.Model.FindACC("Attachment")
+	if err := RenameACC(acc, "Enclosure"); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenameACC(acc, "Party"); err == nil {
+		t.Error("ACC collision rename must fail")
+	}
+	if err := RenameACC(acc, ""); err == nil {
+		t.Error("empty ACC rename must fail")
+	}
+}
+
+func TestCollect(t *testing.T) {
+	f := fixture.MustBuildHoardingPermit()
+	s := Collect(f.Model)
+	if s.BusinessLibraries != 1 || s.Libraries != 8 {
+		t.Errorf("libraries = %+v", s)
+	}
+	if s.ACCs != 8 || s.ABIEs != 8 {
+		t.Errorf("aggregates = %+v", s)
+	}
+	if s.BCCs != 30 {
+		t.Errorf("BCCs = %d", s.BCCs)
+	}
+	if s.ASBIEs != 6 {
+		t.Errorf("ASBIEs = %d", s.ASBIEs)
+	}
+	if s.CDTs != 13 || s.PRIMs != 9 || s.ENUMs != 2 || s.QDTs != 4 {
+		t.Errorf("data types = %+v", s)
+	}
+}

@@ -1,0 +1,280 @@
+// Package ndr implements the UN/CEFACT XML Naming and Design Rules as
+// applied by the paper's XSD generator (Section 4): XML name derivation,
+// the "Type" suffix for complex types, compound ASBIE element names (role
+// name + target ABIE name), required/optional attribute use for
+// supplementary components, target namespaces from the baseURN tagged
+// value, user-defined and auto-numbered namespace prefixes (cdt1, qdt1,
+// bie2, ...), schema file naming, the primitive-to-XSD-builtin mapping
+// and the CCTS annotation blocks.
+package ndr
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/go-ccts/ccts/internal/catalog"
+	"github.com/go-ccts/ccts/internal/core"
+	"github.com/go-ccts/ccts/internal/xsd"
+)
+
+// XMLName turns a model element name into a legal XML NCName: spaces and
+// dots are removed, other illegal characters become underscores, and a
+// leading non-letter is prefixed with an underscore. Names like
+// Person_Identification pass through unchanged, matching Figure 6.
+func XMLName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9', r == '-':
+			if b.Len() == 0 {
+				b.WriteByte('_') // NCNames cannot start with a digit or hyphen
+			}
+			b.WriteRune(r)
+		case r == ' ', r == '.':
+			// removed entirely
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// TypeName derives the complex/simple type name: the XML name plus the
+// Type suffix ("For every aggregate business information entity a
+// complexType is defined which is named after the business entity plus a
+// Type postfix").
+func TypeName(name string) string { return XMLName(name) + "Type" }
+
+// ASBIEElementName composes the element name of an ASBIE: "the role name
+// of the ASBIE aggregation plus the name of the target ABIE" —
+// Included + Attachment = IncludedAttachment, Billing +
+// Person_Identification = BillingPerson_Identification.
+func ASBIEElementName(role, targetABIE string) string {
+	return XMLName(role) + XMLName(targetABIE)
+}
+
+// AttributeUse maps a supplementary component cardinality to the XSD
+// attribute use: lower bound 1 is required, 0 is optional (Figure 8).
+func AttributeUse(card core.Cardinality) string {
+	if card.Lower >= 1 {
+		return "required"
+	}
+	return "optional"
+}
+
+// primToXSD maps CCTS primitives to XML Schema built-in types ("Where
+// primitive types are needed (String, Integer ...) the build-in types of
+// the XSD schema are taken").
+var primToXSD = map[string]string{
+	catalog.PrimBinary:       "xsd:base64Binary",
+	catalog.PrimBoolean:      "xsd:boolean",
+	catalog.PrimDecimal:      "xsd:decimal",
+	catalog.PrimDouble:       "xsd:double",
+	catalog.PrimFloat:        "xsd:float",
+	catalog.PrimInteger:      "xsd:integer",
+	catalog.PrimString:       "xsd:string",
+	catalog.PrimTimeDuration: "xsd:duration",
+	catalog.PrimTimePoint:    "xsd:dateTime",
+}
+
+// XSDBuiltin returns the XML Schema built-in type for a CCTS primitive.
+// Unknown primitives map to xsd:string, the most permissive value space.
+func XSDBuiltin(prim *core.PRIM) string {
+	if t, ok := primToXSD[prim.Name]; ok {
+		return t
+	}
+	return "xsd:string"
+}
+
+// ContentBuiltin returns the XSD built-in for a CDT's content component.
+// The representation term refines the TimePoint primitive: the Date and
+// Time CDTs (secondary representation terms of Date Time) map to xsd:date
+// and xsd:time rather than xsd:dateTime, per the NDR.
+func ContentBuiltin(cdt *core.CDT) string {
+	prim, ok := cdt.Content.Type.(*core.PRIM)
+	if !ok {
+		return "xsd:string"
+	}
+	if prim.Name == catalog.PrimTimePoint {
+		switch cdt.Name {
+		case catalog.CDTDate:
+			return "xsd:date"
+		case catalog.CDTTime:
+			return "xsd:time"
+		}
+	}
+	return XSDBuiltin(prim)
+}
+
+// prefixFamily names the auto-prefix family per library kind; the number
+// appended "is generated automatically to distinguish between multiple
+// ... schemas imported into a DOCLibrary schema" (bie2 in Figure 6).
+var prefixFamily = map[core.LibraryKind]string{
+	core.KindCCLibrary:   "cc",
+	core.KindBIELibrary:  "bie",
+	core.KindCDTLibrary:  "cdt",
+	core.KindQDTLibrary:  "qdt",
+	core.KindENUMLibrary: "enum",
+	core.KindPRIMLibrary: "prim",
+	core.KindDOCLibrary:  "doc",
+}
+
+// PrefixAllocator assigns namespace prefixes to libraries during one
+// generation run. A library's user-chosen NamespacePrefix tagged value
+// wins; otherwise the family prefix with a per-family counter is used.
+// The counter advances for user-prefixed libraries too, which is what
+// makes the paper's LocalLawAggregates come out as bie2 although
+// CommonAggregates uses a user prefix.
+type PrefixAllocator struct {
+	counters map[string]int
+	assigned map[*core.Library]string
+	used     map[string]bool
+}
+
+// NewPrefixAllocator returns an empty allocator.
+func NewPrefixAllocator() *PrefixAllocator {
+	return &PrefixAllocator{
+		counters: map[string]int{},
+		assigned: map[*core.Library]string{},
+		used:     map[string]bool{},
+	}
+}
+
+// Prefix returns the stable prefix for the library, assigning one on
+// first use.
+func (p *PrefixAllocator) Prefix(lib *core.Library) string {
+	if pre, ok := p.assigned[lib]; ok {
+		return pre
+	}
+	family := prefixFamily[lib.Kind]
+	p.counters[family]++
+	pre := lib.NamespacePrefix
+	if pre == "" {
+		pre = fmt.Sprintf("%s%d", family, p.counters[family])
+	}
+	// Disambiguate clashes (two libraries declaring the same user
+	// prefix).
+	for p.used[pre] {
+		p.counters[family]++
+		pre = fmt.Sprintf("%s%d", family, p.counters[family])
+	}
+	p.used[pre] = true
+	p.assigned[lib] = pre
+	return pre
+}
+
+// SchemaFileName derives the generated file name for a library's schema:
+// the sanitised library name plus the version, e.g.
+// "EB005-HoardingPermit_0.4.xsd". Libraries without a version omit the
+// suffix.
+func SchemaFileName(lib *core.Library) string {
+	name := fileSafe(lib.Name)
+	if lib.Version != "" {
+		name += "_" + fileSafe(lib.Version)
+	}
+	return name + ".xsd"
+}
+
+// SchemaLocation builds the schemaLocation for an import: the optional
+// directory prefix (as chosen in the generator dialog) plus the file
+// name.
+func SchemaLocation(dirPrefix string, lib *core.Library) string {
+	if dirPrefix == "" {
+		return SchemaFileName(lib)
+	}
+	return strings.TrimSuffix(dirPrefix, "/") + "/" + SchemaFileName(lib)
+}
+
+func fileSafe(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// The CCTS standard prescribes annotation fields per element type; the
+// generator emits them when annotations are enabled. "An ABIE for
+// instance, amongst others, has two mandatory annotation fields Version
+// and Definition."
+
+// ABIEAnnotation builds the CCTS documentation block of an ABIE type.
+func ABIEAnnotation(abie *core.ABIE) *xsd.Annotation {
+	version := abie.Version
+	if version == "" && abie.Library() != nil {
+		version = abie.Library().Version
+	}
+	entries := []xsd.DocEntry{
+		{Tag: "ComponentType", Value: "ABIE"},
+		{Tag: "DictionaryEntryName", Value: abie.DEN()},
+		{Tag: "Version", Value: version},
+		{Tag: "Definition", Value: abie.Definition},
+	}
+	if abie.BasedOn != nil {
+		entries = append(entries, xsd.DocEntry{Tag: "BasedOnACC", Value: abie.BasedOn.DEN()})
+	}
+	return &xsd.Annotation{Documentation: entries}
+}
+
+// BBIEAnnotation builds the CCTS documentation block of a BBIE element.
+func BBIEAnnotation(bbie *core.BBIE) *xsd.Annotation {
+	return &xsd.Annotation{Documentation: []xsd.DocEntry{
+		{Tag: "ComponentType", Value: "BBIE"},
+		{Tag: "DictionaryEntryName", Value: bbie.DEN()},
+		{Tag: "Cardinality", Value: bbie.Card.String()},
+		{Tag: "Definition", Value: bbie.Definition},
+	}}
+}
+
+// ASBIEAnnotation builds the CCTS documentation block of an ASBIE
+// element.
+func ASBIEAnnotation(asbie *core.ASBIE) *xsd.Annotation {
+	return &xsd.Annotation{Documentation: []xsd.DocEntry{
+		{Tag: "ComponentType", Value: "ASBIE"},
+		{Tag: "DictionaryEntryName", Value: asbie.DEN()},
+		{Tag: "Cardinality", Value: asbie.Card.String()},
+		{Tag: "Definition", Value: asbie.Definition},
+	}}
+}
+
+// CDTAnnotation builds the CCTS documentation block of a CDT type.
+func CDTAnnotation(cdt *core.CDT) *xsd.Annotation {
+	return &xsd.Annotation{Documentation: []xsd.DocEntry{
+		{Tag: "ComponentType", Value: "CDT"},
+		{Tag: "DictionaryEntryName", Value: cdt.DEN()},
+		{Tag: "Definition", Value: cdt.Definition},
+	}}
+}
+
+// QDTAnnotation builds the CCTS documentation block of a QDT type.
+func QDTAnnotation(qdt *core.QDT) *xsd.Annotation {
+	entries := []xsd.DocEntry{
+		{Tag: "ComponentType", Value: "QDT"},
+		{Tag: "DictionaryEntryName", Value: qdt.DEN()},
+		{Tag: "Definition", Value: qdt.Definition},
+	}
+	if qdt.BasedOn != nil {
+		entries = append(entries, xsd.DocEntry{Tag: "BasedOnCDT", Value: qdt.BasedOn.DEN()})
+	}
+	return &xsd.Annotation{Documentation: entries}
+}
+
+// ENUMAnnotation builds the CCTS documentation block of an enumeration
+// simple type.
+func ENUMAnnotation(e *core.ENUM) *xsd.Annotation {
+	return &xsd.Annotation{Documentation: []xsd.DocEntry{
+		{Tag: "ComponentType", Value: "ENUM"},
+		{Tag: "Definition", Value: e.Definition},
+	}}
+}

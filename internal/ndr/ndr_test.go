@@ -1,0 +1,223 @@
+package ndr
+
+import (
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/catalog"
+	"github.com/go-ccts/ccts/internal/core"
+	"github.com/go-ccts/ccts/internal/fixture"
+)
+
+func TestXMLName(t *testing.T) {
+	cases := map[string]string{
+		"HoardingPermit":        "HoardingPermit",
+		"Person_Identification": "Person_Identification",
+		"EB005-HoardingPermit":  "EB005-HoardingPermit",
+		"Date of Birth":         "DateofBirth",
+		"Code. Type":            "CodeType",
+		"9Lives":                "_9Lives",
+		"-lead":                 "_-lead",
+		"with:colon":            "with_colon",
+		"":                      "_",
+		"...":                   "_",
+	}
+	for in, want := range cases {
+		if got := XMLName(in); got != want {
+			t.Errorf("XMLName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTypeName(t *testing.T) {
+	if got := TypeName("HoardingPermit"); got != "HoardingPermitType" {
+		t.Errorf("TypeName = %q", got)
+	}
+	if got := TypeName("Indicator_Code"); got != "Indicator_CodeType" {
+		t.Errorf("TypeName = %q", got)
+	}
+}
+
+func TestASBIEElementName(t *testing.T) {
+	cases := []struct{ role, target, want string }{
+		{"Included", "Attachment", "IncludedAttachment"},
+		{"Current", "Application", "CurrentApplication"},
+		{"Included", "Registration", "IncludedRegistration"},
+		{"Billing", "Person_Identification", "BillingPerson_Identification"},
+		{"Assigned", "Address", "AssignedAddress"},
+	}
+	for _, c := range cases {
+		if got := ASBIEElementName(c.role, c.target); got != c.want {
+			t.Errorf("ASBIEElementName(%q,%q) = %q, want %q", c.role, c.target, got, c.want)
+		}
+	}
+}
+
+func TestAttributeUse(t *testing.T) {
+	if AttributeUse(core.Cardinality{Lower: 1, Upper: 1}) != "required" {
+		t.Error("1 should be required")
+	}
+	if AttributeUse(core.Cardinality{Lower: 0, Upper: 1}) != "optional" {
+		t.Error("0..1 should be optional")
+	}
+}
+
+func TestXSDBuiltin(t *testing.T) {
+	f := fixture.MustBuildFigure1()
+	cases := map[string]string{
+		catalog.PrimString:       "xsd:string",
+		catalog.PrimBoolean:      "xsd:boolean",
+		catalog.PrimInteger:      "xsd:integer",
+		catalog.PrimDecimal:      "xsd:decimal",
+		catalog.PrimDouble:       "xsd:double",
+		catalog.PrimFloat:        "xsd:float",
+		catalog.PrimBinary:       "xsd:base64Binary",
+		catalog.PrimTimeDuration: "xsd:duration",
+		catalog.PrimTimePoint:    "xsd:dateTime",
+	}
+	for prim, want := range cases {
+		if got := XSDBuiltin(f.Catalog.Prim(prim)); got != want {
+			t.Errorf("XSDBuiltin(%s) = %q, want %q", prim, got, want)
+		}
+	}
+	if got := XSDBuiltin(&core.PRIM{Name: "Custom"}); got != "xsd:string" {
+		t.Errorf("unknown primitive = %q, want xsd:string fallback", got)
+	}
+}
+
+func TestPrefixAllocator(t *testing.T) {
+	f := fixture.MustBuildHoardingPermit()
+	p := NewPrefixAllocator()
+	// First CDT library: cdt1. User prefixes win but advance the family
+	// counter, so the second BIE library is bie2 — Figure 6.
+	if got := p.Prefix(f.Catalog.CDTLibrary); got != "cdt1" {
+		t.Errorf("CDT prefix = %q", got)
+	}
+	if got := p.Prefix(f.QDTLib); got != "qdt1" {
+		t.Errorf("QDT prefix = %q", got)
+	}
+	if got := p.Prefix(f.Common); got != "commonAggregates" {
+		t.Errorf("CommonAggregates prefix = %q", got)
+	}
+	if got := p.Prefix(f.Local); got != "bie2" {
+		t.Errorf("LocalLaw prefix = %q", got)
+	}
+	if got := p.Prefix(f.DOCLib); got != "doc" {
+		t.Errorf("DOC prefix = %q", got)
+	}
+	// Stable across calls.
+	if p.Prefix(f.Common) != "commonAggregates" || p.Prefix(f.Local) != "bie2" {
+		t.Error("prefixes not stable")
+	}
+}
+
+func TestPrefixAllocatorClash(t *testing.T) {
+	m := core.NewModel("X")
+	biz := m.AddBusinessLibrary("B")
+	a := biz.AddLibrary(core.KindBIELibrary, "A", "urn:a")
+	a.NamespacePrefix = "shared"
+	b := biz.AddLibrary(core.KindBIELibrary, "B", "urn:b")
+	b.NamespacePrefix = "shared"
+	p := NewPrefixAllocator()
+	pa, pb := p.Prefix(a), p.Prefix(b)
+	if pa == pb {
+		t.Errorf("clashing prefixes not disambiguated: %q vs %q", pa, pb)
+	}
+	if pa != "shared" {
+		t.Errorf("first library should keep its prefix, got %q", pa)
+	}
+}
+
+func TestSchemaFileName(t *testing.T) {
+	f := fixture.MustBuildHoardingPermit()
+	if got := SchemaFileName(f.DOCLib); got != "EB005-HoardingPermit_0.4.xsd" {
+		t.Errorf("file name = %q", got)
+	}
+	noVersion := &core.Library{Name: "Plain"}
+	if got := SchemaFileName(noVersion); got != "Plain.xsd" {
+		t.Errorf("file name = %q", got)
+	}
+	weird := &core.Library{Name: "a b/c", Version: "1 0"}
+	if got := SchemaFileName(weird); got != "a_b_c_1_0.xsd" {
+		t.Errorf("file name = %q", got)
+	}
+}
+
+func TestSchemaLocation(t *testing.T) {
+	lib := &core.Library{Name: "X", Version: "1.0"}
+	if got := SchemaLocation("", lib); got != "X_1.0.xsd" {
+		t.Errorf("location = %q", got)
+	}
+	if got := SchemaLocation("../schemas", lib); got != "../schemas/X_1.0.xsd" {
+		t.Errorf("location = %q", got)
+	}
+	if got := SchemaLocation("../schemas/", lib); got != "../schemas/X_1.0.xsd" {
+		t.Errorf("trailing slash: %q", got)
+	}
+}
+
+func TestAnnotations(t *testing.T) {
+	f := fixture.MustBuildHoardingPermit()
+	abie := f.Permit
+	ann := ABIEAnnotation(abie)
+	tags := map[string]string{}
+	for _, d := range ann.Documentation {
+		tags[d.Tag] = d.Value
+	}
+	if tags["ComponentType"] != "ABIE" {
+		t.Errorf("ComponentType = %q", tags["ComponentType"])
+	}
+	// Version falls back to the library version.
+	if tags["Version"] != "0.4" {
+		t.Errorf("Version = %q", tags["Version"])
+	}
+	if tags["BasedOnACC"] != "Permit. Details" {
+		t.Errorf("BasedOnACC = %q", tags["BasedOnACC"])
+	}
+
+	bbie := abie.BBIEs[0]
+	bann := BBIEAnnotation(bbie)
+	found := false
+	for _, d := range bann.Documentation {
+		if d.Tag == "Cardinality" && d.Value == "0..1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("BBIE annotation missing cardinality: %+v", bann.Documentation)
+	}
+
+	asbie := abie.ASBIEs[0]
+	aann := ASBIEAnnotation(asbie)
+	if len(aann.Documentation) == 0 {
+		t.Error("ASBIE annotation empty")
+	}
+
+	cdt := f.Catalog.CDT(catalog.CDTCode)
+	cann := CDTAnnotation(cdt)
+	hasDEN := false
+	for _, d := range cann.Documentation {
+		if d.Tag == "DictionaryEntryName" && d.Value == "Code. Type" {
+			hasDEN = true
+		}
+	}
+	if !hasDEN {
+		t.Errorf("CDT annotation DEN missing: %+v", cann.Documentation)
+	}
+
+	qdt := f.Model.FindQDT("CountryType")
+	qann := QDTAnnotation(qdt)
+	hasBase := false
+	for _, d := range qann.Documentation {
+		if d.Tag == "BasedOnCDT" && d.Value == "Code. Type" {
+			hasBase = true
+		}
+	}
+	if !hasBase {
+		t.Errorf("QDT annotation BasedOnCDT missing: %+v", qann.Documentation)
+	}
+
+	e := f.Model.FindENUM("CountryType_Code")
+	if len(ENUMAnnotation(e).Documentation) == 0 {
+		t.Error("ENUM annotation empty")
+	}
+}

@@ -1,0 +1,545 @@
+package ocl
+
+import "fmt"
+
+// expr is a parsed OCL expression node.
+type expr interface {
+	exprNode()
+}
+
+type (
+	// literalExpr is an int, string, bool or null literal.
+	literalExpr struct {
+		value Value
+	}
+	// selfExpr references the context object.
+	selfExpr struct{}
+	// identExpr references an iterator variable (or, as a fallback, a
+	// property of self — OCL's implicit self).
+	identExpr struct {
+		name string
+	}
+	// propertyExpr navigates obj.name; over collections it performs
+	// OCL's implicit collect.
+	propertyExpr struct {
+		target expr
+		name   string
+	}
+	// callExpr invokes a dot operation: obj.op(args...), e.g.
+	// 'x'.concat('y'), s.size().
+	callExpr struct {
+		target expr
+		name   string
+		args   []expr
+	}
+	// arrowExpr invokes a collection operation: coll->op(args...),
+	// e.g. c->size(), c->includes(v).
+	arrowExpr struct {
+		target expr
+		name   string
+		args   []expr
+	}
+	// iterateExpr invokes an iterator operation with a body:
+	// coll->select(v | body).
+	iterateExpr struct {
+		target expr
+		name   string
+		// varName may be empty for the anonymous form
+		// coll->exists(body).
+		varName string
+		body    expr
+	}
+	// unaryExpr is 'not' or unary minus.
+	unaryExpr struct {
+		op      string
+		operand expr
+	}
+	// binaryExpr covers boolean, comparison and arithmetic operators.
+	binaryExpr struct {
+		op          string
+		left, right expr
+	}
+	// ifExpr is if-then-else-endif.
+	ifExpr struct {
+		cond, thenE, elseE expr
+	}
+	// letExpr is let v = value in body.
+	letExpr struct {
+		varName string
+		value   expr
+		body    expr
+	}
+	// collectionExpr is a Set{...}/Sequence{...}/Bag{...} literal. Set
+	// deduplicates its elements.
+	collectionExpr struct {
+		dedupe   bool
+		elements []expr
+	}
+)
+
+func (*literalExpr) exprNode()    {}
+func (*selfExpr) exprNode()       {}
+func (*identExpr) exprNode()      {}
+func (*propertyExpr) exprNode()   {}
+func (*callExpr) exprNode()       {}
+func (*arrowExpr) exprNode()      {}
+func (*iterateExpr) exprNode()    {}
+func (*unaryExpr) exprNode()      {}
+func (*binaryExpr) exprNode()     {}
+func (*ifExpr) exprNode()         {}
+func (*letExpr) exprNode()        {}
+func (*collectionExpr) exprNode() {}
+
+// Expression is a compiled, reusable OCL expression.
+type Expression struct {
+	src  string
+	root expr
+}
+
+// Source returns the original expression text.
+func (e *Expression) Source() string { return e.src }
+
+// String implements fmt.Stringer.
+func (e *Expression) String() string { return e.src }
+
+// iteratorOps are the collection operations taking a body expression.
+var iteratorOps = map[string]bool{
+	"select": true, "reject": true, "collect": true,
+	"exists": true, "forAll": true, "one": true, "any": true,
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+// Parse compiles an OCL expression.
+func Parse(src string) (*Expression, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	root, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, p.errorf(t, "unexpected trailing input %q", t.text)
+	}
+	return &Expression{src: src, root: root}, nil
+}
+
+// MustParse is Parse that panics on error, for static constraint tables.
+func MustParse(src string) *Expression {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(t token, format string, args ...any) error {
+	return fmt.Errorf("ocl: %s at offset %d in %q", fmt.Sprintf(format, args...), t.pos, p.src)
+}
+
+func (p *parser) acceptOp(text string) bool {
+	if t := p.peek(); t.kind == tokOp && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokIdent && t.text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(text string) error {
+	t := p.peek()
+	if t.kind == tokOp && t.text == text {
+		p.pos++
+		return nil
+	}
+	return p.errorf(t, "expected %q, found %q", text, t.text)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.peek()
+	if t.kind == tokIdent && t.text == kw {
+		p.pos++
+		return nil
+	}
+	return p.errorf(t, "expected %q, found %q", kw, t.text)
+}
+
+// parseExpr := implies (lowest precedence)
+func (p *parser) parseExpr() (expr, error) {
+	left, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("implies") {
+		right, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{op: "implies", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseOr() (expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptKeyword("or"):
+			op = "or"
+		case p.acceptKeyword("xor"):
+			op = "xor"
+		default:
+			return left, nil
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{op: op, left: left, right: right}
+	}
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{op: "and", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (expr, error) {
+	if p.acceptKeyword("not") {
+		operand, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: "not", operand: operand}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokOp {
+		switch t.text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.pos++
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &binaryExpr{op: t.text, left: left, right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || (t.text != "+" && t.text != "-") {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{op: t.text, left: left, right: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || (t.text != "*" && t.text != "/") {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{op: t.text, left: left, right: right}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	if p.acceptOp("-") {
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: "-", operand: operand}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("."):
+			name, args, hasArgs, err := p.parseMember()
+			if err != nil {
+				return nil, err
+			}
+			if hasArgs {
+				e = &callExpr{target: e, name: name, args: args}
+			} else {
+				e = &propertyExpr{target: e, name: name}
+			}
+		case p.acceptOp("->"):
+			next, err := p.parseArrow(e)
+			if err != nil {
+				return nil, err
+			}
+			e = next
+		default:
+			return e, nil
+		}
+	}
+}
+
+// parseMember parses an identifier optionally followed by an argument
+// list, after a '.'.
+func (p *parser) parseMember() (string, []expr, bool, error) {
+	t := p.advance()
+	if t.kind != tokIdent || keywords[t.text] {
+		return "", nil, false, p.errorf(t, "expected member name, found %q", t.text)
+	}
+	if !p.acceptOp("(") {
+		return t.text, nil, false, nil
+	}
+	args, err := p.parseArgs()
+	if err != nil {
+		return "", nil, false, err
+	}
+	return t.text, args, true, nil
+}
+
+// parseArrow parses a collection operation after '->'.
+func (p *parser) parseArrow(target expr) (expr, error) {
+	t := p.advance()
+	if t.kind != tokIdent {
+		return nil, p.errorf(t, "expected collection operation, found %q", t.text)
+	}
+	name := t.text
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	if iteratorOps[name] {
+		// Optional iterator variable: ident '|' body.
+		varName := ""
+		if v := p.peek(); v.kind == tokIdent && !keywords[v.text] {
+			if bar := p.toks[p.pos+1]; bar.kind == tokOp && bar.text == "|" {
+				varName = v.text
+				p.pos += 2
+			}
+		}
+		body, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &iterateExpr{target: target, name: name, varName: varName, body: body}, nil
+	}
+	args, err := p.parseArgs()
+	if err != nil {
+		return nil, err
+	}
+	return &arrowExpr{target: target, name: name, args: args}, nil
+}
+
+// parseArgs parses a possibly empty comma-separated argument list and the
+// closing parenthesis.
+func (p *parser) parseArgs() ([]expr, error) {
+	if p.acceptOp(")") {
+		return nil, nil
+	}
+	var args []expr
+	for {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.acceptOp(",") {
+			continue
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return args, nil
+	}
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokInt:
+		p.pos++
+		n := 0
+		for _, c := range t.text {
+			n = n*10 + int(c-'0')
+		}
+		return &literalExpr{value: Int(n)}, nil
+	case tokString:
+		p.pos++
+		return &literalExpr{value: String(t.text)}, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			p.pos++
+			return &literalExpr{value: Bool(true)}, nil
+		case "false":
+			p.pos++
+			return &literalExpr{value: Bool(false)}, nil
+		case "null":
+			p.pos++
+			return &literalExpr{value: Null()}, nil
+		case "self":
+			p.pos++
+			return &selfExpr{}, nil
+		case "let":
+			p.pos++
+			v := p.advance()
+			if v.kind != tokIdent || keywords[v.text] {
+				return nil, p.errorf(v, "expected variable name after let, found %q", v.text)
+			}
+			if err := p.expectOp("="); err != nil {
+				return nil, err
+			}
+			value, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("in"); err != nil {
+				return nil, err
+			}
+			body, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &letExpr{varName: v.text, value: value, body: body}, nil
+		case "if":
+			p.pos++
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("then"); err != nil {
+				return nil, err
+			}
+			thenE, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("else"); err != nil {
+				return nil, err
+			}
+			elseE, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("endif"); err != nil {
+				return nil, err
+			}
+			return &ifExpr{cond: cond, thenE: thenE, elseE: elseE}, nil
+		case "Set", "Sequence", "Bag":
+			if next := p.toks[p.pos+1]; next.kind == tokOp && next.text == "{" {
+				p.pos += 2
+				lit := &collectionExpr{dedupe: t.text == "Set"}
+				if p.acceptOp("}") {
+					return lit, nil
+				}
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					lit.elements = append(lit.elements, e)
+					if p.acceptOp(",") {
+						continue
+					}
+					if err := p.expectOp("}"); err != nil {
+						return nil, err
+					}
+					return lit, nil
+				}
+			}
+			p.pos++
+			return &identExpr{name: t.text}, nil
+		default:
+			if keywords[t.text] {
+				return nil, p.errorf(t, "unexpected keyword %q", t.text)
+			}
+			p.pos++
+			return &identExpr{name: t.text}, nil
+		}
+	case tokOp:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf(t, "unexpected token %q", t.text)
+}

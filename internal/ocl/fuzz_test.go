@@ -1,0 +1,38 @@
+package ocl
+
+import "testing"
+
+// FuzzParse checks that arbitrary input never panics the parser, and
+// that anything that parses also evaluates (or errors) without panicking
+// against an empty context.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"self.attributes->select(a | a.stereotype = 'CON')->size() = 1",
+		"let kinds = Set{'A', 'B'} in kinds->includes(self.stereotype)",
+		"if 1 < 2 then 'yes' else 'no' endif",
+		"not self.baseURN.oclIsUndefined() and self.baseURN <> ''",
+		"1 + 2 * (3 - 4) / 5",
+		"'str'.concat('ing').toUpperCase()",
+		"Sequence{1, 2, 3}->union(Set{})->sum()",
+		"self.x->forAll(a | a.y->exists(b | b = a))",
+		"((((",
+		"-> -> ->",
+		"'unterminated",
+		"\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		expr, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must evaluate without panicking.
+		_, _ = expr.Eval(nil)
+		// And the source accessor reflects the input.
+		if expr.Source() != src {
+			t.Errorf("Source() = %q, want %q", expr.Source(), src)
+		}
+	})
+}

@@ -1,0 +1,134 @@
+// Package ocl implements the subset of the Object Constraint Language
+// needed to express and evaluate the well-formedness rules of the UML
+// profile for core components. The paper names "a set of stereotypes,
+// tagged values and OCL constraints" as the profile's substance and a
+// full constraint evaluator as the top-priority future work; this package
+// provides that evaluator.
+//
+// Supported constructs: boolean logic (and/or/xor/not, implies),
+// comparisons, integer arithmetic, string and integer literals,
+// if-then-else-endif, property navigation with implicit collect over
+// collections, and the collection operations size, isEmpty, notEmpty,
+// includes, excludes, count, sum, first, last, select, reject, collect,
+// exists, forAll, one and any.
+//
+// Expressions are evaluated against application objects exposed through
+// the Object interface; internal/profile adapts UML model elements to it.
+package ocl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokString
+	tokOp     // punctuation and operators
+	tokErrTok // lexing error
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// keywords treated specially by the parser. They are matched
+// case-sensitively, as in OCL.
+var keywords = map[string]bool{
+	"and": true, "or": true, "xor": true, "not": true, "implies": true,
+	"if": true, "then": true, "else": true, "endif": true,
+	"true": true, "false": true, "self": true, "null": true,
+	"let": true, "in": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errorf(pos int, format string, args ...any) token {
+	return token{kind: tokErrTok, text: fmt.Sprintf(format, args...), pos: pos}
+}
+
+func (l *lexer) next() token {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}
+	}
+	start := l.pos
+	c := l.src[l.pos]
+
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) ||
+			unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}
+
+	case unicode.IsDigit(rune(c)):
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokInt, text: l.src[start:l.pos], pos: start}
+
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+			if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return l.errorf(start, "unterminated string literal")
+		}
+		l.pos++ // closing quote
+		return token{kind: tokString, text: b.String(), pos: start}
+
+	default:
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "->", "<=", ">=", "<>":
+			l.pos += 2
+			return token{kind: tokOp, text: two, pos: start}
+		}
+		switch c {
+		case '.', ',', '(', ')', '|', '=', '<', '>', '+', '-', '*', '/', '{', '}':
+			l.pos++
+			return token{kind: tokOp, text: string(c), pos: start}
+		}
+		return l.errorf(start, "unexpected character %q", string(c))
+	}
+}
+
+// lex tokenizes the whole source, returning an error for the first bad
+// token.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	var toks []token
+	for {
+		t := l.next()
+		if t.kind == tokErrTok {
+			return nil, fmt.Errorf("ocl: %s at offset %d", t.text, t.pos)
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

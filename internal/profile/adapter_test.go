@@ -1,0 +1,214 @@
+package profile
+
+import (
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/fixture"
+	"github.com/go-ccts/ccts/internal/ocl"
+	"github.com/go-ccts/ccts/internal/uml"
+)
+
+// evalProp navigates one property of an adapted element.
+func evalProp(t *testing.T, obj ocl.Object, name string) ocl.Value {
+	t.Helper()
+	v, ok := obj.OCLProperty(name)
+	if !ok {
+		t.Fatalf("%s has no property %q", obj.OCLTypeName(), name)
+	}
+	return v
+}
+
+func TestAdapterProperties(t *testing.T) {
+	f := fixture.MustBuildHoardingPermit()
+	um := Render(f.Model)
+
+	// Package adapter.
+	biz := um.FindPackage("EasyBiz")
+	pkgObj := Adapt(um, biz)
+	if pkgObj.OCLTypeName() != "Package" {
+		t.Errorf("type name = %q", pkgObj.OCLTypeName())
+	}
+	if s, _ := evalProp(t, pkgObj, "name").AsString(); s != "EasyBiz" {
+		t.Errorf("name = %q", s)
+	}
+	if s, _ := evalProp(t, pkgObj, "stereotype").AsString(); s != StBusinessLibrary {
+		t.Errorf("stereotype = %q", s)
+	}
+	if c, _ := evalProp(t, pkgObj, "packages").AsColl(); len(c) != 8 {
+		t.Errorf("packages = %d", len(c))
+	}
+	doc := um.FindPackage("EB005-HoardingPermit")
+	docObj := Adapt(um, doc)
+	if c, _ := evalProp(t, docObj, "classes").AsColl(); len(c) != 2 {
+		t.Errorf("classes = %d", len(c))
+	}
+	if c, _ := evalProp(t, docObj, "associations").AsColl(); len(c) != 4 {
+		t.Errorf("associations = %d", len(c))
+	}
+	if c, _ := evalProp(t, docObj, "dependencies").AsColl(); len(c) != 2 {
+		t.Errorf("dependencies = %d", len(c))
+	}
+	enums := um.FindPackage("EnumerationTypes")
+	if c, _ := evalProp(t, Adapt(um, enums), "enumerations").AsColl(); len(c) != 2 {
+		t.Errorf("enumerations = %d", len(c))
+	}
+
+	// Class adapter.
+	hp := um.FindClass("HoardingPermit")
+	clsObj := Adapt(um, hp)
+	if clsObj.OCLTypeName() != "Class" {
+		t.Errorf("type name = %q", clsObj.OCLTypeName())
+	}
+	if v, _ := evalProp(t, clsObj, "package").AsObject(); v == nil {
+		t.Error("package property nil")
+	}
+	if c, _ := evalProp(t, clsObj, "basedOn").AsColl(); len(c) != 1 {
+		t.Errorf("basedOn = %d", len(c))
+	}
+	if c, _ := evalProp(t, clsObj, "associations").AsColl(); len(c) != 4 {
+		t.Errorf("class associations = %d", len(c))
+	}
+	detached := &uml.Class{Name: "Detached"}
+	if v, _ := Adapt(um, detached).(*classObj).OCLProperty("package"); !v.IsNull() {
+		t.Error("detached class package should be null")
+	}
+
+	// Attribute adapter.
+	attr := hp.Attributes[0]
+	attrObj := Adapt(um, attr)
+	if attrObj.OCLTypeName() != "Attribute" {
+		t.Errorf("type name = %q", attrObj.OCLTypeName())
+	}
+	if s, _ := evalProp(t, attrObj, "typeName").AsString(); s != "Text" {
+		t.Errorf("typeName = %q", s)
+	}
+	if v, _ := evalProp(t, attrObj, "type").AsObject(); v == nil {
+		t.Error("type not resolved")
+	}
+	if n, _ := evalProp(t, attrObj, "lower").AsInt(); n != 0 {
+		t.Errorf("lower = %d", n)
+	}
+	if n, _ := evalProp(t, attrObj, "upper").AsInt(); n != 1 {
+		t.Errorf("upper = %d", n)
+	}
+	if v, _ := evalProp(t, attrObj, "owner").AsObject(); v == nil {
+		t.Error("owner nil")
+	}
+	dangling := &uml.Attribute{Name: "X", TypeName: "NoSuchType"}
+	if v, _ := Adapt(um, dangling).(*attributeObj).OCLProperty("type"); !v.IsNull() {
+		t.Error("unresolvable type should be null")
+	}
+	if v, _ := Adapt(um, dangling).(*attributeObj).OCLProperty("owner"); !v.IsNull() {
+		t.Error("detached attribute owner should be null")
+	}
+
+	// Association adapter.
+	assoc := um.AssociationsFrom(hp)[0]
+	asObj := Adapt(um, assoc)
+	if asObj.OCLTypeName() != "Association" {
+		t.Errorf("type name = %q", asObj.OCLTypeName())
+	}
+	if s, _ := evalProp(t, asObj, "role").AsString(); s != "Included" {
+		t.Errorf("role = %q", s)
+	}
+	if s, _ := evalProp(t, asObj, "kind").AsString(); s != "composite" {
+		t.Errorf("kind = %q", s)
+	}
+	if n, _ := evalProp(t, asObj, "upper").AsInt(); n != uml.Unbounded {
+		t.Errorf("upper = %d", n)
+	}
+	if v, _ := evalProp(t, asObj, "source").AsObject(); v == nil {
+		t.Error("source nil")
+	}
+	if v, _ := evalProp(t, asObj, "target").AsObject(); v == nil {
+		t.Error("target nil")
+	}
+	empty := &uml.Association{}
+	emptyObj := Adapt(um, empty).(*associationObj)
+	if v, _ := emptyObj.OCLProperty("source"); !v.IsNull() {
+		t.Error("nil source should be null")
+	}
+	if v, _ := emptyObj.OCLProperty("target"); !v.IsNull() {
+		t.Error("nil target should be null")
+	}
+	if _, ok := emptyObj.OCLProperty("bogus"); ok {
+		t.Error("unknown association property resolved")
+	}
+
+	// Dependency adapter.
+	dep := doc.Dependencies[0]
+	depObj := Adapt(um, dep)
+	if depObj.OCLTypeName() != "Dependency" {
+		t.Errorf("type name = %q", depObj.OCLTypeName())
+	}
+	if v, _ := evalProp(t, depObj, "client").AsObject(); v == nil {
+		t.Error("client nil")
+	}
+	if v, _ := evalProp(t, depObj, "supplier").AsObject(); v == nil {
+		t.Error("supplier nil")
+	}
+	if _, ok := depObj.OCLProperty("bogus"); ok {
+		t.Error("unknown dependency property resolved")
+	}
+
+	// Enumeration adapter.
+	country := um.FindEnumeration("CountryType_Code")
+	enObj := Adapt(um, country)
+	if enObj.OCLTypeName() != "Enumeration" {
+		t.Errorf("type name = %q", enObj.OCLTypeName())
+	}
+	lits, _ := evalProp(t, enObj, "literals").AsColl()
+	if len(lits) != 3 {
+		t.Fatalf("literals = %d", len(lits))
+	}
+	lit, _ := lits[0].AsObject()
+	if lit.OCLTypeName() != "EnumerationLiteral" {
+		t.Errorf("literal type = %q", lit.OCLTypeName())
+	}
+	if v, ok := lit.OCLProperty("name"); !ok {
+		t.Error("literal name missing")
+	} else if s, _ := v.AsString(); s != "USA" {
+		t.Errorf("literal name = %q", s)
+	}
+	if v, ok := lit.OCLProperty("value"); !ok {
+		t.Error("literal value missing")
+	} else if s, _ := v.AsString(); s != "United States of America" {
+		t.Errorf("literal value = %q", s)
+	}
+	if _, ok := lit.OCLProperty("bogus"); ok {
+		t.Error("unknown literal property resolved")
+	}
+	if v, _ := evalProp(t, enObj, "package").AsObject(); v == nil {
+		t.Error("enumeration package nil")
+	}
+	detachedEnum := &uml.Enumeration{Name: "X"}
+	if v, _ := Adapt(um, detachedEnum).(*enumerationObj).OCLProperty("package"); !v.IsNull() {
+		t.Error("detached enumeration package should be null")
+	}
+}
+
+func TestFindASCCFallbacks(t *testing.T) {
+	// findASCC resolves by unique-target fallback when the role was
+	// renamed without a basedOnRole tag.
+	f := fixture.MustBuildFigure1()
+	um := Render(f.Model)
+	// Strip the basedOnRole tags the renderer wrote.
+	var asbies []*uml.Association
+	um.WalkAssociations(func(a *uml.Association) bool {
+		if a.Stereotype == StASBIE {
+			asbies = append(asbies, a)
+		}
+		return true
+	})
+	if len(asbies) != 2 {
+		t.Fatalf("asbies = %d", len(asbies))
+	}
+	for _, a := range asbies {
+		delete(a.Tags, TagBasedOnRole)
+	}
+	// Two ASCCs point at Address, so the fallback is ambiguous and
+	// extraction fails.
+	if _, err := Extract(um); err == nil {
+		t.Error("ambiguous fallback should fail")
+	}
+}

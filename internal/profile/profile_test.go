@@ -1,0 +1,516 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/core"
+	"github.com/go-ccts/ccts/internal/fixture"
+	"github.com/go-ccts/ccts/internal/uml"
+)
+
+// TestFigure3ProfileInventory checks the paper's profile composition:
+// "eight libraries located in the Management package, six data types
+// located in the DataTypes package and nine stereotypes located in the
+// Common package".
+func TestFigure3ProfileInventory(t *testing.T) {
+	inv := ProfileInventory()
+	if got := len(inv.Management); got != 8 {
+		t.Errorf("Management stereotypes = %d, want 8 (%v)", got, inv.Management)
+	}
+	if got := len(inv.DataTypes); got != 6 {
+		t.Errorf("DataTypes stereotypes = %d, want 6 (%v)", got, inv.DataTypes)
+	}
+	if got := len(inv.Common); got != 9 {
+		t.Errorf("Common stereotypes = %d, want 9 (%v)", got, inv.Common)
+	}
+	for _, want := range []string{StABIE, StACC, StASBIE, StASCC, StBasedOn, StBBIE, StBCC, StBIE, StCC} {
+		found := false
+		for _, s := range inv.Common {
+			if s == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Common missing %q", want)
+		}
+	}
+	for _, tag := range []string{TagBaseURN, TagNamespacePrefix} {
+		found := false
+		for _, s := range inv.Tags {
+			if s == tag {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Tags missing %q", tag)
+		}
+	}
+}
+
+func TestLibraryStereotypeMapping(t *testing.T) {
+	for k := core.KindCCLibrary; k <= core.KindDOCLibrary; k++ {
+		st := LibraryStereotype(k)
+		if st == "" {
+			t.Errorf("no stereotype for %v", k)
+			continue
+		}
+		back, ok := KindForStereotype(st)
+		if !ok || back != k {
+			t.Errorf("round trip %v via %q failed", k, st)
+		}
+		if !IsLibraryStereotype(st) {
+			t.Errorf("IsLibraryStereotype(%q) = false", st)
+		}
+	}
+	if IsLibraryStereotype(StBusinessLibrary) {
+		t.Error("BusinessLibrary is not an element-containing library")
+	}
+	if _, ok := KindForStereotype("ACC"); ok {
+		t.Error("ACC is not a library stereotype")
+	}
+}
+
+func renderHoardingPermit(t *testing.T) (*fixture.HoardingPermit, *uml.Model) {
+	t.Helper()
+	f, err := fixture.BuildHoardingPermit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, Render(f.Model)
+}
+
+func TestRenderStructure(t *testing.T) {
+	f, um := renderHoardingPermit(t)
+
+	if um.Name != f.Model.Name {
+		t.Errorf("model name = %q", um.Name)
+	}
+	biz := um.FindPackage("EasyBiz")
+	if biz == nil || biz.Stereotype != StBusinessLibrary {
+		t.Fatalf("EasyBiz package = %v", biz)
+	}
+	// Seven libraries: PRIM, CDT, ENUM, QDT, CC, 2x BIE, DOC = 8 actually.
+	if got := len(biz.Packages); got != 8 {
+		t.Errorf("library packages = %d, want 8", got)
+	}
+	doc := um.FindPackage("EB005-HoardingPermit")
+	if doc == nil || doc.Stereotype != StDOCLibrary {
+		t.Fatalf("DOC package missing")
+	}
+	if doc.Tags.Get(TagBaseURN) != "urn:au:gov:vic:easybiz:data:draft:EB005-HoardingPermit" {
+		t.Errorf("DOC baseURN = %q", doc.Tags.Get(TagBaseURN))
+	}
+	if doc.Tags.Get(TagVersionIdentifier) != "0.4" {
+		t.Errorf("DOC version = %q", doc.Tags.Get(TagVersionIdentifier))
+	}
+	common := um.FindPackage("CommonAggregates")
+	if common.Tags.Get(TagNamespacePrefix) != "commonAggregates" {
+		t.Errorf("CommonAggregates prefix tag = %q", common.Tags.Get(TagNamespacePrefix))
+	}
+
+	hp := um.FindClass("HoardingPermit")
+	if hp == nil || hp.Stereotype != StABIE {
+		t.Fatalf("HoardingPermit class = %v", hp)
+	}
+	if got := len(hp.Attributes); got != 4 {
+		t.Errorf("HoardingPermit attributes = %d, want 4", got)
+	}
+	asbies := um.AssociationsFrom(hp)
+	if got := len(asbies); got != 4 {
+		t.Fatalf("HoardingPermit ASBIEs = %d, want 4", got)
+	}
+	wantRoles := []string{"Included", "Current", "Included", "Billing"}
+	for i, a := range asbies {
+		if a.TargetRole != wantRoles[i] {
+			t.Errorf("ASBIE %d role = %q, want %q", i, a.TargetRole, wantRoles[i])
+		}
+		if a.Stereotype != StASBIE {
+			t.Errorf("ASBIE %d stereotype = %q", i, a.Stereotype)
+		}
+	}
+	// basedOn dependency from HoardingPermit to Permit ACC.
+	deps := um.DependenciesFrom(hp)
+	if len(deps) != 1 || deps[0].Supplier.ClassifierName() != "Permit" {
+		t.Errorf("HoardingPermit basedOn = %v", deps)
+	}
+
+	// Shared aggregation rendered with the right kind.
+	pid := um.FindClass("Person_Identification")
+	var assigned *uml.Association
+	for _, a := range um.AssociationsFrom(pid) {
+		if a.TargetRole == "Assigned" {
+			assigned = a
+		}
+	}
+	if assigned == nil || assigned.Kind != uml.AggregationShared {
+		t.Errorf("Assigned aggregation kind = %v", assigned)
+	}
+
+	// QDT with enum content.
+	country := um.FindClass("CountryType")
+	if country == nil || country.Stereotype != StQDT {
+		t.Fatalf("CountryType class = %v", country)
+	}
+	cons := country.AttributesByStereotype(StCON)
+	if len(cons) != 1 || cons[0].TypeName != "CountryType_Code" {
+		t.Errorf("CountryType CON = %v", cons)
+	}
+	if deps := um.DependenciesFrom(country); len(deps) != 1 || deps[0].Supplier.ClassifierName() != "Code" {
+		t.Errorf("CountryType basedOn = %v", deps)
+	}
+
+	// Renamed BBIE records its underlying BCC. (Qualified name: the model
+	// also contains the ACC named Address.)
+	addr := um.FindClass("EasyBiz::CommonAggregates::Address")
+	var countryName *uml.Attribute
+	for _, a := range addr.Attributes {
+		if a.Name == "CountryName" {
+			countryName = a
+		}
+	}
+	if countryName == nil || countryName.Tags.Get(TagBasedOnProperty) != "Country" {
+		t.Errorf("CountryName basedOnProperty tag = %v", countryName)
+	}
+}
+
+func TestRenderedModelSatisfiesConstraints(t *testing.T) {
+	_, um := renderHoardingPermit(t)
+	violations := EvaluateConstraints(um)
+	for _, v := range violations {
+		t.Errorf("unexpected violation: %s", v)
+	}
+}
+
+func TestFigure1RoundTrip(t *testing.T) {
+	f, err := fixture.BuildFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	um := Render(f.Model)
+	if vs := EvaluateConstraints(um); len(vs) != 0 {
+		t.Fatalf("figure 1 render violates constraints: %v", vs)
+	}
+	back, err := Extract(um)
+	if err != nil {
+		t.Fatal(err)
+	}
+	person := back.FindACC("Person")
+	if person == nil {
+		t.Fatal("Person lost in round trip")
+	}
+	wantCC := []string{
+		"Person (ACC)",
+		"Person.DateofBirth (BCC)",
+		"Person.FirstName (BCC)",
+		"Person.Private.Address (ASCC)",
+		"Person.Work.Address (ASCC)",
+	}
+	got := person.EntitySet()
+	if len(got) != len(wantCC) {
+		t.Fatalf("entity set = %v", got)
+	}
+	for i := range wantCC {
+		if got[i] != wantCC[i] {
+			t.Errorf("entity %d = %q, want %q", i, got[i], wantCC[i])
+		}
+	}
+	usPerson := back.FindABIE("US_Person")
+	if usPerson == nil {
+		t.Fatal("US_Person lost in round trip")
+	}
+	if len(usPerson.ASBIEs) != 2 || usPerson.ASBIEs[0].Role != "US_Private" {
+		t.Errorf("US_Person ASBIEs = %v", usPerson.EntitySet())
+	}
+	// The renamed ASBIE still resolves to its ASCC.
+	if usPerson.ASBIEs[0].BasedOn == nil || usPerson.ASBIEs[0].BasedOn.Role != "Private" {
+		t.Error("US_Private basedOn ASCC lost")
+	}
+}
+
+func TestHoardingPermitRoundTrip(t *testing.T) {
+	f, um := renderHoardingPermit(t)
+	back, err := Extract(um)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare structural inventories.
+	if got, want := len(back.Libraries()), len(f.Model.Libraries()); got != want {
+		t.Errorf("libraries = %d, want %d", got, want)
+	}
+	hp := back.FindABIE("HoardingPermit")
+	if hp == nil {
+		t.Fatal("HoardingPermit lost")
+	}
+	if len(hp.BBIEs) != 4 || len(hp.ASBIEs) != 4 {
+		t.Errorf("HoardingPermit members = %d BBIEs, %d ASBIEs", len(hp.BBIEs), len(hp.ASBIEs))
+	}
+	if hp.ASBIEs[2].Target.Name != "Registration" || hp.ASBIEs[2].Card != (core.Cardinality{Lower: 1, Upper: 1}) {
+		t.Errorf("IncludedRegistration = %+v", hp.ASBIEs[2])
+	}
+	if hp.Library().Kind != core.KindDOCLibrary {
+		t.Errorf("HoardingPermit library kind = %v", hp.Library().Kind)
+	}
+	country := back.FindQDT("CountryType")
+	if country == nil || country.ContentEnum() == nil || country.ContentEnum().Name != "CountryType_Code" {
+		t.Errorf("CountryType round trip = %+v", country)
+	}
+	if len(country.Sups) != 1 || country.Sups[0].Name != "CodeListName" {
+		t.Errorf("CountryType SUPs = %v", country.Sups)
+	}
+	// Render again and compare constraint cleanliness.
+	um2 := Render(back)
+	if vs := EvaluateConstraints(um2); len(vs) != 0 {
+		t.Errorf("re-render violates constraints: %v", vs)
+	}
+	s1, s2 := um.Stats(), um2.Stats()
+	if s1 != s2 {
+		t.Errorf("round-trip stats differ: %+v vs %+v", s1, s2)
+	}
+}
+
+func violationIDs(vs []Violation) []string {
+	ids := make([]string, len(vs))
+	for i, v := range vs {
+		ids[i] = v.Constraint.ID
+	}
+	return ids
+}
+
+func hasViolation(vs []Violation, id string) bool {
+	for _, v := range vs {
+		if v.Constraint.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestConstraintViolations(t *testing.T) {
+	// Build a deliberately broken model and check the rule IDs fired.
+	um := uml.NewModel("Broken")
+	biz := um.AddPackage("Biz", StBusinessLibrary)
+
+	// CCLibrary without baseURN, containing an ABIE-stereotyped class and
+	// an enumeration.
+	cc := biz.AddPackage("CC", StCCLibrary)
+	abieInCC := cc.AddClass("Rogue", StABIE)
+	cc.AddEnumeration("E", StENUM) // no literals -> ENUM-1; in CC -> CCL-3
+
+	// CDT with two CONs and a SUP typed by a missing type.
+	cdtLib := biz.AddPackage("CDTs", StCDTLibrary)
+	cdtLib.Tags.Set(TagBaseURN, "urn:x:cdt")
+	code := cdtLib.AddClass("Code", StCDT)
+	code.AddAttribute("Content", StCON, "String", uml.One)
+	code.AddAttribute("Content2", StCON, "String", uml.One)
+	code.AddAttribute("Bad", StSUP, "Missing", uml.One)
+
+	// PRIM with attributes.
+	primLib := biz.AddPackage("Prims", StPRIMLibrary)
+	primLib.Tags.Set(TagBaseURN, "urn:x:prim")
+	str := primLib.AddClass("String", StPRIM)
+	str.AddAttribute("oops", StBCC, "String", uml.One)
+
+	// ABIE without basedOn; ASBIE connecting non-ABIEs; bad dependency.
+	bieLib := biz.AddPackage("BIEs", StBIELibrary)
+	bieLib.Tags.Set(TagBaseURN, "urn:x:bie")
+	lonely := bieLib.AddClass("Lonely", StABIE)
+	lonely.AddAttribute("X", StBBIE, "Code", uml.One)
+	bieLib.AddAssociation(&uml.Association{
+		Stereotype: StASBIE, Source: lonely, Target: abieInCC,
+		TargetRole: "", TargetMult: uml.One, Kind: uml.AggregationComposite,
+	})
+	bieLib.AddDependency(StBasedOn, lonely, code) // ABIE based on CDT -> DEP-1
+
+	vs := EvaluateConstraints(um)
+	for _, want := range []string{
+		"LIB-1",   // CC library without baseURN
+		"CCL-1",   // ABIE class inside CCLibrary
+		"CCL-3",   // enumeration inside CCLibrary
+		"ENUM-1",  // no literals
+		"CDT-1",   // two CONs
+		"CDT-4",   // SUP with unresolvable type
+		"PRIM-1",  // PRIM with attributes
+		"ASBIE-2", // empty role
+		"DEP-1",   // ABIE basedOn CDT
+	} {
+		if !hasViolation(vs, want) {
+			t.Errorf("expected violation %s, got %v", want, violationIDs(vs))
+		}
+	}
+	// ABIE-2 fires for Lonely? It has exactly one basedOn but to a CDT.
+	if !hasViolation(vs, "ABIE-2") {
+		t.Errorf("expected ABIE-2, got %v", violationIDs(vs))
+	}
+	// Violations render readably.
+	for _, v := range vs {
+		s := v.String()
+		if !strings.Contains(s, v.Constraint.ID) {
+			t.Errorf("violation string %q missing rule ID", s)
+		}
+	}
+}
+
+func TestCustomConstraints(t *testing.T) {
+	f, err := fixture.BuildHoardingPermit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	um := Render(f.Model)
+
+	// A house rule: every ABIE must carry a definition tagged value. The
+	// fixture sets none, so every ABIE violates it.
+	rule, err := NewConstraint("HOUSE-1", TargetClass, []string{StABIE},
+		"every ABIE carries a definition",
+		"not self.definition.oclIsUndefined() and self.definition <> ''")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := EvaluateConstraintsWith(um, []Constraint{rule})
+	houseHits := 0
+	for _, v := range vs {
+		if v.Constraint.ID == "HOUSE-1" {
+			houseHits++
+		}
+	}
+	if houseHits != 8 {
+		t.Errorf("HOUSE-1 violations = %d, want 8 (one per ABIE)", houseHits)
+	}
+	// The built-in table stays clean.
+	if len(EvaluateConstraints(um)) != 0 {
+		t.Error("built-in constraints unexpectedly violated")
+	}
+
+	// Bad inputs are rejected.
+	if _, err := NewConstraint("", TargetClass, nil, "x", "true"); err == nil {
+		t.Error("empty ID must fail")
+	}
+	if _, err := NewConstraint("X", TargetClass, nil, "x", "(("); err == nil {
+		t.Error("bad OCL must fail")
+	}
+}
+
+func TestConstraintsTableAccessor(t *testing.T) {
+	cs := Constraints()
+	if len(cs) == 0 {
+		t.Fatal("no constraints")
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		if c.ID == "" || c.Description == "" || c.Expr == nil {
+			t.Errorf("incomplete constraint %+v", c)
+		}
+		if seen[c.ID] {
+			t.Errorf("duplicate constraint ID %s", c.ID)
+		}
+		seen[c.ID] = true
+	}
+	// Mutating the returned slice must not affect the table.
+	cs[0].ID = "MUTATED"
+	if Constraints()[0].ID == "MUTATED" {
+		t.Error("Constraints() must return a copy")
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	// Library outside a business library.
+	um := uml.NewModel("X")
+	um.AddPackage("Stray", StCCLibrary)
+	if _, err := Extract(um); err == nil {
+		t.Error("stray library must fail extraction")
+	}
+
+	// Non-library package inside a business library.
+	um2 := uml.NewModel("Y")
+	biz := um2.AddPackage("Biz", StBusinessLibrary)
+	biz.AddPackage("Plain", "")
+	if _, err := Extract(um2); err == nil {
+		t.Error("non-library child must fail extraction")
+	}
+
+	// ABIE whose BBIE references a BCC the ACC does not have.
+	f, um3 := renderHoardingPermit(t)
+	_ = f
+	addr := um3.FindClass("EasyBiz::CommonAggregates::Address")
+	addr.AddAttribute("Invented", StBBIE, "Text", uml.One)
+	if _, err := Extract(um3); err == nil {
+		t.Error("invented BBIE must fail extraction")
+	}
+}
+
+func TestExtractQDTRestrictionChecked(t *testing.T) {
+	_, um := renderHoardingPermit(t)
+	// Add an invented SUP to a QDT: extraction re-checks the restriction.
+	country := um.FindClass("CountryType")
+	country.AddAttribute("InventedSup", StSUP, "String", uml.One)
+	if _, err := Extract(um); err == nil {
+		t.Error("QDT with invented SUP must fail extraction")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	f, err := fixture.BuildHoardingPermit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := core.NewContext().
+		With(core.CtxGeopolitical, "AU").
+		With(core.CtxOfficialConstraints, "VIC-LocalLaw")
+	f.RegistrationBIE.SetContext(ctx)
+
+	um := Render(f.Model)
+	cls := um.FindClass("EasyBiz::LocalLawAggregates::Registration")
+	if got := cls.Tags.Get(TagBusinessContext); got != ctx.String() {
+		t.Errorf("context tag = %q, want %q", got, ctx.String())
+	}
+	back, err := Extract(um)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := back.FindABIE("Registration")
+	if reg.Context().String() != ctx.String() {
+		t.Errorf("context lost: %q", reg.Context())
+	}
+	// Broken context tags abort extraction.
+	cls.Tags.Set(TagBusinessContext, "Weather=sunny")
+	if _, err := Extract(um); err == nil {
+		t.Error("invalid context tag must fail extraction")
+	}
+}
+
+func TestAdaptUnknown(t *testing.T) {
+	if Adapt(nil, 42) != nil {
+		t.Error("Adapt of unsupported element should be nil")
+	}
+}
+
+func TestSimpleName(t *testing.T) {
+	cases := map[string]string{
+		"Code":                                "Code",
+		"types:draft:coredatatypes:1.0::Code": "Code",
+		"A::B::C":                             "C",
+	}
+	for in, want := range cases {
+		if got := simpleName(in); got != want {
+			t.Errorf("simpleName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAdapterTaggedValueFallback(t *testing.T) {
+	_, um := renderHoardingPermit(t)
+	doc := um.FindPackage("EB005-HoardingPermit")
+	obj := Adapt(um, doc)
+	v, ok := obj.OCLProperty(TagBaseURN)
+	if !ok {
+		t.Fatal("baseURN tagged value not exposed")
+	}
+	if s, _ := v.AsString(); s != "urn:au:gov:vic:easybiz:data:draft:EB005-HoardingPermit" {
+		t.Errorf("baseURN = %q", s)
+	}
+	if _, ok := obj.OCLProperty("noSuchTag"); ok {
+		t.Error("unknown tag should not resolve")
+	}
+}

@@ -1,0 +1,205 @@
+// Package rdfs transforms core components models into RDF Schema
+// vocabularies (RDF/XML syntax), the second transfer syntax the paper
+// names as a future extension ("future extensions could include the
+// generation of RELAX NG [8] or RDF schemas [15] as well", citing the
+// W3C RDF Vocabulary Description Language 1.0).
+//
+// Mapping:
+//
+//	ACC            -> rdfs:Class
+//	ABIE           -> rdfs:Class, rdfs:subClassOf its ACC (restriction)
+//	BCC/BBIE       -> rdf:Property with rdfs:domain and a datatype range
+//	ASCC/ASBIE     -> rdf:Property with a class range
+//	CDT/QDT        -> rdfs:Datatype (QDT subclassing its CDT)
+//	ENUM           -> rdfs:Class plus one typed individual per literal
+//
+// Resources are identified as <baseURN>#<Name>; property names follow
+// the role/property term in lowerCamelCase.
+package rdfs
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"github.com/go-ccts/ccts/internal/core"
+)
+
+// Namespaces used by the generated vocabulary.
+const (
+	RDFNamespace  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFSNamespace = "http://www.w3.org/2000/01/rdf-schema#"
+	LiteralRange  = RDFSNamespace + "Literal"
+)
+
+// Generate renders the whole model as one RDF Schema document.
+func Generate(m *core.Model) (string, error) {
+	g := &generator{b: &strings.Builder{}}
+	g.b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	fmt.Fprintf(g.b, "<rdf:RDF xmlns:rdf=%q xmlns:rdfs=%q>\n", RDFNamespace, RDFSNamespace)
+	for _, lib := range m.Libraries() {
+		if lib.BaseURN == "" {
+			return "", fmt.Errorf("rdfs: library %q has no baseURN; cannot mint resource URIs", lib.Name)
+		}
+		switch lib.Kind {
+		case core.KindCCLibrary:
+			for _, acc := range lib.ACCs {
+				g.acc(acc)
+			}
+		case core.KindBIELibrary, core.KindDOCLibrary:
+			for _, abie := range lib.ABIEs {
+				g.abie(abie)
+			}
+		case core.KindCDTLibrary:
+			for _, cdt := range lib.CDTs {
+				g.datatype(uriFor(lib, cdt.Name), cdt.Name, cdt.Definition, "")
+			}
+		case core.KindQDTLibrary:
+			for _, qdt := range lib.QDTs {
+				base := ""
+				if qdt.BasedOn != nil {
+					base = uriFor(qdt.BasedOn.DataTypeLibrary(), qdt.BasedOn.Name)
+				}
+				g.datatype(uriFor(lib, qdt.Name), qdt.Name, qdt.Definition, base)
+			}
+		case core.KindENUMLibrary:
+			for _, e := range lib.ENUMs {
+				g.enum(lib, e)
+			}
+		case core.KindPRIMLibrary:
+			// Primitives map to rdfs:Literal ranges; no vocabulary terms.
+		}
+	}
+	g.b.WriteString("</rdf:RDF>\n")
+	return g.b.String(), nil
+}
+
+type generator struct {
+	b *strings.Builder
+}
+
+// uriFor mints the resource URI of an element.
+func uriFor(lib *core.Library, name string) string {
+	return lib.BaseURN + "#" + name
+}
+
+// propertyName lowers the first rune of a property/role term:
+// "ClosureReason" -> "closureReason".
+func propertyName(name string) string {
+	if name == "" {
+		return name
+	}
+	r := []rune(name)
+	r[0] = unicode.ToLower(r[0])
+	return string(r)
+}
+
+func (g *generator) class(uri, label, comment, subClassOf string) {
+	fmt.Fprintf(g.b, "  <rdfs:Class rdf:about=%q>\n", esc(uri))
+	fmt.Fprintf(g.b, "    <rdfs:label>%s</rdfs:label>\n", esc(label))
+	if comment != "" {
+		fmt.Fprintf(g.b, "    <rdfs:comment>%s</rdfs:comment>\n", esc(comment))
+	}
+	if subClassOf != "" {
+		fmt.Fprintf(g.b, "    <rdfs:subClassOf rdf:resource=%q/>\n", esc(subClassOf))
+	}
+	g.b.WriteString("  </rdfs:Class>\n")
+}
+
+func (g *generator) property(uri, label, domain, rng string) {
+	fmt.Fprintf(g.b, "  <rdf:Property rdf:about=%q>\n", esc(uri))
+	fmt.Fprintf(g.b, "    <rdfs:label>%s</rdfs:label>\n", esc(label))
+	fmt.Fprintf(g.b, "    <rdfs:domain rdf:resource=%q/>\n", esc(domain))
+	fmt.Fprintf(g.b, "    <rdfs:range rdf:resource=%q/>\n", esc(rng))
+	g.b.WriteString("  </rdf:Property>\n")
+}
+
+func (g *generator) datatype(uri, label, comment, base string) {
+	fmt.Fprintf(g.b, "  <rdfs:Datatype rdf:about=%q>\n", esc(uri))
+	fmt.Fprintf(g.b, "    <rdfs:label>%s</rdfs:label>\n", esc(label))
+	if comment != "" {
+		fmt.Fprintf(g.b, "    <rdfs:comment>%s</rdfs:comment>\n", esc(comment))
+	}
+	if base != "" {
+		fmt.Fprintf(g.b, "    <rdfs:subClassOf rdf:resource=%q/>\n", esc(base))
+	}
+	g.b.WriteString("  </rdfs:Datatype>\n")
+}
+
+func (g *generator) acc(acc *core.ACC) {
+	lib := acc.Library()
+	classURI := uriFor(lib, acc.Name)
+	g.class(classURI, acc.DEN(), acc.Definition, "")
+	for _, bcc := range acc.BCCs {
+		g.property(
+			uriFor(lib, acc.Name+"."+propertyName(bcc.Name)),
+			bcc.DEN(),
+			classURI,
+			uriFor(bcc.Type.DataTypeLibrary(), bcc.Type.Name),
+		)
+	}
+	for _, ascc := range acc.ASCCs {
+		g.property(
+			uriFor(lib, acc.Name+"."+propertyName(ascc.Role)),
+			ascc.DEN(),
+			classURI,
+			uriFor(ascc.Target.Library(), ascc.Target.Name),
+		)
+	}
+}
+
+func (g *generator) abie(abie *core.ABIE) {
+	lib := abie.Library()
+	classURI := uriFor(lib, abie.Name)
+	super := ""
+	if abie.BasedOn != nil {
+		super = uriFor(abie.BasedOn.Library(), abie.BasedOn.Name)
+	}
+	g.class(classURI, abie.DEN(), abie.Definition, super)
+	for _, bbie := range abie.BBIEs {
+		g.property(
+			uriFor(lib, abie.Name+"."+propertyName(bbie.Name)),
+			bbie.DEN(),
+			classURI,
+			uriFor(bbie.Type.DataTypeLibrary(), bbie.Type.TypeName()),
+		)
+	}
+	for _, asbie := range abie.ASBIEs {
+		g.property(
+			uriFor(lib, abie.Name+"."+propertyName(asbie.Role)),
+			asbie.DEN(),
+			classURI,
+			uriFor(asbie.Target.Library(), asbie.Target.Name),
+		)
+	}
+}
+
+func (g *generator) enum(lib *core.Library, e *core.ENUM) {
+	classURI := uriFor(lib, e.Name)
+	g.class(classURI, e.Name, e.Definition, "")
+	for _, l := range e.Literals {
+		fmt.Fprintf(g.b, "  <rdf:Description rdf:about=%q>\n", esc(classURI+"."+l.Name))
+		fmt.Fprintf(g.b, "    <rdf:type rdf:resource=%q/>\n", esc(classURI))
+		fmt.Fprintf(g.b, "    <rdfs:label>%s</rdfs:label>\n", esc(l.Value))
+		g.b.WriteString("  </rdf:Description>\n")
+	}
+}
+
+func esc(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			b.WriteString("&quot;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,343 @@
+// Package registry implements a core component registry. The paper
+// laments that "there is no format defined to register and exchange core
+// components. Accordingly, the standardization and harmonization process
+// of core component instances is based on spread sheets." This registry
+// indexes models by dictionary entry name, persists as JSON, and imports/
+// exports the spreadsheet (CSV) format used by harmonisation workflows.
+package registry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/go-ccts/ccts/internal/core"
+)
+
+// Entry is one registered dictionary item.
+type Entry struct {
+	// Kind is the CCTS element kind: ACC, ABIE, CDT, QDT, ENUM or PRIM.
+	Kind string `json:"kind"`
+	// Name is the model-level name (US_Person).
+	Name string `json:"name"`
+	// DEN is the dictionary entry name used for search and harmonisation.
+	DEN string `json:"den"`
+	// Library and BusinessLibrary locate the entry.
+	Library         string `json:"library"`
+	BusinessLibrary string `json:"businessLibrary"`
+	// Version is the owning library's version.
+	Version string `json:"version,omitempty"`
+	// Definition is the element's definition text.
+	Definition string `json:"definition,omitempty"`
+	// BasedOn is the DEN of the underlying element for derived entries.
+	BasedOn string `json:"basedOn,omitempty"`
+	// Context is the business context declaration of ABIE entries
+	// (core.Context.String form), empty for the default context.
+	Context string `json:"context,omitempty"`
+	// Members flattens the entry's parts: the entity set for aggregates,
+	// CON/SUP names for data types, literals for enumerations.
+	Members []string `json:"members,omitempty"`
+}
+
+// key identifies an entry for deduplication.
+func (e Entry) key() string {
+	return e.Kind + "|" + e.DEN + "|" + e.Library + "|" + e.Version
+}
+
+// Registry is an in-memory dictionary of registered entries.
+type Registry struct {
+	entries []Entry
+	index   map[string]int
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{index: map[string]int{}}
+}
+
+// Len reports the number of registered entries.
+func (r *Registry) Len() int { return len(r.entries) }
+
+// Entries returns a copy of all entries in registration order.
+func (r *Registry) Entries() []Entry {
+	return append([]Entry(nil), r.entries...)
+}
+
+// Add registers one entry; a re-registration of the same (kind, DEN,
+// library, version) replaces the previous entry and reports false.
+func (r *Registry) Add(e Entry) bool {
+	if i, dup := r.index[e.key()]; dup {
+		r.entries[i] = e
+		return false
+	}
+	r.index[e.key()] = len(r.entries)
+	r.entries = append(r.entries, e)
+	return true
+}
+
+// RegisterModel walks a CCTS model and registers every dictionary item;
+// it returns the number of newly added entries.
+func (r *Registry) RegisterModel(m *core.Model) int {
+	added := 0
+	reg := func(e Entry) {
+		if r.Add(e) {
+			added++
+		}
+	}
+	for _, biz := range m.BusinessLibraries {
+		for _, lib := range biz.Libraries {
+			base := Entry{
+				Library:         lib.Name,
+				BusinessLibrary: biz.Name,
+				Version:         lib.Version,
+			}
+			for _, acc := range lib.ACCs {
+				e := base
+				e.Kind, e.Name, e.DEN = "ACC", acc.Name, acc.DEN()
+				e.Definition = acc.Definition
+				e.Members = acc.EntitySet()[1:]
+				reg(e)
+			}
+			for _, abie := range lib.ABIEs {
+				e := base
+				e.Kind, e.Name, e.DEN = "ABIE", abie.Name, abie.DEN()
+				e.Definition = abie.Definition
+				if abie.BasedOn != nil {
+					e.BasedOn = abie.BasedOn.DEN()
+				}
+				if ctx := abie.Context(); !ctx.IsDefault() {
+					e.Context = ctx.String()
+				}
+				e.Members = abie.EntitySet()[1:]
+				reg(e)
+			}
+			for _, cdt := range lib.CDTs {
+				e := base
+				e.Kind, e.Name, e.DEN = "CDT", cdt.Name, cdt.DEN()
+				e.Definition = cdt.Definition
+				e.Members = append(e.Members, "CON "+cdt.Content.Name)
+				for _, s := range cdt.Sups {
+					e.Members = append(e.Members, "SUP "+s.Name)
+				}
+				reg(e)
+			}
+			for _, qdt := range lib.QDTs {
+				e := base
+				e.Kind, e.Name, e.DEN = "QDT", qdt.Name, qdt.DEN()
+				e.Definition = qdt.Definition
+				if qdt.BasedOn != nil {
+					e.BasedOn = qdt.BasedOn.DEN()
+				}
+				e.Members = append(e.Members, "CON "+qdt.Content.Name)
+				for _, s := range qdt.Sups {
+					e.Members = append(e.Members, "SUP "+s.Name)
+				}
+				reg(e)
+			}
+			for _, en := range lib.ENUMs {
+				e := base
+				e.Kind, e.Name, e.DEN = "ENUM", en.Name, en.Name
+				e.Definition = en.Definition
+				e.Members = en.LiteralNames()
+				reg(e)
+			}
+			for _, p := range lib.PRIMs {
+				e := base
+				e.Kind, e.Name, e.DEN = "PRIM", p.Name, p.Name
+				e.Definition = p.Definition
+				reg(e)
+			}
+		}
+	}
+	return added
+}
+
+// Search finds entries whose DEN, name or definition contains the query,
+// case-insensitively, sorted by DEN.
+func (r *Registry) Search(query string) []Entry {
+	q := strings.ToLower(query)
+	var out []Entry
+	for _, e := range r.entries {
+		if strings.Contains(strings.ToLower(e.DEN), q) ||
+			strings.Contains(strings.ToLower(e.Name), q) ||
+			strings.Contains(strings.ToLower(e.Definition), q) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DEN != out[j].DEN {
+			return out[i].DEN < out[j].DEN
+		}
+		return out[i].key() < out[j].key()
+	})
+	return out
+}
+
+// SearchInContext filters Search results to entries whose declared
+// business context matches the given situation. Entries without a
+// context declaration (the default context) always match; entries with
+// an unparseable context are skipped.
+func (r *Registry) SearchInContext(query string, situation core.Context) []Entry {
+	var out []Entry
+	for _, e := range r.Search(query) {
+		if e.Context == "" {
+			out = append(out, e)
+			continue
+		}
+		ctx, err := core.ParseContext(e.Context)
+		if err != nil {
+			continue
+		}
+		if ctx.Matches(situation) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByKind returns all entries of the given kind, in registration order.
+func (r *Registry) ByKind(kind string) []Entry {
+	var out []Entry
+	for _, e := range r.entries {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Find returns the entry with the exact DEN, preferring the highest
+// version (lexicographic compare of dotted numbers).
+func (r *Registry) Find(den string) (Entry, bool) {
+	var best Entry
+	found := false
+	for _, e := range r.entries {
+		if e.DEN != den {
+			continue
+		}
+		if !found || versionLess(best.Version, e.Version) {
+			best = e
+			found = true
+		}
+	}
+	return best, found
+}
+
+// versionLess compares dotted version strings numerically where
+// possible.
+func versionLess(a, b string) bool {
+	as, bs := strings.Split(a, "."), strings.Split(b, ".")
+	for i := 0; i < len(as) || i < len(bs); i++ {
+		var ai, bi int
+		var aOK, bOK bool
+		if i < len(as) {
+			_, err := fmt.Sscanf(as[i], "%d", &ai)
+			aOK = err == nil
+		}
+		if i < len(bs) {
+			_, err := fmt.Sscanf(bs[i], "%d", &bi)
+			bOK = err == nil
+		}
+		switch {
+		case aOK && bOK && ai != bi:
+			return ai < bi
+		case !aOK || !bOK:
+			// Fall back to string comparison for non-numeric parts.
+			var aStr, bStr string
+			if i < len(as) {
+				aStr = as[i]
+			}
+			if i < len(bs) {
+				bStr = bs[i]
+			}
+			if aStr != bStr {
+				return aStr < bStr
+			}
+		}
+	}
+	return false
+}
+
+// SaveJSON persists the registry.
+func (r *Registry) SaveJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.entries)
+}
+
+// LoadJSON restores a registry saved with SaveJSON, merging into the
+// current contents.
+func (r *Registry) LoadJSON(rd io.Reader) error {
+	var entries []Entry
+	if err := json.NewDecoder(rd).Decode(&entries); err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	for _, e := range entries {
+		r.Add(e)
+	}
+	return nil
+}
+
+// csvHeader is the spreadsheet layout of the harmonisation workflow.
+var csvHeader = []string{
+	"Kind", "DictionaryEntryName", "Name", "BusinessLibrary", "Library",
+	"Version", "BasedOn", "Context", "Definition", "Members",
+}
+
+// ExportCSV writes the registry as the harmonisation spreadsheet.
+func (r *Registry) ExportCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, e := range r.entries {
+		rec := []string{
+			e.Kind, e.DEN, e.Name, e.BusinessLibrary, e.Library,
+			e.Version, e.BasedOn, e.Context, e.Definition, strings.Join(e.Members, "; "),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ImportCSV merges a harmonisation spreadsheet into the registry.
+func (r *Registry) ImportCSV(rd io.Reader) error {
+	cr := csv.NewReader(rd)
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("registry: reading CSV header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return fmt.Errorf("registry: CSV header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return fmt.Errorf("registry: CSV column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("registry: %w", err)
+		}
+		e := Entry{
+			Kind: rec[0], DEN: rec[1], Name: rec[2],
+			BusinessLibrary: rec[3], Library: rec[4],
+			Version: rec[5], BasedOn: rec[6], Context: rec[7],
+			Definition: rec[8],
+		}
+		if rec[9] != "" {
+			e.Members = strings.Split(rec[9], "; ")
+		}
+		r.Add(e)
+	}
+}

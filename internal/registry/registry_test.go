@@ -1,0 +1,286 @@
+package registry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/core"
+	"github.com/go-ccts/ccts/internal/fixture"
+)
+
+func populated(t *testing.T) *Registry {
+	t.Helper()
+	f, err := fixture.BuildHoardingPermit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	r.RegisterModel(f.Model)
+	return r
+}
+
+func TestRegisterModel(t *testing.T) {
+	f, err := fixture.BuildHoardingPermit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	added := r.RegisterModel(f.Model)
+	if added == 0 || added != r.Len() {
+		t.Fatalf("added = %d, len = %d", added, r.Len())
+	}
+	// Re-registration adds nothing.
+	if again := r.RegisterModel(f.Model); again != 0 {
+		t.Errorf("re-registration added %d entries", again)
+	}
+
+	// Every kind is represented.
+	for kind, atLeast := range map[string]int{
+		"ACC": 8, "ABIE": 8, "CDT": 13, "QDT": 4, "ENUM": 2, "PRIM": 9,
+	} {
+		if got := len(r.ByKind(kind)); got < atLeast {
+			t.Errorf("%s entries = %d, want >= %d", kind, got, atLeast)
+		}
+	}
+}
+
+func TestSearch(t *testing.T) {
+	r := populated(t)
+	hits := r.Search("hoarding permit")
+	if len(hits) == 0 {
+		t.Fatal("search by DEN failed")
+	}
+	if hits[0].Kind != "ABIE" || hits[0].Name != "HoardingPermit" {
+		t.Errorf("first hit = %+v", hits[0])
+	}
+	// Case-insensitive, matches definitions too.
+	if len(r.Search("SHORTHAND FOR A FIXED MEANING")) == 0 {
+		t.Error("search by definition failed")
+	}
+	if len(r.Search("nonexistentxyz")) != 0 {
+		t.Error("phantom hits")
+	}
+	// Sorted by DEN.
+	all := r.Search("")
+	for i := 1; i < len(all); i++ {
+		if all[i-1].DEN > all[i].DEN {
+			t.Fatalf("not sorted: %q > %q", all[i-1].DEN, all[i].DEN)
+		}
+	}
+}
+
+func TestFindPrefersHighestVersion(t *testing.T) {
+	r := New()
+	r.Add(Entry{Kind: "ABIE", DEN: "X. Details", Library: "L", Version: "0.9"})
+	r.Add(Entry{Kind: "ABIE", DEN: "X. Details", Library: "L", Version: "0.10"})
+	r.Add(Entry{Kind: "ABIE", DEN: "X. Details", Library: "L", Version: "0.2"})
+	e, ok := r.Find("X. Details")
+	if !ok || e.Version != "0.10" {
+		t.Errorf("Find = %+v, %v (want version 0.10: numeric compare)", e, ok)
+	}
+	if _, ok := r.Find("Missing"); ok {
+		t.Error("Find should miss")
+	}
+}
+
+func TestVersionLess(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"0.9", "0.10", true},
+		{"0.10", "0.9", false},
+		{"1.0", "1.0", false},
+		{"1.0", "2.0", true},
+		{"1.0.1", "1.0", false},
+		{"1.0", "1.0.1", true},
+		{"1.a", "1.b", true},
+	}
+	for _, c := range cases {
+		if got := versionLess(c.a, c.b); got != c.want {
+			t.Errorf("versionLess(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAddReplaces(t *testing.T) {
+	r := New()
+	first := Entry{Kind: "ACC", DEN: "A. Details", Library: "L", Version: "1", Definition: "old"}
+	if !r.Add(first) {
+		t.Error("first add should report true")
+	}
+	second := first
+	second.Definition = "new"
+	if r.Add(second) {
+		t.Error("duplicate add should report false")
+	}
+	if r.Len() != 1 || r.Entries()[0].Definition != "new" {
+		t.Errorf("replacement failed: %+v", r.Entries())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := populated(t)
+	var buf bytes.Buffer
+	if err := r.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2 := New()
+	if err := r2.LoadJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != r.Len() {
+		t.Errorf("loaded %d entries, want %d", r2.Len(), r.Len())
+	}
+	a, b := r.Entries(), r2.Entries()
+	for i := range a {
+		if a[i].key() != b[i].key() {
+			t.Fatalf("entry %d differs: %q vs %q", i, a[i].key(), b[i].key())
+		}
+	}
+	if err := New().LoadJSON(strings.NewReader("{broken")); err == nil {
+		t.Error("broken JSON should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := populated(t)
+	var buf bytes.Buffer
+	if err := r.ExportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "Kind,DictionaryEntryName,") {
+		t.Errorf("CSV header = %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	if !strings.Contains(out, "Hoarding Permit. Details") {
+		t.Error("CSV missing HoardingPermit row")
+	}
+	r2 := New()
+	if err := r2.ImportCSV(strings.NewReader(out)); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != r.Len() {
+		t.Errorf("imported %d entries, want %d", r2.Len(), r.Len())
+	}
+	// Members survive.
+	e, ok := r2.Find("Hoarding Permit. Details")
+	if !ok || len(e.Members) == 0 {
+		t.Errorf("members lost: %+v", e)
+	}
+}
+
+func TestImportCSVErrors(t *testing.T) {
+	r := New()
+	if err := r.ImportCSV(strings.NewReader("")); err == nil {
+		t.Error("empty CSV should fail")
+	}
+	if err := r.ImportCSV(strings.NewReader("a,b\n")); err == nil {
+		t.Error("wrong column count should fail")
+	}
+	wrong := strings.Replace(
+		"Kind,DictionaryEntryName,Name,BusinessLibrary,Library,Version,BasedOn,Context,Definition,Members\n",
+		"Kind", "Sort", 1)
+	if err := r.ImportCSV(strings.NewReader(wrong)); err == nil {
+		t.Error("wrong header name should fail")
+	}
+}
+
+func TestBasedOnLinks(t *testing.T) {
+	r := populated(t)
+	e, ok := r.Find("US Address. Details")
+	_ = e
+	_ = ok
+	// HoardingPermit fixture has no US_Address; check CountryType QDT
+	// instead.
+	q, ok := r.Find("Country Type. Type")
+	if !ok {
+		t.Fatal("CountryType not registered")
+	}
+	if q.BasedOn != "Code. Type" {
+		t.Errorf("BasedOn = %q", q.BasedOn)
+	}
+	a, ok := r.Find("Hoarding Permit. Details")
+	if !ok || a.BasedOn != "Permit. Details" {
+		t.Errorf("ABIE BasedOn = %+v", a)
+	}
+}
+
+func TestContextInEntries(t *testing.T) {
+	f, err := fixture.BuildHoardingPermit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := core.NewContext().With(core.CtxGeopolitical, "AU")
+	f.RegistrationBIE.SetContext(ctx)
+	r := New()
+	r.RegisterModel(f.Model)
+	// The ACC Registration shares the DEN; select the ABIE entry.
+	findABIE := func(reg *Registry) (Entry, bool) {
+		for _, e := range reg.ByKind("ABIE") {
+			if e.Name == "Registration" {
+				return e, true
+			}
+		}
+		return Entry{}, false
+	}
+	e, ok := findABIE(r)
+	if !ok {
+		t.Fatal("Registration ABIE not registered")
+	}
+	if e.Context != "Geopolitical=AU" {
+		t.Errorf("context = %q", e.Context)
+	}
+	// Context survives the CSV round trip.
+	var buf bytes.Buffer
+	if err := r.ExportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2 := New()
+	if err := r2.ImportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, ok := findABIE(r2)
+	if !ok || e2.Context != "Geopolitical=AU" {
+		t.Errorf("context lost in CSV: %+v", e2)
+	}
+}
+
+func TestSearchInContext(t *testing.T) {
+	r := New()
+	r.Add(Entry{Kind: "ABIE", DEN: "Address. Details", Name: "Address", Library: "L"})
+	r.Add(Entry{Kind: "ABIE", DEN: "US Address. Details", Name: "US_Address", Library: "L",
+		Context: "Geopolitical=US"})
+	r.Add(Entry{Kind: "ABIE", DEN: "AT Address. Details", Name: "AT_Address", Library: "L",
+		Context: "Geopolitical=AT"})
+	r.Add(Entry{Kind: "ABIE", DEN: "Broken Address. Details", Name: "B_Address", Library: "L",
+		Context: "Weather=sunny"}) // unparseable: skipped
+
+	us := core.NewContext().With(core.CtxGeopolitical, "US")
+	hits := r.SearchInContext("address", us)
+	names := map[string]bool{}
+	for _, h := range hits {
+		names[h.Name] = true
+	}
+	if !names["Address"] || !names["US_Address"] {
+		t.Errorf("default and US entries should match: %v", names)
+	}
+	if names["AT_Address"] || names["B_Address"] {
+		t.Errorf("AT and broken entries must not match: %v", names)
+	}
+	// Default situation: only the context-free entry.
+	hits = r.SearchInContext("address", core.NewContext())
+	if len(hits) != 1 || hits[0].Name != "Address" {
+		t.Errorf("default situation hits = %v", hits)
+	}
+}
+
+func TestEntriesIsCopy(t *testing.T) {
+	r := populated(t)
+	es := r.Entries()
+	es[0].Name = "MUTATED"
+	if r.Entries()[0].Name == "MUTATED" {
+		t.Error("Entries must return a copy")
+	}
+}

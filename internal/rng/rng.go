@@ -1,0 +1,462 @@
+// Package rng transforms core components models into RELAX NG grammars
+// (XML syntax). The paper names this as the natural extension of its
+// XSD generator: "the generation is not necessarily limited to XML
+// schema and future extensions could include the generation of RELAX NG
+// [8] or RDF schemas as well."
+//
+// One generation run produces a single self-contained grammar: every
+// reachable library contributes its definitions under a prefixed define
+// name (e.g. "cdt1.CodeType"), elements carry their library's namespace
+// via the ns attribute, and the selected root ABIE becomes the start
+// pattern.
+package rng
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/go-ccts/ccts/internal/core"
+	"github.com/go-ccts/ccts/internal/ndr"
+	"github.com/go-ccts/ccts/internal/uml"
+)
+
+// Namespace is the RELAX NG structure namespace.
+const Namespace = "http://relaxng.org/ns/structure/1.0"
+
+// DatatypeLibrary is the XSD datatype library RELAX NG data patterns
+// reference.
+const DatatypeLibrary = "http://www.w3.org/2001/XMLSchema-datatypes"
+
+// Pattern is a RELAX NG pattern node.
+type Pattern interface {
+	write(b *strings.Builder, depth int)
+}
+
+type (
+	// elementPat matches one element with a namespace.
+	elementPat struct {
+		name     string
+		ns       string
+		children []Pattern
+	}
+	// attributePat matches one attribute.
+	attributePat struct {
+		name  string
+		child Pattern
+	}
+	// refPat references a named define.
+	refPat struct {
+		name string
+	}
+	// dataPat matches a value of an XSD datatype.
+	dataPat struct {
+		typeName string
+	}
+	// valuePat matches one literal value.
+	valuePat struct {
+		value string
+	}
+	// choicePat matches one of its children.
+	choicePat struct {
+		children []Pattern
+	}
+	// wrapPat wraps children in optional/zeroOrMore/oneOrMore/group.
+	wrapPat struct {
+		kind     string
+		children []Pattern
+	}
+	// textPat matches any text.
+	textPat struct{}
+	// emptyPat matches nothing.
+	emptyPat struct{}
+)
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func writeAll(b *strings.Builder, ps []Pattern, depth int) {
+	for _, p := range ps {
+		p.write(b, depth)
+	}
+}
+
+func (p *elementPat) write(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "<element name=%q ns=%q>\n", escape(p.name), escape(p.ns))
+	writeAll(b, p.children, depth+1)
+	indent(b, depth)
+	b.WriteString("</element>\n")
+}
+
+func (p *attributePat) write(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "<attribute name=%q>\n", escape(p.name))
+	p.child.write(b, depth+1)
+	indent(b, depth)
+	b.WriteString("</attribute>\n")
+}
+
+func (p *refPat) write(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "<ref name=%q/>\n", escape(p.name))
+}
+
+func (p *dataPat) write(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "<data type=%q/>\n", escape(p.typeName))
+}
+
+func (p *valuePat) write(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "<value>%s</value>\n", escape(p.value))
+}
+
+func (p *choicePat) write(b *strings.Builder, depth int) {
+	indent(b, depth)
+	b.WriteString("<choice>\n")
+	writeAll(b, p.children, depth+1)
+	indent(b, depth)
+	b.WriteString("</choice>\n")
+}
+
+func (p *wrapPat) write(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "<%s>\n", p.kind)
+	writeAll(b, p.children, depth+1)
+	indent(b, depth)
+	fmt.Fprintf(b, "</%s>\n", p.kind)
+}
+
+func (p *textPat) write(b *strings.Builder, depth int) {
+	indent(b, depth)
+	b.WriteString("<text/>\n")
+}
+
+func (p *emptyPat) write(b *strings.Builder, depth int) {
+	indent(b, depth)
+	b.WriteString("<empty/>\n")
+}
+
+// define is one named grammar production.
+type define struct {
+	name     string
+	patterns []Pattern
+}
+
+// Grammar is a generated RELAX NG grammar.
+type Grammar struct {
+	start   string
+	defines []define
+	byName  map[string]bool
+}
+
+// String serialises the grammar in RELAX NG XML syntax; output is
+// deterministic in generation order.
+func (g *Grammar) String() string {
+	b := &strings.Builder{}
+	b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	fmt.Fprintf(b, "<grammar xmlns=%q datatypeLibrary=%q>\n", Namespace, DatatypeLibrary)
+	if g.start != "" {
+		b.WriteString("  <start>\n")
+		(&refPat{name: g.start}).write(b, 2)
+		b.WriteString("  </start>\n")
+	}
+	for _, d := range g.defines {
+		indent(b, 1)
+		fmt.Fprintf(b, "<define name=%q>\n", escape(d.name))
+		writeAll(b, d.patterns, 2)
+		indent(b, 1)
+		b.WriteString("</define>\n")
+	}
+	b.WriteString("</grammar>\n")
+	return b.String()
+}
+
+// DefineNames lists the grammar's production names in order.
+func (g *Grammar) DefineNames() []string {
+	out := make([]string, len(g.defines))
+	for i, d := range g.defines {
+		out[i] = d.name
+	}
+	return out
+}
+
+// Define returns the patterns of a named production, or nil.
+func (g *Grammar) Define(name string) []Pattern {
+	for _, d := range g.defines {
+		if d.name == name {
+			return d.patterns
+		}
+	}
+	return nil
+}
+
+func (g *Grammar) addDefine(name string, patterns ...Pattern) {
+	if g.byName[name] {
+		return
+	}
+	g.byName[name] = true
+	g.defines = append(g.defines, define{name: name, patterns: patterns})
+}
+
+// GenerateDocument builds a grammar for a DOCLibrary rooted at the named
+// ABIE, mirroring gen.GenerateDocument.
+func GenerateDocument(lib *core.Library, rootABIE string) (*Grammar, error) {
+	if lib == nil {
+		return nil, fmt.Errorf("rng: nil library")
+	}
+	if lib.Kind != core.KindDOCLibrary {
+		return nil, fmt.Errorf("rng: GenerateDocument requires a DOCLibrary, got %s %q", lib.Kind, lib.Name)
+	}
+	root := lib.FindABIE(rootABIE)
+	if root == nil {
+		return nil, fmt.Errorf("rng: DOCLibrary %q has no ABIE %q", lib.Name, rootABIE)
+	}
+	g := newGenerator()
+	rootDef, err := g.abie(root)
+	if err != nil {
+		return nil, err
+	}
+	startName := "start." + ndr.XMLName(root.Name)
+	g.grammar.addDefine(startName, &elementPat{
+		name:     ndr.XMLName(root.Name),
+		ns:       lib.BaseURN,
+		children: []Pattern{&refPat{name: rootDef}},
+	})
+	// Move the start define first for readability.
+	g.grammar.start = startName
+	return g.grammar, nil
+}
+
+// Generate builds a grammar covering every ABIE of a BIE library, or
+// every data type of a CDT/QDT/ENUM library.
+func Generate(lib *core.Library) (*Grammar, error) {
+	if lib == nil {
+		return nil, fmt.Errorf("rng: nil library")
+	}
+	g := newGenerator()
+	switch lib.Kind {
+	case core.KindBIELibrary:
+		for _, abie := range lib.ABIEs {
+			if _, err := g.abie(abie); err != nil {
+				return nil, err
+			}
+		}
+	case core.KindCDTLibrary:
+		for _, cdt := range lib.CDTs {
+			g.cdt(cdt)
+		}
+	case core.KindQDTLibrary:
+		for _, qdt := range lib.QDTs {
+			if _, err := g.qdt(qdt); err != nil {
+				return nil, err
+			}
+		}
+	case core.KindENUMLibrary:
+		for _, e := range lib.ENUMs {
+			g.enum(e)
+		}
+	default:
+		return nil, fmt.Errorf("rng: cannot generate a grammar for %s %q", lib.Kind, lib.Name)
+	}
+	return g.grammar, nil
+}
+
+type generator struct {
+	grammar  *Grammar
+	prefixes *ndr.PrefixAllocator
+	emitted  map[any]string
+}
+
+func newGenerator() *generator {
+	return &generator{
+		grammar:  &Grammar{byName: map[string]bool{}},
+		prefixes: ndr.NewPrefixAllocator(),
+		emitted:  map[any]string{},
+	}
+}
+
+// defineName builds the prefixed production name for an element of a
+// library.
+func (g *generator) defineName(lib *core.Library, typeName string) string {
+	return g.prefixes.Prefix(lib) + "." + typeName
+}
+
+// abie emits the production for an ABIE's content and returns its define
+// name.
+func (g *generator) abie(abie *core.ABIE) (string, error) {
+	if name, ok := g.emitted[abie]; ok {
+		return name, nil
+	}
+	lib := abie.Library()
+	if lib == nil {
+		return "", fmt.Errorf("rng: ABIE %q has no owning library", abie.Name)
+	}
+	name := g.defineName(lib, ndr.TypeName(abie.Name))
+	g.emitted[abie] = name // pre-register to terminate recursive models
+
+	var body []Pattern
+	for _, bbie := range abie.BBIEs {
+		dtName, err := g.dataType(bbie.Type)
+		if err != nil {
+			return "", fmt.Errorf("rng: BBIE %q of ABIE %q: %w", bbie.Name, abie.Name, err)
+		}
+		el := &elementPat{
+			name:     ndr.XMLName(bbie.Name),
+			ns:       lib.BaseURN,
+			children: []Pattern{&refPat{name: dtName}},
+		}
+		body = append(body, occurs(bbie.Card, el))
+	}
+	for _, asbie := range abie.ASBIEs {
+		targetDef, err := g.abie(asbie.Target)
+		if err != nil {
+			return "", err
+		}
+		el := &elementPat{
+			name:     ndr.ASBIEElementName(asbie.Role, asbie.Target.Name),
+			ns:       lib.BaseURN,
+			children: []Pattern{&refPat{name: targetDef}},
+		}
+		body = append(body, occurs(asbie.Card, el))
+	}
+	if len(body) == 0 {
+		body = []Pattern{&emptyPat{}}
+	}
+	g.grammar.addDefine(name, body...)
+	return name, nil
+}
+
+// dataType emits the production for a CDT or QDT and returns its define
+// name.
+func (g *generator) dataType(dt core.DataType) (string, error) {
+	switch t := dt.(type) {
+	case *core.CDT:
+		return g.cdt(t), nil
+	case *core.QDT:
+		return g.qdt(t)
+	default:
+		return "", fmt.Errorf("unsupported data type %T", dt)
+	}
+}
+
+func (g *generator) cdt(cdt *core.CDT) string {
+	if name, ok := g.emitted[cdt]; ok {
+		return name
+	}
+	name := g.defineName(cdt.DataTypeLibrary(), ndr.TypeName(cdt.Name))
+	g.emitted[cdt] = name
+	body := []Pattern{&dataPat{typeName: xsdLocal(ndr.ContentBuiltin(cdt))}}
+	body = append(body, g.supAttributes(cdt.Sups)...)
+	g.grammar.addDefine(name, body...)
+	return name
+}
+
+func (g *generator) qdt(qdt *core.QDT) (string, error) {
+	if name, ok := g.emitted[qdt]; ok {
+		return name, nil
+	}
+	name := g.defineName(qdt.DataTypeLibrary(), ndr.TypeName(qdt.Name))
+	g.emitted[qdt] = name
+	var content Pattern
+	switch t := qdt.Content.Type.(type) {
+	case *core.ENUM:
+		content = &refPat{name: g.enum(t)}
+	case *core.PRIM:
+		if qdt.BasedOn != nil {
+			content = &dataPat{typeName: xsdLocal(ndr.ContentBuiltin(qdt.BasedOn))}
+		} else {
+			content = &dataPat{typeName: xsdLocal(ndr.XSDBuiltin(t))}
+		}
+	default:
+		return "", fmt.Errorf("rng: QDT %q has unsupported content type %T", qdt.Name, qdt.Content.Type)
+	}
+	body := []Pattern{content}
+	body = append(body, g.supAttributes(qdt.Sups)...)
+	g.grammar.addDefine(name, body...)
+	return name, nil
+}
+
+func (g *generator) enum(e *core.ENUM) string {
+	if name, ok := g.emitted[e]; ok {
+		return name
+	}
+	name := g.defineName(e.Library(), ndr.TypeName(e.Name))
+	g.emitted[e] = name
+	choice := &choicePat{}
+	for _, l := range e.Literals {
+		choice.children = append(choice.children, &valuePat{value: l.Name})
+	}
+	var body Pattern = choice
+	if len(choice.children) == 0 {
+		body = &textPat{}
+	}
+	g.grammar.addDefine(name, body)
+	return name
+}
+
+func (g *generator) supAttributes(sups []core.SupplementaryComponent) []Pattern {
+	var out []Pattern
+	for i := range sups {
+		sup := &sups[i]
+		var value Pattern
+		switch t := sup.Type.(type) {
+		case *core.ENUM:
+			value = &refPat{name: g.enum(t)}
+		case *core.PRIM:
+			value = &dataPat{typeName: xsdLocal(ndr.XSDBuiltin(t))}
+		default:
+			value = &textPat{}
+		}
+		attr := &attributePat{name: ndr.XMLName(sup.Name), child: value}
+		if sup.Card.Lower >= 1 {
+			out = append(out, attr)
+		} else {
+			out = append(out, &wrapPat{kind: "optional", children: []Pattern{attr}})
+		}
+	}
+	return out
+}
+
+// occurs wraps a pattern in the RELAX NG occurrence operator matching a
+// CCTS cardinality.
+func occurs(card core.Cardinality, p Pattern) Pattern {
+	switch {
+	case card.Lower == 0 && card.Upper == uml.Unbounded:
+		return &wrapPat{kind: "zeroOrMore", children: []Pattern{p}}
+	case card.Lower >= 1 && card.Upper == uml.Unbounded:
+		return &wrapPat{kind: "oneOrMore", children: []Pattern{p}}
+	case card.Lower == 0:
+		return &wrapPat{kind: "optional", children: []Pattern{p}}
+	default:
+		return p
+	}
+}
+
+// xsdLocal strips the xsd: prefix for the RELAX NG data/@type attribute,
+// which resolves names against the declared datatypeLibrary.
+func xsdLocal(qname string) string {
+	return strings.TrimPrefix(qname, "xsd:")
+}
+
+func escape(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			b.WriteString("&quot;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

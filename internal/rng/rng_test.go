@@ -1,0 +1,210 @@
+package rng
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/fixture"
+)
+
+func docGrammar(t *testing.T) *Grammar {
+	t.Helper()
+	f, err := fixture.BuildHoardingPermit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := GenerateDocument(f.DOCLib, "HoardingPermit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGenerateDocument(t *testing.T) {
+	g := docGrammar(t)
+	out := g.String()
+	for _, want := range []string{
+		`<grammar xmlns="http://relaxng.org/ns/structure/1.0" datatypeLibrary="http://www.w3.org/2001/XMLSchema-datatypes">`,
+		`<start>`,
+		`<ref name="start.HoardingPermit"/>`,
+		`<define name="start.HoardingPermit">`,
+		`<element name="HoardingPermit" ns="urn:au:gov:vic:easybiz:data:draft:EB005-HoardingPermit">`,
+		`<define name="doc.HoardingPermitType">`,
+		// Optional BBIE.
+		`<optional>`,
+		`<element name="ClosureReason" ns="urn:au:gov:vic:easybiz:data:draft:EB005-HoardingPermit">`,
+		// Unbounded ASBIE.
+		`<zeroOrMore>`,
+		`<element name="IncludedAttachment"`,
+		// Cross-library references carry prefixed define names.
+		`<ref name="commonAggregates.AttachmentType"/>`,
+		`<ref name="bie2.RegistrationType"/>`,
+		// Data types become data patterns with attribute patterns.
+		`<define name="cdt1.TextType">`,
+		`<data type="string"/>`,
+		`<attribute name="CodeListAgName">`,
+		// Enumerations become value choices.
+		`<define name="enum1.CountryType_CodeType">`,
+		`<value>AUS</value>`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grammar missing %q", want)
+		}
+	}
+	// HoardingDetails is unreachable from the root.
+	if strings.Contains(out, "HoardingDetails") {
+		t.Error("unreachable HoardingDetails must not be generated")
+	}
+}
+
+func TestGrammarIsWellFormedXML(t *testing.T) {
+	out := docGrammar(t).String()
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("grammar is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestAllRefsResolve(t *testing.T) {
+	g := docGrammar(t)
+	defined := map[string]bool{}
+	for _, n := range g.DefineNames() {
+		defined[n] = true
+	}
+	// Collect every ref name from the serialised grammar.
+	out := g.String()
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, `<ref name="`) {
+			continue
+		}
+		name := strings.TrimSuffix(strings.TrimPrefix(line, `<ref name="`), `"/>`)
+		if !defined[name] {
+			t.Errorf("dangling ref %q", name)
+		}
+	}
+}
+
+func TestGenerateLibraries(t *testing.T) {
+	f, err := fixture.BuildHoardingPermit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BIE library: one define per ABIE.
+	g, err := Generate(f.Common)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"commonAggregates.SignatureType", "commonAggregates.AddressType",
+		"commonAggregates.Person_IdentificationType",
+		"commonAggregates.ApplicationType", "commonAggregates.AttachmentType",
+	} {
+		if g.Define(want) == nil {
+			t.Errorf("missing define %q in %v", want, g.DefineNames())
+		}
+	}
+	// CDT library.
+	g2, err := Generate(f.Catalog.CDTLibrary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Define("cdt1.CodeType") == nil {
+		t.Errorf("missing cdt1.CodeType in %v", g2.DefineNames())
+	}
+	out := g2.String()
+	if !strings.Contains(out, `<data type="date"/>`) {
+		t.Error("Date CDT should map to the date datatype")
+	}
+	// QDT library pulls in the enums.
+	g3, err := Generate(f.QDTLib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.Define("enum1.CouncilType_CodeType") == nil {
+		t.Errorf("QDT generation should emit enum defines: %v", g3.DefineNames())
+	}
+	// ENUM library alone.
+	g4, err := Generate(f.EnumLib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g4.DefineNames()) != 2 {
+		t.Errorf("enum defines = %v", g4.DefineNames())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	f, err := fixture.BuildHoardingPermit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateDocument(nil, "X"); err == nil {
+		t.Error("nil library must fail")
+	}
+	if _, err := Generate(nil); err == nil {
+		t.Error("nil library must fail")
+	}
+	if _, err := GenerateDocument(f.Common, "Address"); err == nil {
+		t.Error("GenerateDocument on BIE library must fail")
+	}
+	if _, err := GenerateDocument(f.DOCLib, "Nope"); err == nil {
+		t.Error("unknown root must fail")
+	}
+	if _, err := Generate(f.CCLib); err == nil {
+		t.Error("CC library must fail")
+	}
+	if _, err := Generate(f.DOCLib); err == nil {
+		t.Error("Generate on DOC library must fail")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := docGrammar(t).String()
+	b := docGrammar(t).String()
+	if a != b {
+		t.Error("grammar generation is not deterministic")
+	}
+}
+
+func TestRecursiveModelTerminates(t *testing.T) {
+	m, root, err := fixture.BuildSynthetic(fixture.SyntheticSpec{ABIEs: 5, BBIEsPerABIE: 2, Chain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docLib := m.FindLibrary("SynDoc")
+	g, err := GenerateDocument(docLib, root.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.DefineNames()) == 0 {
+		t.Error("no defines generated")
+	}
+}
+
+func TestEmptyABIE(t *testing.T) {
+	f, err := fixture.BuildFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := f.USPerson.Library()
+	empty, err := lib.AddABIE("EmptyOne", f.Person)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = empty
+	g, err := Generate(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g.String(), "<empty/>") {
+		t.Error("empty ABIE should produce an empty pattern")
+	}
+}

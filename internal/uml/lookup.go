@@ -1,0 +1,186 @@
+package uml
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WalkPackages visits every package in the model in depth-first
+// declaration order. Returning false from fn stops the walk.
+func (m *Model) WalkPackages(fn func(*Package) bool) {
+	var walk func(ps []*Package) bool
+	walk = func(ps []*Package) bool {
+		for _, p := range ps {
+			if !fn(p) {
+				return false
+			}
+			if !walk(p.Packages) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(m.Packages)
+}
+
+// WalkClasses visits every class in the model in depth-first declaration
+// order. Returning false from fn stops the walk.
+func (m *Model) WalkClasses(fn func(*Class) bool) {
+	m.WalkPackages(func(p *Package) bool {
+		for _, c := range p.Classes {
+			if !fn(c) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// WalkEnumerations visits every enumeration in the model.
+func (m *Model) WalkEnumerations(fn func(*Enumeration) bool) {
+	m.WalkPackages(func(p *Package) bool {
+		for _, e := range p.Enumerations {
+			if !fn(e) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// WalkAssociations visits every association in the model.
+func (m *Model) WalkAssociations(fn func(*Association) bool) {
+	m.WalkPackages(func(p *Package) bool {
+		for _, a := range p.Associations {
+			if !fn(a) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// WalkDependencies visits every dependency in the model.
+func (m *Model) WalkDependencies(fn func(*Dependency) bool) {
+	m.WalkPackages(func(p *Package) bool {
+		for _, d := range p.Dependencies {
+			if !fn(d) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// FindPackage locates a package by qualified (::-separated) or simple
+// name. With a simple name, the first match in depth-first order wins.
+func (m *Model) FindPackage(name string) *Package {
+	var found *Package
+	qualified := strings.Contains(name, "::")
+	m.WalkPackages(func(p *Package) bool {
+		if (qualified && p.QualifiedName() == name) || (!qualified && p.Name == name) {
+			found = p
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// FindClass locates a class by qualified or simple name.
+func (m *Model) FindClass(name string) *Class {
+	var found *Class
+	qualified := strings.Contains(name, "::")
+	m.WalkClasses(func(c *Class) bool {
+		if (qualified && c.QualifiedName() == name) || (!qualified && c.Name == name) {
+			found = c
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// FindEnumeration locates an enumeration by qualified or simple name.
+func (m *Model) FindEnumeration(name string) *Enumeration {
+	var found *Enumeration
+	qualified := strings.Contains(name, "::")
+	m.WalkEnumerations(func(e *Enumeration) bool {
+		if (qualified && e.QualifiedName() == name) || (!qualified && e.Name == name) {
+			found = e
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ResolveType resolves an attribute type name to a classifier (class or
+// enumeration). Qualified names are matched against QualifiedName;
+// simple names take the first match. Classes win over enumerations on a
+// simple-name tie, matching how modeling tools bind attribute types.
+func (m *Model) ResolveType(typeName string) (Classifier, error) {
+	if typeName == "" {
+		return nil, fmt.Errorf("uml: empty type name")
+	}
+	if c := m.FindClass(typeName); c != nil {
+		return c, nil
+	}
+	if e := m.FindEnumeration(typeName); e != nil {
+		return e, nil
+	}
+	return nil, fmt.Errorf("uml: unresolved type %q", typeName)
+}
+
+// DependenciesFrom returns all dependencies whose client is the given
+// classifier, across the whole model.
+func (m *Model) DependenciesFrom(client Classifier) []*Dependency {
+	var out []*Dependency
+	m.WalkDependencies(func(d *Dependency) bool {
+		if d.Client == client {
+			out = append(out, d)
+		}
+		return true
+	})
+	return out
+}
+
+// AssociationsFrom returns all associations whose source (whole end) is
+// the given class, across the whole model, in declaration order.
+func (m *Model) AssociationsFrom(src *Class) []*Association {
+	var out []*Association
+	m.WalkAssociations(func(a *Association) bool {
+		if a.Source == src {
+			out = append(out, a)
+		}
+		return true
+	})
+	return out
+}
+
+// Stats summarises the element counts of a model.
+type Stats struct {
+	Packages     int
+	Classes      int
+	Attributes   int
+	Associations int
+	Dependencies int
+	Enumerations int
+}
+
+// Stats counts the elements in the model.
+func (m *Model) Stats() Stats {
+	var s Stats
+	m.WalkPackages(func(p *Package) bool {
+		s.Packages++
+		s.Classes += len(p.Classes)
+		for _, c := range p.Classes {
+			s.Attributes += len(c.Attributes)
+		}
+		s.Associations += len(p.Associations)
+		s.Dependencies += len(p.Dependencies)
+		s.Enumerations += len(p.Enumerations)
+		return true
+	})
+	return s
+}

@@ -1,0 +1,34 @@
+package xmi
+
+import (
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/fixture"
+	"github.com/go-ccts/ccts/internal/profile"
+)
+
+// FuzzImport checks that arbitrary input never panics the importer and
+// that successfully imported models re-export canonically.
+func FuzzImport(f *testing.F) {
+	hp := fixture.MustBuildHoardingPermit()
+	f.Add(ExportString(profile.Render(hp.Model)))
+	fig1 := fixture.MustBuildFigure1()
+	f.Add(ExportString(profile.Render(fig1.Model)))
+	f.Add(`<xmi:XMI xmlns:xmi="http://schema.omg.org/spec/XMI/2.1" xmlns:uml="http://schema.omg.org/spec/UML/2.1"><uml:Model xmi:id="m" name="X"></uml:Model></xmi:XMI>`)
+	f.Add(`<broken`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, doc string) {
+		m, err := ImportString(doc)
+		if err != nil {
+			return
+		}
+		out := ExportString(m)
+		m2, err := ImportString(out)
+		if err != nil {
+			t.Fatalf("canonical output does not re-import: %v", err)
+		}
+		if ExportString(m2) != out {
+			t.Error("second round trip not stable")
+		}
+	})
+}

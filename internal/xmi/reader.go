@@ -1,0 +1,337 @@
+package xmi
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/go-ccts/ccts/internal/uml"
+)
+
+// Import reads an XMI document produced by Export back into a UML model.
+// References (association ends, dependency clients/suppliers) may point
+// forward in the document; they are resolved in a second pass.
+func Import(r io.Reader) (*uml.Model, error) {
+	dec := xml.NewDecoder(r)
+	p := &importer{
+		byID: map[string]any{},
+	}
+	model, err := p.document(dec)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.resolve(); err != nil {
+		return nil, err
+	}
+	return model, nil
+}
+
+// ImportString reads an XMI document from a string.
+func ImportString(doc string) (*uml.Model, error) {
+	return Import(strings.NewReader(doc))
+}
+
+// pendingAssociation defers end resolution until all classes are known.
+type pendingAssociation struct {
+	assoc          *uml.Association
+	source, target string
+}
+
+type pendingDependency struct {
+	dep              *uml.Dependency
+	client, supplier string
+}
+
+type importer struct {
+	byID         map[string]any
+	associations []pendingAssociation
+	dependencies []pendingDependency
+}
+
+func attr(se xml.StartElement, local string) string {
+	for _, a := range se.Attr {
+		if a.Name.Local == local {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+func xmiType(se xml.StartElement) string {
+	for _, a := range se.Attr {
+		if a.Name.Local == "type" && (a.Name.Space == XMINamespace || a.Name.Space == "xmi") {
+			return a.Value
+		}
+	}
+	return attr(se, "type")
+}
+
+func parseMult(se xml.StartElement) (uml.Multiplicity, error) {
+	lower, upper := attr(se, "lower"), attr(se, "upper")
+	if lower == "" && upper == "" {
+		return uml.One, nil
+	}
+	return uml.ParseMultiplicity(lower + ".." + upper)
+}
+
+func (p *importer) document(dec *xml.Decoder) (*uml.Model, error) {
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil, fmt.Errorf("xmi: no uml:Model element found")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmi: %w", err)
+		}
+		se, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		switch {
+		case se.Name.Local == "XMI":
+			continue // descend
+		case se.Name.Local == "Model" && se.Name.Space == UMLNamespace:
+			return p.model(dec, se)
+		default:
+			return nil, fmt.Errorf("xmi: unexpected element <%s>", se.Name.Local)
+		}
+	}
+}
+
+func (p *importer) model(dec *xml.Decoder, se xml.StartElement) (*uml.Model, error) {
+	m := uml.NewModel(attr(se, "name"))
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("xmi: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "taggedValue":
+				m.Tags.Set(attr(t, "tag"), attr(t, "value"))
+				if err := dec.Skip(); err != nil {
+					return nil, err
+				}
+			case "packagedElement":
+				if xmiType(t) != "uml:Package" {
+					return nil, fmt.Errorf("xmi: model children must be packages, got %q", xmiType(t))
+				}
+				pkg := m.AddPackage(attr(t, "name"), attr(t, "stereotype"))
+				p.byID[attr(t, "id")] = pkg
+				if err := p.packageBody(dec, pkg); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("xmi: unexpected model child <%s>", t.Name.Local)
+			}
+		case xml.EndElement:
+			if t.Name.Local == "Model" {
+				return m, nil
+			}
+		}
+	}
+}
+
+func (p *importer) packageBody(dec *xml.Decoder, pkg *uml.Package) error {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("xmi: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "taggedValue":
+				pkg.Tags.Set(attr(t, "tag"), attr(t, "value"))
+				if err := dec.Skip(); err != nil {
+					return err
+				}
+			case "packagedElement":
+				if err := p.packagedElement(dec, pkg, t); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("xmi: unexpected package child <%s>", t.Name.Local)
+			}
+		case xml.EndElement:
+			return nil
+		}
+	}
+}
+
+func (p *importer) packagedElement(dec *xml.Decoder, pkg *uml.Package, se xml.StartElement) error {
+	id := attr(se, "id")
+	switch xmiType(se) {
+	case "uml:Package":
+		child := pkg.AddPackage(attr(se, "name"), attr(se, "stereotype"))
+		p.byID[id] = child
+		return p.packageBody(dec, child)
+	case "uml:Class":
+		c := pkg.AddClass(attr(se, "name"), attr(se, "stereotype"))
+		p.byID[id] = c
+		return p.classBody(dec, c)
+	case "uml:Enumeration":
+		e := pkg.AddEnumeration(attr(se, "name"), attr(se, "stereotype"))
+		p.byID[id] = e
+		return p.enumBody(dec, e)
+	case "uml:Association":
+		mult, err := parseMult(se)
+		if err != nil {
+			return err
+		}
+		kind, err := uml.ParseAggregationKind(attr(se, "aggregation"))
+		if err != nil {
+			return err
+		}
+		a := &uml.Association{
+			Stereotype: attr(se, "stereotype"),
+			TargetRole: attr(se, "role"),
+			TargetMult: mult,
+			Kind:       kind,
+		}
+		pkg.AddAssociation(a)
+		p.associations = append(p.associations, pendingAssociation{
+			assoc: a, source: attr(se, "source"), target: attr(se, "target"),
+		})
+		return p.tagsOnly(dec, &a.Tags)
+	case "uml:Dependency":
+		d := pkg.AddDependency(attr(se, "stereotype"), nil, nil)
+		p.dependencies = append(p.dependencies, pendingDependency{
+			dep: d, client: attr(se, "client"), supplier: attr(se, "supplier"),
+		})
+		return dec.Skip()
+	default:
+		return fmt.Errorf("xmi: unsupported packagedElement type %q", xmiType(se))
+	}
+}
+
+func (p *importer) tagsOnly(dec *xml.Decoder, tags *uml.TaggedValues) error {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("xmi: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local == "taggedValue" {
+				tags.Set(attr(t, "tag"), attr(t, "value"))
+				if err := dec.Skip(); err != nil {
+					return err
+				}
+				continue
+			}
+			return fmt.Errorf("xmi: unexpected element <%s>", t.Name.Local)
+		case xml.EndElement:
+			return nil
+		}
+	}
+}
+
+func (p *importer) classBody(dec *xml.Decoder, c *uml.Class) error {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("xmi: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "taggedValue":
+				c.Tags.Set(attr(t, "tag"), attr(t, "value"))
+				if err := dec.Skip(); err != nil {
+					return err
+				}
+			case "ownedAttribute":
+				mult, err := parseMult(t)
+				if err != nil {
+					return err
+				}
+				a := c.AddAttribute(attr(t, "name"), attr(t, "stereotype"), attr(t, "type"), mult)
+				p.byID[attr(t, "id")] = a
+				if err := p.tagsOnly(dec, &a.Tags); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("xmi: unexpected class child <%s>", t.Name.Local)
+			}
+		case xml.EndElement:
+			return nil
+		}
+	}
+}
+
+func (p *importer) enumBody(dec *xml.Decoder, e *uml.Enumeration) error {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("xmi: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "taggedValue":
+				e.Tags.Set(attr(t, "tag"), attr(t, "value"))
+			case "ownedLiteral":
+				e.AddLiteral(attr(t, "name"), attr(t, "value"))
+			default:
+				return fmt.Errorf("xmi: unexpected enumeration child <%s>", t.Name.Local)
+			}
+			if err := dec.Skip(); err != nil {
+				return err
+			}
+		case xml.EndElement:
+			return nil
+		}
+	}
+}
+
+// resolve wires association ends and dependency participants.
+func (p *importer) resolve() error {
+	classByID := func(id, context string) (*uml.Class, error) {
+		el, ok := p.byID[id]
+		if !ok {
+			return nil, fmt.Errorf("xmi: %s references unknown id %q", context, id)
+		}
+		c, ok := el.(*uml.Class)
+		if !ok {
+			return nil, fmt.Errorf("xmi: %s id %q is not a class", context, id)
+		}
+		return c, nil
+	}
+	classifierByID := func(id, context string) (uml.Classifier, error) {
+		el, ok := p.byID[id]
+		if !ok {
+			return nil, fmt.Errorf("xmi: %s references unknown id %q", context, id)
+		}
+		c, ok := el.(uml.Classifier)
+		if !ok {
+			return nil, fmt.Errorf("xmi: %s id %q is not a classifier", context, id)
+		}
+		return c, nil
+	}
+	for _, pa := range p.associations {
+		src, err := classByID(pa.source, "association source")
+		if err != nil {
+			return err
+		}
+		dst, err := classByID(pa.target, "association target")
+		if err != nil {
+			return err
+		}
+		pa.assoc.Source, pa.assoc.Target = src, dst
+	}
+	for _, pd := range p.dependencies {
+		client, err := classifierByID(pd.client, "dependency client")
+		if err != nil {
+			return err
+		}
+		supplier, err := classifierByID(pd.supplier, "dependency supplier")
+		if err != nil {
+			return err
+		}
+		pd.dep.Client, pd.dep.Supplier = client, supplier
+	}
+	return nil
+}

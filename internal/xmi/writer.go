@@ -1,0 +1,222 @@
+// Package xmi serialises UML models to an XMI 2.1-style XML interchange
+// format and reads them back. The paper motivates the UML profile partly
+// by interchange: "we hope ... to use XMI for registering and exchanging
+// core components." The format follows the XMI packagedElement structure
+// with xmi:id/xmi:type attributes; stereotypes and tagged values are
+// carried inline (as attribute and child elements) rather than through a
+// separate profile-application section, which keeps documents
+// self-contained and diffable.
+package xmi
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/go-ccts/ccts/internal/uml"
+)
+
+// Namespaces of the interchange format.
+const (
+	XMINamespace = "http://schema.omg.org/spec/XMI/2.1"
+	UMLNamespace = "http://schema.omg.org/spec/UML/2.1"
+)
+
+// Export writes the model as an XMI document.
+func Export(m *uml.Model, w io.Writer) error {
+	e := &exporter{
+		ids: map[any]string{},
+		b:   &strings.Builder{},
+	}
+	e.assignIDs(m)
+	e.write(m)
+	_, err := io.WriteString(w, e.b.String())
+	return err
+}
+
+// ExportString returns the XMI document as a string.
+func ExportString(m *uml.Model) string {
+	var b strings.Builder
+	// strings.Builder writes cannot fail.
+	_ = Export(m, &b)
+	return b.String()
+}
+
+type exporter struct {
+	ids     map[any]string
+	counter int
+	b       *strings.Builder
+}
+
+func (e *exporter) id(element any) string {
+	if id, ok := e.ids[element]; ok {
+		return id
+	}
+	e.counter++
+	id := fmt.Sprintf("id%d", e.counter)
+	e.ids[element] = id
+	return id
+}
+
+// assignIDs walks the model in document order so identifiers are stable
+// across exports of the same model.
+func (e *exporter) assignIDs(m *uml.Model) {
+	m.WalkPackages(func(p *uml.Package) bool {
+		e.id(p)
+		for _, c := range p.Classes {
+			e.id(c)
+			for _, a := range c.Attributes {
+				e.id(a)
+			}
+		}
+		for _, en := range p.Enumerations {
+			e.id(en)
+		}
+		for _, a := range p.Associations {
+			e.id(a)
+		}
+		for _, d := range p.Dependencies {
+			e.id(d)
+		}
+		return true
+	})
+}
+
+func (e *exporter) indent(depth int) {
+	for i := 0; i < depth; i++ {
+		e.b.WriteString("  ")
+	}
+}
+
+func (e *exporter) writeTags(tags uml.TaggedValues, depth int) {
+	for _, name := range tags.Names() {
+		e.indent(depth)
+		fmt.Fprintf(e.b, "<taggedValue tag=%q value=%q/>\n", esc(name), esc(tags.Get(name)))
+	}
+}
+
+func multAttrs(m uml.Multiplicity) string {
+	upper := fmt.Sprint(m.Upper)
+	if m.Upper == uml.Unbounded {
+		upper = "*"
+	}
+	return fmt.Sprintf(" lower=%q upper=%q", fmt.Sprint(m.Lower), upper)
+}
+
+func (e *exporter) write(m *uml.Model) {
+	e.b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	fmt.Fprintf(e.b, "<xmi:XMI xmi:version=\"2.1\" xmlns:xmi=%q xmlns:uml=%q>\n", XMINamespace, UMLNamespace)
+	fmt.Fprintf(e.b, "  <uml:Model xmi:id=\"model\" name=%q>\n", esc(m.Name))
+	e.writeTags(m.Tags, 2)
+	for _, p := range m.Packages {
+		e.writePackage(p, 2)
+	}
+	e.b.WriteString("  </uml:Model>\n")
+	e.b.WriteString("</xmi:XMI>\n")
+}
+
+func (e *exporter) writePackage(p *uml.Package, depth int) {
+	e.indent(depth)
+	fmt.Fprintf(e.b, "<packagedElement xmi:type=\"uml:Package\" xmi:id=%q name=%q stereotype=%q>\n",
+		e.id(p), esc(p.Name), esc(p.Stereotype))
+	e.writeTags(p.Tags, depth+1)
+	for _, c := range p.Classes {
+		e.writeClass(c, depth+1)
+	}
+	for _, en := range p.Enumerations {
+		e.writeEnumeration(en, depth+1)
+	}
+	for _, a := range p.Associations {
+		e.writeAssociation(a, depth+1)
+	}
+	for _, d := range p.Dependencies {
+		e.writeDependency(d, depth+1)
+	}
+	for _, child := range p.Packages {
+		e.writePackage(child, depth+1)
+	}
+	e.indent(depth)
+	e.b.WriteString("</packagedElement>\n")
+}
+
+func (e *exporter) writeClass(c *uml.Class, depth int) {
+	e.indent(depth)
+	fmt.Fprintf(e.b, "<packagedElement xmi:type=\"uml:Class\" xmi:id=%q name=%q stereotype=%q",
+		e.id(c), esc(c.Name), esc(c.Stereotype))
+	if len(c.Attributes) == 0 && len(c.Tags) == 0 {
+		e.b.WriteString("/>\n")
+		return
+	}
+	e.b.WriteString(">\n")
+	e.writeTags(c.Tags, depth+1)
+	for _, a := range c.Attributes {
+		e.indent(depth + 1)
+		fmt.Fprintf(e.b, "<ownedAttribute xmi:id=%q name=%q stereotype=%q type=%q%s",
+			e.id(a), esc(a.Name), esc(a.Stereotype), esc(a.TypeName), multAttrs(a.Mult))
+		if len(a.Tags) == 0 {
+			e.b.WriteString("/>\n")
+			continue
+		}
+		e.b.WriteString(">\n")
+		e.writeTags(a.Tags, depth+2)
+		e.indent(depth + 1)
+		e.b.WriteString("</ownedAttribute>\n")
+	}
+	e.indent(depth)
+	e.b.WriteString("</packagedElement>\n")
+}
+
+func (e *exporter) writeEnumeration(en *uml.Enumeration, depth int) {
+	e.indent(depth)
+	fmt.Fprintf(e.b, "<packagedElement xmi:type=\"uml:Enumeration\" xmi:id=%q name=%q stereotype=%q>\n",
+		e.id(en), esc(en.Name), esc(en.Stereotype))
+	e.writeTags(en.Tags, depth+1)
+	for _, l := range en.Literals {
+		e.indent(depth + 1)
+		fmt.Fprintf(e.b, "<ownedLiteral name=%q value=%q/>\n", esc(l.Name), esc(l.Value))
+	}
+	e.indent(depth)
+	e.b.WriteString("</packagedElement>\n")
+}
+
+func (e *exporter) writeAssociation(a *uml.Association, depth int) {
+	e.indent(depth)
+	fmt.Fprintf(e.b,
+		"<packagedElement xmi:type=\"uml:Association\" xmi:id=%q stereotype=%q source=%q target=%q role=%q aggregation=%q%s",
+		e.id(a), esc(a.Stereotype), e.id(a.Source), e.id(a.Target), esc(a.TargetRole),
+		a.Kind.String(), multAttrs(a.TargetMult))
+	if len(a.Tags) == 0 {
+		e.b.WriteString("/>\n")
+		return
+	}
+	e.b.WriteString(">\n")
+	e.writeTags(a.Tags, depth+1)
+	e.indent(depth)
+	e.b.WriteString("</packagedElement>\n")
+}
+
+func (e *exporter) writeDependency(d *uml.Dependency, depth int) {
+	e.indent(depth)
+	fmt.Fprintf(e.b,
+		"<packagedElement xmi:type=\"uml:Dependency\" xmi:id=%q stereotype=%q client=%q supplier=%q/>\n",
+		e.id(d), esc(d.Stereotype), e.id(d.Client), e.id(d.Supplier))
+}
+
+func esc(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			b.WriteString("&quot;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,34 @@
+package xsd
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that arbitrary input never panics the parser and that
+// successfully parsed schemas re-serialise and re-parse (writer/parser
+// closure).
+func FuzzParse(f *testing.F) {
+	f.Add(sampleSchema().String())
+	f.Add(`<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:t">
+	  <xsd:element name="Root" type="RootType"/>
+	  <xsd:complexType name="RootType"><xsd:sequence/></xsd:complexType>
+	</xsd:schema>`)
+	f.Add(`<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema"><xsd:simpleType name="S"><xsd:restriction base="xsd:token"><xsd:enumeration value="x"/></xsd:restriction></xsd:simpleType></xsd:schema>`)
+	f.Add(`<foo>`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, doc string) {
+		s, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		out := s.String()
+		s2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("canonical output does not re-parse: %v\n%s", err, out)
+		}
+		if s2.String() != out {
+			t.Error("second round trip not stable")
+		}
+	})
+}

@@ -1,0 +1,260 @@
+// Package xsd provides an object model for the subset of W3C XML Schema
+// that the UN/CEFACT naming and design rules produce — global elements,
+// complex types with sequences, simpleContent extensions with attributes,
+// simple types with restriction facets, imports and CCTS annotations —
+// together with a deterministic writer and a parser. internal/gen emits
+// these structures; internal/xsdval compiles them into an instance
+// validator.
+package xsd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// XSDNamespace is the W3C XML Schema namespace.
+const XSDNamespace = "http://www.w3.org/2001/XMLSchema"
+
+// CCTSDocumentationNamespace is the namespace for CCTS annotation
+// elements, as imported under the ccts prefix in the paper's Figure 6.
+const CCTSDocumentationNamespace = "urn:un:unece:uncefact:documentation:standard:CoreComponentsTechnicalSpecification:2"
+
+// Unbounded is the MaxOccurs value rendering as maxOccurs="unbounded".
+const Unbounded = -1
+
+// Namespace declares one xmlns:prefix="uri" binding on the schema root.
+type Namespace struct {
+	Prefix string
+	URI    string
+}
+
+// Import is an xsd:import of another schema document.
+type Import struct {
+	Namespace      string
+	SchemaLocation string
+}
+
+// Occurs is an occurrence range for a particle. The zero value means the
+// XSD defaults (minOccurs=1, maxOccurs=1).
+type Occurs struct {
+	Min int
+	Max int // Unbounded for "unbounded"; 0 is normalised to 1 unless explicit
+	// Explicit forces serialisation even for default values.
+	Explicit bool
+}
+
+// Once is the default occurrence.
+var Once = Occurs{Min: 1, Max: 1}
+
+// normalized returns the effective min and max (resolving the zero
+// value).
+func (o Occurs) normalized() (int, int) {
+	if o == (Occurs{}) {
+		return 1, 1
+	}
+	return o.Min, o.Max
+}
+
+// Contains reports whether count occurrences are allowed.
+func (o Occurs) Contains(count int) bool {
+	min, max := o.normalized()
+	if count < min {
+		return false
+	}
+	return max == Unbounded || count <= max
+}
+
+// String renders the range for error messages.
+func (o Occurs) String() string {
+	min, max := o.normalized()
+	if max == Unbounded {
+		return fmt.Sprintf("%d..unbounded", min)
+	}
+	return fmt.Sprintf("%d..%d", min, max)
+}
+
+// Annotation is an xsd:annotation holding structured CCTS documentation
+// entries, e.g. <ccts:Version>, <ccts:Definition>.
+type Annotation struct {
+	Documentation []DocEntry
+}
+
+// DocEntry is one documentation element inside an annotation. Tag is the
+// local name in the ccts namespace ("Definition", "Version",
+// "UniqueID", "DictionaryEntryName", ...).
+type DocEntry struct {
+	Tag   string
+	Value string
+}
+
+// Element is an element declaration, global (Name at schema level) or
+// local (inside a sequence). Either Name+Type or Ref is set.
+type Element struct {
+	Name       string
+	Type       string // prefixed QName ("cdt1:TextType") or local ("doc:...")
+	Ref        string // prefixed QName of a global element
+	Occurs     Occurs
+	Annotation *Annotation
+}
+
+// Attribute is an attribute declaration on a simpleContent extension.
+type Attribute struct {
+	Name       string
+	Type       string // prefixed QName, usually an xsd builtin
+	Use        string // "required" or "optional"
+	Annotation *Annotation
+}
+
+// ComplexType is a named complex type: either a sequence of elements
+// (ABIE types) or a simpleContent extension (data types).
+type ComplexType struct {
+	Name          string
+	Sequence      []*Element
+	SimpleContent *SimpleContent
+	Annotation    *Annotation
+}
+
+// SimpleContent wraps an extension, per the NDR data-type pattern
+// (Figure 8).
+type SimpleContent struct {
+	Extension *Extension
+}
+
+// Extension extends a base simple type with attributes.
+type Extension struct {
+	Base       string // prefixed QName
+	Attributes []*Attribute
+}
+
+// SimpleType is a named simple type with a restriction (ENUM types).
+type SimpleType struct {
+	Name        string
+	Restriction *Restriction
+	Annotation  *Annotation
+}
+
+// Restriction restricts a base simple type with facets.
+type Restriction struct {
+	Base         string
+	Enumerations []string
+	Pattern      string
+	MinLength    *int
+	MaxLength    *int
+}
+
+// Schema is one XML schema document.
+type Schema struct {
+	TargetNamespace      string
+	Version              string
+	ElementFormDefault   string // "qualified" per the NDR
+	AttributeFormDefault string // "unqualified" per the NDR
+	Namespaces           []Namespace
+	Imports              []Import
+	Elements             []*Element // global element declarations
+	ComplexTypes         []*ComplexType
+	SimpleTypes          []*SimpleType
+}
+
+// NewSchema returns a schema with the NDR form defaults.
+func NewSchema(targetNamespace string) *Schema {
+	return &Schema{
+		TargetNamespace:      targetNamespace,
+		ElementFormDefault:   "qualified",
+		AttributeFormDefault: "unqualified",
+	}
+}
+
+// DeclareNamespace adds an xmlns declaration; re-declaring the same
+// prefix with the same URI is a no-op, a conflicting redeclaration is an
+// error.
+func (s *Schema) DeclareNamespace(prefix, uri string) error {
+	for _, n := range s.Namespaces {
+		if n.Prefix == prefix {
+			if n.URI == uri {
+				return nil
+			}
+			return fmt.Errorf("xsd: prefix %q already bound to %q", prefix, n.URI)
+		}
+	}
+	s.Namespaces = append(s.Namespaces, Namespace{Prefix: prefix, URI: uri})
+	return nil
+}
+
+// PrefixFor returns the declared prefix for a namespace URI.
+func (s *Schema) PrefixFor(uri string) (string, bool) {
+	for _, n := range s.Namespaces {
+		if n.URI == uri {
+			return n.Prefix, true
+		}
+	}
+	return "", false
+}
+
+// NamespaceFor resolves a declared prefix to its URI. The "xsd"/"xs"
+// prefixes resolve to the XML Schema namespace even when undeclared,
+// matching common documents.
+func (s *Schema) NamespaceFor(prefix string) (string, bool) {
+	for _, n := range s.Namespaces {
+		if n.Prefix == prefix {
+			return n.URI, true
+		}
+	}
+	if prefix == "xsd" || prefix == "xs" {
+		return XSDNamespace, true
+	}
+	return "", false
+}
+
+// SplitQName splits "prefix:local" into its parts; the prefix is empty
+// for unprefixed names.
+func SplitQName(qname string) (prefix, local string) {
+	if i := strings.IndexByte(qname, ':'); i >= 0 {
+		return qname[:i], qname[i+1:]
+	}
+	return "", qname
+}
+
+// ResolveQName resolves a prefixed name against the schema's namespace
+// declarations, returning the namespace URI and local name.
+func (s *Schema) ResolveQName(qname string) (uri, local string, err error) {
+	prefix, local := SplitQName(qname)
+	if prefix == "" {
+		// Unprefixed type references resolve to the target namespace.
+		return s.TargetNamespace, local, nil
+	}
+	uri, ok := s.NamespaceFor(prefix)
+	if !ok {
+		return "", "", fmt.Errorf("xsd: undeclared prefix %q in %q", prefix, qname)
+	}
+	return uri, local, nil
+}
+
+// ComplexType returns the named complex type, or nil.
+func (s *Schema) ComplexType(name string) *ComplexType {
+	for _, t := range s.ComplexTypes {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// SimpleType returns the named simple type, or nil.
+func (s *Schema) SimpleType(name string) *SimpleType {
+	for _, t := range s.SimpleTypes {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// GlobalElement returns the named global element declaration, or nil.
+func (s *Schema) GlobalElement(name string) *Element {
+	for _, e := range s.Elements {
+		if e.Name == name {
+			return e
+		}
+	}
+	return nil
+}

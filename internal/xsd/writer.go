@@ -1,0 +1,227 @@
+package xsd
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Write serialises the schema as a deterministic, indented XSD document.
+// Output is byte-stable for identical inputs so tests can assert exact
+// structure.
+func (s *Schema) Write(w io.Writer) error {
+	b := &strings.Builder{}
+	s.writeTo(b)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String returns the serialised schema document.
+func (s *Schema) String() string {
+	b := &strings.Builder{}
+	s.writeTo(b)
+	return b.String()
+}
+
+func (s *Schema) writeTo(b *strings.Builder) {
+	b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	b.WriteString("<xsd:schema")
+	attr := func(name, value string) {
+		fmt.Fprintf(b, "\n    %s=%q", name, escape(value))
+	}
+	attr("xmlns:xsd", XSDNamespace)
+	for _, n := range s.Namespaces {
+		switch n.Prefix {
+		case "xsd":
+			continue
+		case "":
+			attr("xmlns", n.URI)
+		default:
+			attr("xmlns:"+n.Prefix, n.URI)
+		}
+	}
+	if s.TargetNamespace != "" {
+		attr("targetNamespace", s.TargetNamespace)
+	}
+	if s.ElementFormDefault != "" {
+		attr("elementFormDefault", s.ElementFormDefault)
+	}
+	if s.AttributeFormDefault != "" {
+		attr("attributeFormDefault", s.AttributeFormDefault)
+	}
+	if s.Version != "" {
+		attr("version", s.Version)
+	}
+	b.WriteString(">\n")
+
+	for _, imp := range s.Imports {
+		fmt.Fprintf(b, "  <xsd:import namespace=%q schemaLocation=%q/>\n",
+			escape(imp.Namespace), escape(imp.SchemaLocation))
+	}
+	for _, t := range s.SimpleTypes {
+		writeSimpleType(b, t)
+	}
+	for _, t := range s.ComplexTypes {
+		writeComplexType(b, t)
+	}
+	for _, e := range s.Elements {
+		writeElement(b, e, 1)
+	}
+	b.WriteString("</xsd:schema>\n")
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func writeAnnotation(b *strings.Builder, a *Annotation, depth int) {
+	if a == nil || len(a.Documentation) == 0 {
+		return
+	}
+	indent(b, depth)
+	b.WriteString("<xsd:annotation>\n")
+	indent(b, depth+1)
+	b.WriteString("<xsd:documentation>\n")
+	for _, d := range a.Documentation {
+		indent(b, depth+2)
+		fmt.Fprintf(b, "<ccts:%s>%s</ccts:%s>\n", d.Tag, escape(d.Value), d.Tag)
+	}
+	indent(b, depth+1)
+	b.WriteString("</xsd:documentation>\n")
+	indent(b, depth)
+	b.WriteString("</xsd:annotation>\n")
+}
+
+func occursAttrs(o Occurs) string {
+	min, max := o.normalized()
+	var parts []string
+	if min != 1 || o.Explicit {
+		parts = append(parts, fmt.Sprintf(" minOccurs=%q", fmt.Sprint(min)))
+	}
+	if max == Unbounded {
+		parts = append(parts, ` maxOccurs="unbounded"`)
+	} else if max != 1 || o.Explicit {
+		parts = append(parts, fmt.Sprintf(" maxOccurs=%q", fmt.Sprint(max)))
+	}
+	return strings.Join(parts, "")
+}
+
+func writeElement(b *strings.Builder, e *Element, depth int) {
+	indent(b, depth)
+	if e.Ref != "" {
+		fmt.Fprintf(b, "<xsd:element%s ref=%q", occursAttrs(e.Occurs), escape(e.Ref))
+	} else {
+		fmt.Fprintf(b, "<xsd:element%s name=%q", occursAttrs(e.Occurs), escape(e.Name))
+		if e.Type != "" {
+			fmt.Fprintf(b, " type=%q", escape(e.Type))
+		}
+	}
+	if e.Annotation == nil || len(e.Annotation.Documentation) == 0 {
+		b.WriteString("/>\n")
+		return
+	}
+	b.WriteString(">\n")
+	writeAnnotation(b, e.Annotation, depth+1)
+	indent(b, depth)
+	b.WriteString("</xsd:element>\n")
+}
+
+func writeAttribute(b *strings.Builder, a *Attribute, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "<xsd:attribute name=%q type=%q", escape(a.Name), escape(a.Type))
+	if a.Use != "" {
+		fmt.Fprintf(b, " use=%q", escape(a.Use))
+	}
+	if a.Annotation == nil || len(a.Annotation.Documentation) == 0 {
+		b.WriteString("/>\n")
+		return
+	}
+	b.WriteString(">\n")
+	writeAnnotation(b, a.Annotation, depth+1)
+	indent(b, depth)
+	b.WriteString("</xsd:attribute>\n")
+}
+
+func writeComplexType(b *strings.Builder, t *ComplexType) {
+	indent(b, 1)
+	fmt.Fprintf(b, "<xsd:complexType name=%q>\n", escape(t.Name))
+	writeAnnotation(b, t.Annotation, 2)
+	switch {
+	case t.SimpleContent != nil && t.SimpleContent.Extension != nil:
+		indent(b, 2)
+		b.WriteString("<xsd:simpleContent>\n")
+		indent(b, 3)
+		fmt.Fprintf(b, "<xsd:extension base=%q>\n", escape(t.SimpleContent.Extension.Base))
+		for _, a := range t.SimpleContent.Extension.Attributes {
+			writeAttribute(b, a, 4)
+		}
+		indent(b, 3)
+		b.WriteString("</xsd:extension>\n")
+		indent(b, 2)
+		b.WriteString("</xsd:simpleContent>\n")
+	default:
+		indent(b, 2)
+		b.WriteString("<xsd:sequence>\n")
+		for _, e := range t.Sequence {
+			writeElement(b, e, 3)
+		}
+		indent(b, 2)
+		b.WriteString("</xsd:sequence>\n")
+	}
+	indent(b, 1)
+	b.WriteString("</xsd:complexType>\n")
+}
+
+func writeSimpleType(b *strings.Builder, t *SimpleType) {
+	indent(b, 1)
+	fmt.Fprintf(b, "<xsd:simpleType name=%q>\n", escape(t.Name))
+	writeAnnotation(b, t.Annotation, 2)
+	if r := t.Restriction; r != nil {
+		indent(b, 2)
+		fmt.Fprintf(b, "<xsd:restriction base=%q>\n", escape(r.Base))
+		for _, v := range r.Enumerations {
+			indent(b, 3)
+			fmt.Fprintf(b, "<xsd:enumeration value=%q/>\n", escape(v))
+		}
+		if r.Pattern != "" {
+			indent(b, 3)
+			fmt.Fprintf(b, "<xsd:pattern value=%q/>\n", escape(r.Pattern))
+		}
+		if r.MinLength != nil {
+			indent(b, 3)
+			fmt.Fprintf(b, "<xsd:minLength value=\"%d\"/>\n", *r.MinLength)
+		}
+		if r.MaxLength != nil {
+			indent(b, 3)
+			fmt.Fprintf(b, "<xsd:maxLength value=\"%d\"/>\n", *r.MaxLength)
+		}
+		indent(b, 2)
+		b.WriteString("</xsd:restriction>\n")
+	}
+	indent(b, 1)
+	b.WriteString("</xsd:simpleType>\n")
+}
+
+// escape escapes XML attribute/text content.
+func escape(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			b.WriteString("&quot;")
+		case '\'':
+			b.WriteString("&apos;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package ccts
+
+import (
+	"github.com/go-ccts/ccts/internal/profile"
+	"github.com/go-ccts/ccts/internal/uml"
+	"github.com/go-ccts/ccts/internal/validate"
+)
+
+// Model validation (the paper's future-work validation engine).
+type (
+	// ValidationReport aggregates model validation findings.
+	ValidationReport = validate.Report
+	// Finding is one validation result with rule ID and severity.
+	Finding = validate.Finding
+	// Severity ranks findings.
+	Severity = validate.Severity
+
+	// UMLModel is the stereotyped UML representation of a model.
+	UMLModel = uml.Model
+	// Constraint is one OCL well-formedness rule of the profile.
+	Constraint = profile.Constraint
+	// ConstraintViolation is a failed constraint on an element.
+	ConstraintViolation = profile.Violation
+	// ProfileInventory describes the profile's stereotypes and tags.
+	ProfileInventory = profile.Inventory
+)
+
+// Finding severities.
+const (
+	SeverityError   = validate.Error
+	SeverityWarning = validate.Warning
+)
+
+// ValidateModel runs the full validation engine: semantic rules over the
+// typed model plus the profile's OCL constraints over its UML rendering.
+func ValidateModel(m *Model) *ValidationReport { return validate.All(m) }
+
+// ValidateUML evaluates only the profile's OCL constraints over a UML
+// model (e.g. one imported from XMI before extraction).
+func ValidateUML(um *UMLModel) *ValidationReport { return validate.UML(um) }
+
+// ToUML renders the typed model into its stereotyped UML representation.
+func ToUML(m *Model) *UMLModel { return profile.Render(m) }
+
+// FromUML extracts the typed model from a stereotyped UML representation
+// (e.g. after XMI import). Structural errors abort with an error; run
+// ValidateUML first for a full diagnosis.
+func FromUML(um *UMLModel) (*Model, error) { return profile.Extract(um) }
+
+// Constraints returns the profile's OCL constraint table.
+func Constraints() []Constraint { return profile.Constraints() }
+
+// EvaluateConstraints runs every profile constraint against a UML model.
+func EvaluateConstraints(um *UMLModel) []ConstraintViolation {
+	return profile.EvaluateConstraints(um)
+}
+
+// ConstraintTarget selects the element type a custom constraint runs on.
+type ConstraintTarget = profile.Target
+
+// Custom constraint targets.
+const (
+	OnPackage     = profile.TargetPackage
+	OnClass       = profile.TargetClass
+	OnAssociation = profile.TargetAssociation
+	OnDependency  = profile.TargetDependency
+	OnEnumeration = profile.TargetEnumeration
+)
+
+// NewConstraint compiles a user-defined OCL rule for use with
+// EvaluateConstraintsWith — house rules on top of the profile's
+// built-in well-formedness constraints.
+func NewConstraint(id string, target ConstraintTarget, stereotypes []string, description, oclSource string) (Constraint, error) {
+	return profile.NewConstraint(id, target, stereotypes, description, oclSource)
+}
+
+// EvaluateConstraintsWith runs the built-in constraint table plus the
+// given user-defined rules.
+func EvaluateConstraintsWith(um *UMLModel, extra []Constraint) []ConstraintViolation {
+	return profile.EvaluateConstraintsWith(um, extra)
+}
+
+// Profile returns the stereotype and tagged-value inventory of the UML
+// profile (the paper's Figure 3).
+func Profile() ProfileInventory { return profile.ProfileInventory() }
