@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# verify is the full pre-merge gate: static checks plus the entire test
+# suite under the race detector (the parallel emit phase must be
+# data-race-free at any Parallelism setting).
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...

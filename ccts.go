@@ -67,6 +67,14 @@ type (
 	// Cardinality is an occurrence range.
 	Cardinality = core.Cardinality
 
+	// ModelIndex is the resolve-phase index of a model: per-library
+	// symbol tables plus memoized naming-and-design-rule artifacts,
+	// shared by generation, validation and instance generation.
+	// Immutable once built and safe for concurrent readers.
+	ModelIndex = core.ModelIndex
+	// LibraryIndex is the symbol table of one resolved library.
+	LibraryIndex = core.LibraryIndex
+
 	// Context is a CCTS business context declaration (category → values).
 	Context = core.Context
 	// ContextCategory is one of the eight CCTS context categories.
@@ -131,6 +139,17 @@ const (
 
 // NewModel returns an empty core components model.
 func NewModel(name string) *Model { return core.NewModel(name) }
+
+// ResolveModel builds the resolve-phase index of a model. Build it once
+// and pass it to ValidateModelIndexed and GenerateOptions.Index when
+// running several pipeline stages (or repeated generations) over an
+// unchanged model.
+func ResolveModel(m *Model) *ModelIndex { return core.NewModelIndex(m) }
+
+// ResolveLibraries builds a resolve-phase index covering the given
+// libraries and everything they transitively reference; it serves
+// detached libraries without an owning model.
+func ResolveLibraries(libs ...*Library) *ModelIndex { return core.IndexLibraries(libs...) }
 
 // NewContext returns the default (unconstrained) business context; add
 // constraints with Context.With.

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	ccgen -model model.xmi -library EB005-HoardingPermit -root HoardingPermit -out ./schemas [-annotate] [-style shared|composite]
+//	ccgen -model model.xmi -library EB005-HoardingPermit -root HoardingPermit -out ./schemas [-annotate] [-style shared|composite] [-parallel N]
 package main
 
 import (
@@ -36,6 +36,7 @@ func run(args []string) error {
 		style     = fs.String("style", "shared", "global-element rule: shared (paper example) or composite (paper prose)")
 		quiet     = fs.Bool("quiet", false, "suppress status messages")
 		skipCheck = fs.Bool("skip-validation", false, "generate even if the model has validation errors")
+		parallel  = fs.Int("parallel", 1, "emit-phase worker count (capped at GOMAXPROCS); output is identical at any setting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,8 +56,11 @@ func run(args []string) error {
 		return fmt.Errorf("importing %s: %w", *modelPath, err)
 	}
 
+	// Resolve once; validation and generation share the index.
+	index := ccts.ResolveModel(model)
+
 	if !*skipCheck {
-		report := ccts.ValidateModel(model)
+		report := ccts.ValidateModelIndexed(model, index)
 		for _, finding := range report.Findings {
 			fmt.Fprintln(os.Stderr, finding)
 		}
@@ -65,12 +69,12 @@ func run(args []string) error {
 		}
 	}
 
-	lib := model.FindLibrary(*library)
+	lib := index.FindLibrary(*library)
 	if lib == nil {
 		return fmt.Errorf("model has no library %q", *library)
 	}
 
-	opts := ccts.GenerateOptions{Annotate: *annotate}
+	opts := ccts.GenerateOptions{Annotate: *annotate, Parallelism: *parallel, Index: index}
 	switch *style {
 	case "shared":
 		opts.Style = ccts.GlobalShared

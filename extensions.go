@@ -64,6 +64,14 @@ func GenerateSample(set *SchemaSet, rootNamespace, rootName string, mode SampleM
 	return instgen.Generate(set, rootNamespace, rootName, instgen.Options{Mode: mode})
 }
 
+// GenerateSampleForLibrary is GenerateSample addressed by model elements
+// instead of resolved names: the DOCLibrary's namespace and the root
+// ABIE's element name come from the set's resolve-phase index (attached
+// by CompileSchemas), so callers need not re-derive them.
+func GenerateSampleForLibrary(set *SchemaSet, lib *Library, rootABIE *ABIE, mode SampleMode) (string, error) {
+	return instgen.GenerateForLibrary(set, set.Index(), lib, rootABIE, instgen.Options{Mode: mode})
+}
+
 // Maintenance console operations (the paper's planned "core components
 // management console").
 

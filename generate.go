@@ -1,6 +1,7 @@
 package ccts
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"os"
@@ -57,7 +58,10 @@ func Generate(lib *Library, opts GenerateOptions) (*GenerateResult, error) {
 func SchemaFileName(lib *Library) string { return ndr.SchemaFileName(lib) }
 
 // WriteSchemas writes every generated schema into dir, creating it if
-// needed, and returns the written file paths in generation order.
+// needed, and returns the written file paths in generation order. Each
+// schema is written through a buffered writer to a temporary file in
+// the target directory and renamed into place only once fully flushed,
+// so a crashed or failed run never leaves a truncated .xsd behind.
 func WriteSchemas(res *GenerateResult, dir string) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ccts: %w", err)
@@ -65,20 +69,43 @@ func WriteSchemas(res *GenerateResult, dir string) ([]string, error) {
 	var paths []string
 	for _, file := range res.Order {
 		path := filepath.Join(dir, file)
-		f, err := os.Create(path)
-		if err != nil {
-			return nil, fmt.Errorf("ccts: %w", err)
-		}
-		if err := res.Schemas[file].Write(f); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("ccts: writing %s: %w", path, err)
-		}
-		if err := f.Close(); err != nil {
-			return nil, fmt.Errorf("ccts: %w", err)
+		if err := writeSchemaAtomic(res.Schemas[file], dir, path); err != nil {
+			return nil, err
 		}
 		paths = append(paths, path)
 	}
 	return paths, nil
+}
+
+// writeSchemaAtomic writes one schema to a temp file in dir and renames
+// it onto path; the temp file is removed on any failure.
+func writeSchemaAtomic(s *Schema, dir, path string) (err error) {
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ccts: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	w := bufio.NewWriter(f)
+	if err := s.Write(w); err != nil {
+		return fmt.Errorf("ccts: writing %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("ccts: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("ccts: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ccts: %w", err)
+	}
+	return nil
 }
 
 // Instance validation (the schemas "are then used to validate XML
@@ -91,13 +118,18 @@ type (
 )
 
 // CompileSchemas compiles a generation result into an instance
-// validator.
+// validator. The result's resolve-phase index is carried over so
+// model-level lookups on the set reuse resolved names.
 func CompileSchemas(res *GenerateResult) (*SchemaSet, error) {
 	schemas := make([]*xsd.Schema, 0, len(res.Order))
 	for _, file := range res.Order {
 		schemas = append(schemas, res.Schemas[file])
 	}
-	return xsdval.NewSchemaSet(schemas...)
+	set, err := xsdval.NewSchemaSet(schemas...)
+	if err != nil {
+		return nil, err
+	}
+	return set.WithIndex(res.Index), nil
 }
 
 // ParseSchema reads an XSD document (of the NDR subset) from r.

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/go-ccts/ccts/internal/core"
 	"github.com/go-ccts/ccts/internal/xsd"
 	"github.com/go-ccts/ccts/internal/xsdval"
 )
@@ -59,6 +60,26 @@ func Generate(set *xsdval.SchemaSet, rootNamespace, rootName string, opts Option
 	b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
 	g.render(&b, body, 0, true)
 	return b.String(), nil
+}
+
+// GenerateForLibrary produces a sample document for a DOCLibrary root
+// ABIE, resolving the target namespace and root element name through
+// the resolve-phase model index (the same artifacts the generator
+// memoized) instead of requiring the caller to re-derive them. A nil
+// index resolves one from the library.
+func GenerateForLibrary(set *xsdval.SchemaSet, ix *core.ModelIndex, lib *core.Library, rootABIE *core.ABIE, opts Options) (string, error) {
+	if lib == nil {
+		return "", fmt.Errorf("instgen: nil library")
+	}
+	if rootABIE == nil {
+		return "", fmt.Errorf("instgen: nil root ABIE")
+	}
+	if ix == nil {
+		if ix = set.Index(); ix == nil {
+			ix = core.IndexLibraries(lib)
+		}
+	}
+	return Generate(set, ix.Namespace(lib), ix.ABIEElementName(rootABIE), opts)
 }
 
 // node is a generated element tree.

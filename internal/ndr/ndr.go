@@ -6,65 +6,46 @@
 // value, user-defined and auto-numbered namespace prefixes (cdt1, qdt1,
 // bie2, ...), schema file naming, the primitive-to-XSD-builtin mapping
 // and the CCTS annotation blocks.
+//
+// The pure naming primitives live in internal/core (next to the typed
+// model, where the Resolve phase memoizes them in a core.ModelIndex);
+// this package re-exports them so callers keep a single NDR entry point.
 package ndr
 
 import (
 	"fmt"
-	"strings"
 
 	"github.com/go-ccts/ccts/internal/catalog"
 	"github.com/go-ccts/ccts/internal/core"
 	"github.com/go-ccts/ccts/internal/xsd"
 )
 
-// XMLName turns a model element name into a legal XML NCName: spaces and
-// dots are removed, other illegal characters become underscores, and a
-// leading non-letter is prefixed with an underscore. Names like
-// Person_Identification pass through unchanged, matching Figure 6.
-func XMLName(name string) string {
-	var b strings.Builder
-	for _, r := range name {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
-			b.WriteRune(r)
-		case r >= '0' && r <= '9', r == '-':
-			if b.Len() == 0 {
-				b.WriteByte('_') // NCNames cannot start with a digit or hyphen
-			}
-			b.WriteRune(r)
-		case r == ' ', r == '.':
-			// removed entirely
-		default:
-			b.WriteByte('_')
-		}
-	}
-	if b.Len() == 0 {
-		return "_"
-	}
-	return b.String()
-}
+// XMLName turns a model element name into a legal XML NCName; see
+// core.XMLName.
+func XMLName(name string) string { return core.XMLName(name) }
 
-// TypeName derives the complex/simple type name: the XML name plus the
-// Type suffix ("For every aggregate business information entity a
-// complexType is defined which is named after the business entity plus a
-// Type postfix").
-func TypeName(name string) string { return XMLName(name) + "Type" }
+// TypeName derives the complex/simple type name (XML name plus the Type
+// postfix); see core.TypeName.
+func TypeName(name string) string { return core.TypeName(name) }
 
-// ASBIEElementName composes the element name of an ASBIE: "the role name
-// of the ASBIE aggregation plus the name of the target ABIE" —
-// Included + Attachment = IncludedAttachment, Billing +
-// Person_Identification = BillingPerson_Identification.
+// ASBIEElementName composes the element name of an ASBIE (role name plus
+// target ABIE name); see core.ASBIEElementName.
 func ASBIEElementName(role, targetABIE string) string {
-	return XMLName(role) + XMLName(targetABIE)
+	return core.ASBIEElementName(role, targetABIE)
 }
 
 // AttributeUse maps a supplementary component cardinality to the XSD
-// attribute use: lower bound 1 is required, 0 is optional (Figure 8).
-func AttributeUse(card core.Cardinality) string {
-	if card.Lower >= 1 {
-		return "required"
-	}
-	return "optional"
+// attribute use; see core.AttributeUse.
+func AttributeUse(card core.Cardinality) string { return core.AttributeUse(card) }
+
+// SchemaFileName derives the generated file name for a library's schema;
+// see core.SchemaFileName.
+func SchemaFileName(lib *core.Library) string { return core.SchemaFileName(lib) }
+
+// SchemaLocation builds the schemaLocation for an import; see
+// core.SchemaLocation.
+func SchemaLocation(dirPrefix string, lib *core.Library) string {
+	return core.SchemaLocation(dirPrefix, lib)
 }
 
 // primToXSD maps CCTS primitives to XML Schema built-in types ("Where
@@ -168,70 +149,36 @@ func (p *PrefixAllocator) Prefix(lib *core.Library) string {
 	return pre
 }
 
-// SchemaFileName derives the generated file name for a library's schema:
-// the sanitised library name plus the version, e.g.
-// "EB005-HoardingPermit_0.4.xsd". Libraries without a version omit the
-// suffix.
-func SchemaFileName(lib *core.Library) string {
-	name := fileSafe(lib.Name)
-	if lib.Version != "" {
-		name += "_" + fileSafe(lib.Version)
-	}
-	return name + ".xsd"
-}
-
-// SchemaLocation builds the schemaLocation for an import: the optional
-// directory prefix (as chosen in the generator dialog) plus the file
-// name.
-func SchemaLocation(dirPrefix string, lib *core.Library) string {
-	if dirPrefix == "" {
-		return SchemaFileName(lib)
-	}
-	return strings.TrimSuffix(dirPrefix, "/") + "/" + SchemaFileName(lib)
-}
-
-func fileSafe(s string) string {
-	var b strings.Builder
-	for _, r := range s {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
-			r >= '0' && r <= '9', r == '-', r == '_', r == '.':
-			b.WriteRune(r)
-		default:
-			b.WriteByte('_')
-		}
-	}
-	return b.String()
-}
-
 // The CCTS standard prescribes annotation fields per element type; the
 // generator emits them when annotations are enabled. "An ABIE for
 // instance, amongst others, has two mandatory annotation fields Version
-// and Definition."
+// and Definition." The annotation builders take the resolve-phase
+// ModelIndex to reuse memoized dictionary entry names; a nil index is
+// allowed and derives the DENs on the fly.
 
 // ABIEAnnotation builds the CCTS documentation block of an ABIE type.
-func ABIEAnnotation(abie *core.ABIE) *xsd.Annotation {
+func ABIEAnnotation(ix *core.ModelIndex, abie *core.ABIE) *xsd.Annotation {
 	version := abie.Version
 	if version == "" && abie.Library() != nil {
 		version = abie.Library().Version
 	}
 	entries := []xsd.DocEntry{
 		{Tag: "ComponentType", Value: "ABIE"},
-		{Tag: "DictionaryEntryName", Value: abie.DEN()},
+		{Tag: "DictionaryEntryName", Value: ix.DEN(abie)},
 		{Tag: "Version", Value: version},
 		{Tag: "Definition", Value: abie.Definition},
 	}
 	if abie.BasedOn != nil {
-		entries = append(entries, xsd.DocEntry{Tag: "BasedOnACC", Value: abie.BasedOn.DEN()})
+		entries = append(entries, xsd.DocEntry{Tag: "BasedOnACC", Value: ix.DEN(abie.BasedOn)})
 	}
 	return &xsd.Annotation{Documentation: entries}
 }
 
 // BBIEAnnotation builds the CCTS documentation block of a BBIE element.
-func BBIEAnnotation(bbie *core.BBIE) *xsd.Annotation {
+func BBIEAnnotation(ix *core.ModelIndex, bbie *core.BBIE) *xsd.Annotation {
 	return &xsd.Annotation{Documentation: []xsd.DocEntry{
 		{Tag: "ComponentType", Value: "BBIE"},
-		{Tag: "DictionaryEntryName", Value: bbie.DEN()},
+		{Tag: "DictionaryEntryName", Value: ix.DEN(bbie)},
 		{Tag: "Cardinality", Value: bbie.Card.String()},
 		{Tag: "Definition", Value: bbie.Definition},
 	}}
@@ -239,33 +186,33 @@ func BBIEAnnotation(bbie *core.BBIE) *xsd.Annotation {
 
 // ASBIEAnnotation builds the CCTS documentation block of an ASBIE
 // element.
-func ASBIEAnnotation(asbie *core.ASBIE) *xsd.Annotation {
+func ASBIEAnnotation(ix *core.ModelIndex, asbie *core.ASBIE) *xsd.Annotation {
 	return &xsd.Annotation{Documentation: []xsd.DocEntry{
 		{Tag: "ComponentType", Value: "ASBIE"},
-		{Tag: "DictionaryEntryName", Value: asbie.DEN()},
+		{Tag: "DictionaryEntryName", Value: ix.DEN(asbie)},
 		{Tag: "Cardinality", Value: asbie.Card.String()},
 		{Tag: "Definition", Value: asbie.Definition},
 	}}
 }
 
 // CDTAnnotation builds the CCTS documentation block of a CDT type.
-func CDTAnnotation(cdt *core.CDT) *xsd.Annotation {
+func CDTAnnotation(ix *core.ModelIndex, cdt *core.CDT) *xsd.Annotation {
 	return &xsd.Annotation{Documentation: []xsd.DocEntry{
 		{Tag: "ComponentType", Value: "CDT"},
-		{Tag: "DictionaryEntryName", Value: cdt.DEN()},
+		{Tag: "DictionaryEntryName", Value: ix.DEN(cdt)},
 		{Tag: "Definition", Value: cdt.Definition},
 	}}
 }
 
 // QDTAnnotation builds the CCTS documentation block of a QDT type.
-func QDTAnnotation(qdt *core.QDT) *xsd.Annotation {
+func QDTAnnotation(ix *core.ModelIndex, qdt *core.QDT) *xsd.Annotation {
 	entries := []xsd.DocEntry{
 		{Tag: "ComponentType", Value: "QDT"},
-		{Tag: "DictionaryEntryName", Value: qdt.DEN()},
+		{Tag: "DictionaryEntryName", Value: ix.DEN(qdt)},
 		{Tag: "Definition", Value: qdt.Definition},
 	}
 	if qdt.BasedOn != nil {
-		entries = append(entries, xsd.DocEntry{Tag: "BasedOnCDT", Value: qdt.BasedOn.DEN()})
+		entries = append(entries, xsd.DocEntry{Tag: "BasedOnCDT", Value: ix.DEN(qdt.BasedOn)})
 	}
 	return &xsd.Annotation{Documentation: entries}
 }

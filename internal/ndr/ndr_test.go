@@ -157,8 +157,9 @@ func TestSchemaLocation(t *testing.T) {
 
 func TestAnnotations(t *testing.T) {
 	f := fixture.MustBuildHoardingPermit()
+	ix := core.NewModelIndex(f.Model)
 	abie := f.Permit
-	ann := ABIEAnnotation(abie)
+	ann := ABIEAnnotation(ix, abie)
 	tags := map[string]string{}
 	for _, d := range ann.Documentation {
 		tags[d.Tag] = d.Value
@@ -175,7 +176,7 @@ func TestAnnotations(t *testing.T) {
 	}
 
 	bbie := abie.BBIEs[0]
-	bann := BBIEAnnotation(bbie)
+	bann := BBIEAnnotation(ix, bbie)
 	found := false
 	for _, d := range bann.Documentation {
 		if d.Tag == "Cardinality" && d.Value == "0..1" {
@@ -187,13 +188,13 @@ func TestAnnotations(t *testing.T) {
 	}
 
 	asbie := abie.ASBIEs[0]
-	aann := ASBIEAnnotation(asbie)
+	aann := ASBIEAnnotation(ix, asbie)
 	if len(aann.Documentation) == 0 {
 		t.Error("ASBIE annotation empty")
 	}
 
 	cdt := f.Catalog.CDT(catalog.CDTCode)
-	cann := CDTAnnotation(cdt)
+	cann := CDTAnnotation(nil, cdt) // nil index derives the DEN on the fly
 	hasDEN := false
 	for _, d := range cann.Documentation {
 		if d.Tag == "DictionaryEntryName" && d.Value == "Code. Type" {
@@ -205,7 +206,7 @@ func TestAnnotations(t *testing.T) {
 	}
 
 	qdt := f.Model.FindQDT("CountryType")
-	qann := QDTAnnotation(qdt)
+	qann := QDTAnnotation(ix, qdt)
 	hasBase := false
 	for _, d := range qann.Documentation {
 		if d.Tag == "BasedOnCDT" && d.Value == "Code. Type" {

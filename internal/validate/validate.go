@@ -84,10 +84,20 @@ func (r *Report) Errors() []Finding {
 }
 
 // Model runs the semantic rule set over a typed CCTS model.
-func Model(m *core.Model) *Report {
+func Model(m *core.Model) *Report { return ModelIndexed(m, nil) }
+
+// ModelIndexed runs the semantic rule set reusing a resolve-phase model
+// index (duplicate-name detection reads the index's precomputed symbol
+// tables instead of rescanning every library). A nil index resolves one
+// internally; callers that go on to generate schemas should build the
+// index once and share it.
+func ModelIndexed(m *core.Model, ix *core.ModelIndex) *Report {
+	if ix == nil {
+		ix = core.NewModelIndex(m)
+	}
 	r := &Report{}
 	checkNamespaces(r, m)
-	checkLibraries(r, m)
+	checkLibraries(r, m, ix)
 	checkDerivations(r, m)
 	checkCycles(r, m)
 	return r
@@ -109,8 +119,12 @@ func UML(um *uml.Model) *Report {
 
 // All validates a typed model semantically and, via its rendered UML
 // representation, against the profile's OCL constraints.
-func All(m *core.Model) *Report {
-	r := Model(m)
+func All(m *core.Model) *Report { return AllIndexed(m, nil) }
+
+// AllIndexed is All reusing a resolve-phase model index; nil resolves
+// one internally.
+func AllIndexed(m *core.Model, ix *core.ModelIndex) *Report {
+	r := ModelIndexed(m, ix)
 	r.Findings = append(r.Findings, UML(profile.Render(m)).Findings...)
 	return r
 }
@@ -135,7 +149,7 @@ func checkNamespaces(r *Report, m *core.Model) {
 }
 
 // checkLibraries enforces name uniqueness and emptiness rules.
-func checkLibraries(r *Report, m *core.Model) {
+func checkLibraries(r *Report, m *core.Model, ix *core.ModelIndex) {
 	libNames := map[string]bool{}
 	for _, lib := range m.Libraries() {
 		if libNames[lib.Name] {
@@ -148,12 +162,8 @@ func checkLibraries(r *Report, m *core.Model) {
 		if lib.Kind == core.KindDOCLibrary && len(lib.ABIEs) == 0 {
 			r.add("SEM-LIB-3", Error, lib.Name, "DOCLibrary defines no ABIE; no root element can be selected")
 		}
-		names := map[string]bool{}
-		for _, n := range elementNames(lib) {
-			if names[n] {
-				r.add("SEM-LIB-4", Error, lib.Name, "duplicate element name %q in library", n)
-			}
-			names[n] = true
+		for _, n := range duplicateNames(lib, ix) {
+			r.add("SEM-LIB-4", Error, lib.Name, "duplicate element name %q in library", n)
 		}
 		for _, e := range lib.ENUMs {
 			if len(e.Literals) == 0 {
@@ -168,6 +178,24 @@ func checkLibraries(r *Report, m *core.Model) {
 			}
 		}
 	}
+}
+
+// duplicateNames returns every duplicate element-name occurrence beyond
+// the first, in declaration order — from the index's symbol table when
+// the library was resolved, by scanning otherwise.
+func duplicateNames(lib *core.Library, ix *core.ModelIndex) []string {
+	if li := ix.Library(lib); li != nil {
+		return li.Duplicates()
+	}
+	var dups []string
+	seen := map[string]bool{}
+	for _, n := range elementNames(lib) {
+		if seen[n] {
+			dups = append(dups, n)
+		}
+		seen[n] = true
+	}
+	return dups
 }
 
 func elementNames(lib *core.Library) []string {

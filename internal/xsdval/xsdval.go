@@ -16,6 +16,7 @@ import (
 	"regexp"
 	"strings"
 
+	"github.com/go-ccts/ccts/internal/core"
 	"github.com/go-ccts/ccts/internal/xsd"
 )
 
@@ -27,6 +28,11 @@ const xsiNamespace = "http://www.w3.org/2001/XMLSchema-instance"
 // cross-schema type references.
 type SchemaSet struct {
 	byNamespace map[string]*xsd.Schema
+	// index is the resolve-phase model index the schemas were generated
+	// from, when the caller attached one with WithIndex; it lets
+	// model-level lookups (SchemaForLibrary, instance generation) reuse
+	// resolved names instead of re-deriving them.
+	index *core.ModelIndex
 }
 
 // NewSchemaSet builds a set from schemas; duplicate target namespaces are
@@ -56,6 +62,29 @@ func (ss *SchemaSet) Add(s *xsd.Schema) error {
 // Schema returns the schema for a target namespace.
 func (ss *SchemaSet) Schema(namespace string) *xsd.Schema {
 	return ss.byNamespace[namespace]
+}
+
+// WithIndex attaches the resolve-phase model index the schemas came
+// from and returns the set for chaining.
+func (ss *SchemaSet) WithIndex(ix *core.ModelIndex) *SchemaSet {
+	ss.index = ix
+	return ss
+}
+
+// Index returns the attached resolve-phase model index, or nil.
+func (ss *SchemaSet) Index() *core.ModelIndex { return ss.index }
+
+// SchemaForLibrary returns the schema generated for a model library,
+// resolving its target namespace through the attached index when one is
+// present.
+func (ss *SchemaSet) SchemaForLibrary(lib *core.Library) *xsd.Schema {
+	if lib == nil {
+		return nil
+	}
+	if ss.index != nil {
+		return ss.byNamespace[ss.index.Namespace(lib)]
+	}
+	return ss.byNamespace[lib.BaseURN]
 }
 
 // Error is one validation finding, located by element path and input

@@ -35,6 +35,13 @@ const (
 // typed model plus the profile's OCL constraints over its UML rendering.
 func ValidateModel(m *Model) *ValidationReport { return validate.All(m) }
 
+// ValidateModelIndexed is ValidateModel reusing a resolve-phase model
+// index (see ResolveModel), so a validate-then-generate pipeline
+// resolves names once.
+func ValidateModelIndexed(m *Model, ix *ModelIndex) *ValidationReport {
+	return validate.AllIndexed(m, ix)
+}
+
 // ValidateUML evaluates only the profile's OCL constraints over a UML
 // model (e.g. one imported from XMI before extraction).
 func ValidateUML(um *UMLModel) *ValidationReport { return validate.UML(um) }
