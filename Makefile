@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test bench verify
+.PHONY: build test bench verify fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -11,9 +12,19 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# verify is the full pre-merge gate: static checks plus the entire test
+# fuzz-smoke runs every fuzz target briefly against its seed corpus plus
+# whatever the engine mutates in FUZZTIME. It is a smoke test of the
+# ingestion hardening (resource limits, DTD rejection, truncation), not
+# a soak: raise FUZZTIME for a real fuzzing session.
+fuzz-smoke:
+	$(GO) test ./internal/xmi -run='^$$' -fuzz=FuzzImport -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/xsd -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/ocl -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
+
+# verify is the full pre-merge gate: static checks, the entire test
 # suite under the race detector (the parallel emit phase must be
-# data-race-free at any Parallelism setting).
+# data-race-free at any Parallelism setting), and the fuzz smoke pass.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke

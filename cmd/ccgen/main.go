@@ -5,21 +5,34 @@
 // printed during generation; an erroneous model aborts with an error
 // message.
 //
+// The run is interruptible: SIGINT/SIGTERM and the -timeout flag cancel
+// the generation context, draining the emit workers cleanly before the
+// process exits. -h/-help print usage and exit 0.
+//
 // Usage:
 //
-//	ccgen -model model.xmi -library EB005-HoardingPermit -root HoardingPermit -out ./schemas [-annotate] [-style shared|composite] [-parallel N]
+//	ccgen -model model.xmi -library EB005-HoardingPermit -root HoardingPermit -out ./schemas [-annotate] [-style shared|composite] [-parallel N] [-timeout 30s]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	ccts "github.com/go-ccts/ccts"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	err := run(os.Args[1:])
+	if errors.Is(err, flag.ErrHelp) {
+		// Asking for usage is not a failure.
+		return
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccgen:", err)
 		os.Exit(1)
 	}
@@ -37,6 +50,7 @@ func run(args []string) error {
 		quiet     = fs.Bool("quiet", false, "suppress status messages")
 		skipCheck = fs.Bool("skip-validation", false, "generate even if the model has validation errors")
 		parallel  = fs.Int("parallel", 1, "emit-phase worker count (capped at GOMAXPROCS); output is identical at any setting")
+		timeout   = fs.Duration("timeout", 0, "abort the run after this duration (0 disables the limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,6 +58,16 @@ func run(args []string) error {
 	if *modelPath == "" || *library == "" {
 		fs.Usage()
 		return fmt.Errorf("-model and -library are required")
+	}
+
+	// The generation context: cancelled by SIGINT/SIGTERM and, when
+	// -timeout is set, by the deadline. Plan and emit both observe it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	f, err := os.Open(*modelPath)
@@ -96,9 +120,9 @@ func run(args []string) error {
 			}
 			return fmt.Errorf("DOCLibrary %q requires -root; available: %v", lib.Name, roots)
 		}
-		res, err = ccts.GenerateDocument(lib, *root, opts)
+		res, err = ccts.GenerateDocumentContext(ctx, lib, *root, opts)
 	} else {
-		res, err = ccts.Generate(lib, opts)
+		res, err = ccts.GenerateContext(ctx, lib, opts)
 	}
 	if err != nil {
 		return err

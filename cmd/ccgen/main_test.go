@@ -1,6 +1,9 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -70,6 +73,45 @@ func TestGenerateBIELibraryCLI(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestHelpIsNotAnError: -h must surface flag.ErrHelp so main exits 0.
+func TestHelpIsNotAnError(t *testing.T) {
+	for _, args := range [][]string{{"-h"}, {"-help"}} {
+		err := run(args)
+		if !errors.Is(err, flag.ErrHelp) {
+			t.Errorf("run(%v) = %v, want flag.ErrHelp", args, err)
+		}
+	}
+}
+
+// TestTimeoutCancelsGeneration: an absurdly small -timeout must abort
+// the run with a wrapped deadline error instead of writing schemas.
+func TestTimeoutCancelsGeneration(t *testing.T) {
+	dir := t.TempDir()
+	model := writeSampleModel(t, dir)
+	out := filepath.Join(dir, "schemas")
+	err := run([]string{
+		"-model", model,
+		"-library", "EB005-HoardingPermit",
+		"-root", "HoardingPermit",
+		"-out", out,
+		"-quiet",
+		"-timeout", "1ns",
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+	if _, statErr := os.Stat(out); !os.IsNotExist(statErr) {
+		t.Errorf("cancelled run created output dir: %v", statErr)
+	}
+}
+
+// TestBadTimeoutFlag: a malformed -timeout is a usage error.
+func TestBadTimeoutFlag(t *testing.T) {
+	if err := run([]string{"-timeout", "banana"}); err == nil {
+		t.Error("malformed -timeout should fail")
 	}
 }
 

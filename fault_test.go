@@ -1,0 +1,111 @@
+package ccts
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/faultio"
+	"github.com/go-ccts/ccts/internal/fixture"
+)
+
+// assertNoTempFiles fails the test if any *.tmp* file from the atomic
+// write path survives in dir.
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return
+		}
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leaked temp file %s", e.Name())
+		}
+	}
+}
+
+// TestWriteSchemasInjectedWriteFailure interposes a failing writer under
+// the buffered encoder and asserts the atomic write path aborts cleanly:
+// the error is the injected fault wrapped with the schema file name, and
+// no temp file survives in the target directory.
+func TestWriteSchemasInjectedWriteFailure(t *testing.T) {
+	f, err := fixture.BuildHoardingPermit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GenerateDocument(f.DOCLib, "HoardingPermit", GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapSchemaWriter = func(w io.Writer) io.Writer {
+		return &faultio.Writer{W: w, Limit: 64}
+	}
+	defer func() { wrapSchemaWriter = nil }()
+
+	dir := t.TempDir()
+	_, err = WriteSchemas(res, dir)
+	if err == nil {
+		t.Fatal("want error from injected write failure, got nil")
+	}
+	if !errors.Is(err, faultio.ErrInjected) {
+		t.Errorf("err = %v, want wrapped faultio.ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), res.Order[0]) {
+		t.Errorf("err = %q does not name the schema file %s", err, res.Order[0])
+	}
+	assertNoTempFiles(t, dir)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("failed run left %d file(s) behind", len(entries))
+	}
+}
+
+// TestWriteSchemasFailureAtLaterFile injects the fault only after the
+// first schema is fully written: earlier completed files must survive
+// intact while the failing one leaves no temp file.
+func TestWriteSchemasFailureAtLaterFile(t *testing.T) {
+	f, err := fixture.BuildHoardingPermit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GenerateDocument(f.DOCLib, "HoardingPermit", GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Order) < 2 {
+		t.Skip("need at least two schemas")
+	}
+	calls := 0
+	wrapSchemaWriter = func(w io.Writer) io.Writer {
+		calls++
+		if calls == 2 {
+			return &faultio.Writer{W: w, Limit: 16}
+		}
+		return w
+	}
+	defer func() { wrapSchemaWriter = nil }()
+
+	dir := t.TempDir()
+	_, err = WriteSchemas(res, dir)
+	if !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("err = %v, want wrapped faultio.ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), res.Order[1]) {
+		t.Errorf("err = %q does not name the failing schema file %s", err, res.Order[1])
+	}
+	assertNoTempFiles(t, dir)
+	// The first schema completed before the fault and must be intact.
+	if _, err := os.Stat(filepath.Join(dir, res.Order[0])); err != nil {
+		t.Errorf("first schema missing after later failure: %v", err)
+	}
+}

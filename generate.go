@@ -2,6 +2,7 @@ package ccts
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -53,6 +54,19 @@ func Generate(lib *Library, opts GenerateOptions) (*GenerateResult, error) {
 	return gen.Generate(lib, opts)
 }
 
+// GenerateDocumentContext is GenerateDocument under a cancellation
+// context: both the plan walk and the emit workers observe ctx, so a
+// timeout or interrupt drains the run cleanly and surfaces as a wrapped
+// context error.
+func GenerateDocumentContext(ctx context.Context, lib *Library, rootABIE string, opts GenerateOptions) (*GenerateResult, error) {
+	return gen.GenerateDocumentContext(ctx, lib, rootABIE, opts)
+}
+
+// GenerateContext is Generate under a cancellation context.
+func GenerateContext(ctx context.Context, lib *Library, opts GenerateOptions) (*GenerateResult, error) {
+	return gen.GenerateContext(ctx, lib, opts)
+}
+
 // SchemaFileName returns the file name the generator uses for a
 // library's schema (e.g. "CommonAggregates_0.1.xsd").
 func SchemaFileName(lib *Library) string { return ndr.SchemaFileName(lib) }
@@ -77,12 +91,22 @@ func WriteSchemas(res *GenerateResult, dir string) ([]string, error) {
 	return paths, nil
 }
 
+// wrapSchemaWriter is the fault-injection seam of the write path: tests
+// interpose a failing writer between the buffered encoder and the temp
+// file to prove that a mid-write failure aborts cleanly, leaves no
+// *.tmp* file behind and surfaces an error naming the schema. It is nil
+// in production.
+var wrapSchemaWriter func(io.Writer) io.Writer
+
 // writeSchemaAtomic writes one schema to a temp file in dir and renames
-// it onto path; the temp file is removed on any failure.
+// it onto path; the temp file is removed on any failure. The temp file
+// is fsynced before the rename (and the directory after it,
+// best-effort), so the crash-safety claim holds across power loss, not
+// just process death.
 func writeSchemaAtomic(s *Schema, dir, path string) (err error) {
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
-		return fmt.Errorf("ccts: %w", err)
+		return fmt.Errorf("ccts: creating temp file for %s: %w", path, err)
 	}
 	tmp := f.Name()
 	defer func() {
@@ -91,19 +115,33 @@ func writeSchemaAtomic(s *Schema, dir, path string) (err error) {
 			os.Remove(tmp)
 		}
 	}()
-	w := bufio.NewWriter(f)
+	var out io.Writer = f
+	if wrapSchemaWriter != nil {
+		out = wrapSchemaWriter(out)
+	}
+	w := bufio.NewWriter(out)
 	if err := s.Write(w); err != nil {
 		return fmt.Errorf("ccts: writing %s: %w", path, err)
 	}
 	if err := w.Flush(); err != nil {
 		return fmt.Errorf("ccts: writing %s: %w", path, err)
 	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("ccts: syncing %s: %w", path, err)
+	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("ccts: %w", err)
+		return fmt.Errorf("ccts: closing %s: %w", path, err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("ccts: %w", err)
+		return fmt.Errorf("ccts: renaming %s into place: %w", path, err)
+	}
+	// Sync the directory so the rename itself is durable; best-effort
+	// because not every platform or filesystem supports fsync on
+	// directories.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
 	}
 	return nil
 }

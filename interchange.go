@@ -3,7 +3,10 @@ package ccts
 import (
 	"io"
 
+	"github.com/go-ccts/ccts/internal/limits"
+	"github.com/go-ccts/ccts/internal/profile"
 	"github.com/go-ccts/ccts/internal/registry"
+	"github.com/go-ccts/ccts/internal/validate"
 	"github.com/go-ccts/ccts/internal/xmi"
 )
 
@@ -24,6 +27,66 @@ func ImportXMI(r io.Reader) (*Model, error) {
 		return nil, err
 	}
 	return FromUML(um)
+}
+
+// ImportXMIDiagnostics reads an XMI document leniently: instead of
+// aborting on the first defect, recoverable problems — dangling ID
+// references, unknown stereotypes, malformed tagged values or
+// multiplicities — are collected as findings with source positions, and
+// a best-effort partial UML model is returned alongside them. Defective
+// associations and dependencies are dropped from the partial model so
+// downstream passes never see half-resolved links. Unrecoverable
+// problems (malformed XML, resource-limit violations) still return an
+// error; the model may then be nil.
+//
+// This is the repair workflow counterpart to ImportUMLXMI: a registry
+// ingesting third-party XMI can show every defect with line:col in one
+// pass rather than failing defect-by-defect.
+func ImportXMIDiagnostics(r io.Reader) (*UMLModel, *validate.Report, error) {
+	um, diags, err := xmi.ImportWithOptions(r, xmi.ImportOptions{
+		Limits:          limits.Default(),
+		Lenient:         true,
+		StereotypeKnown: knownProfileStereotype,
+	})
+	report := &validate.Report{}
+	for _, d := range diags {
+		report.Findings = append(report.Findings, validate.Finding{
+			Rule:     d.Rule,
+			Severity: validate.Error,
+			Element:  d.Element,
+			Message:  d.Message,
+			Line:     d.Line,
+			Col:      d.Col,
+		})
+	}
+	return um, report, err
+}
+
+// knownProfileStereotype reports whether a stereotype is one the UML
+// profile defines for the given element kind; the lenient importer flags
+// the rest as XMI-STEREO findings.
+func knownProfileStereotype(element, st string) bool {
+	switch element {
+	case "package":
+		return st == profile.StBusinessLibrary || profile.IsLibraryStereotype(st)
+	case "class":
+		switch st {
+		case profile.StACC, profile.StABIE, profile.StCDT, profile.StQDT, profile.StPRIM:
+			return true
+		}
+	case "enumeration":
+		return st == profile.StENUM
+	case "attribute":
+		switch st {
+		case profile.StBCC, profile.StBBIE, profile.StCON, profile.StSUP:
+			return true
+		}
+	case "association":
+		return st == profile.StASCC || st == profile.StASBIE
+	case "dependency":
+		return st == profile.StBasedOn
+	}
+	return false
 }
 
 // ExportUMLXMI writes a UML model as XMI without extraction, for tooling

@@ -1,0 +1,80 @@
+// Package faultio provides failing and truncating I/O wrappers for the
+// fault-injection test harness. Production code never imports it; tests
+// use it to prove that an injected write failure, a truncated input
+// stream or a short write surfaces as a structured error — no crash, no
+// leaked temp file, no hung worker.
+package faultio
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the default error reported by the wrappers.
+var ErrInjected = errors.New("faultio: injected fault")
+
+// Writer passes writes through to W until Limit bytes have been
+// written, then fails every subsequent write with Err (ErrInjected when
+// nil). A Limit of 0 fails the first write.
+type Writer struct {
+	W     io.Writer
+	Limit int64
+	Err   error
+
+	n int64
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	fail := w.Err
+	if fail == nil {
+		fail = ErrInjected
+	}
+	if w.n >= w.Limit {
+		return 0, fail
+	}
+	if rest := w.Limit - w.n; int64(len(p)) > rest {
+		// Short write: part of the data lands before the fault.
+		n, err := w.W.Write(p[:rest])
+		w.n += int64(n)
+		if err != nil {
+			return n, err
+		}
+		return n, fail
+	}
+	n, err := w.W.Write(p)
+	w.n += int64(n)
+	return n, err
+}
+
+// Written returns the number of bytes that reached the underlying
+// writer.
+func (w *Writer) Written() int64 { return w.n }
+
+// Reader passes reads through from R until Limit bytes have been
+// served, then fails with Err (io.ErrUnexpectedEOF when nil) —
+// simulating a connection dropped mid-transfer.
+type Reader struct {
+	R     io.Reader
+	Limit int64
+	Err   error
+
+	n int64
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	fail := r.Err
+	if fail == nil {
+		fail = io.ErrUnexpectedEOF
+	}
+	if r.n >= r.Limit {
+		return 0, fail
+	}
+	if rest := r.Limit - r.n; int64(len(p)) > rest {
+		p = p[:rest]
+	}
+	n, err := r.R.Read(p)
+	r.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,54 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestWriterFailsAfterLimit(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, Limit: 5}
+	n, err := w.Write([]byte("hello world"))
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("first write: n=%d err=%v, want 5, ErrInjected", n, err)
+	}
+	if buf.String() != "hello" {
+		t.Errorf("short write delivered %q, want %q", buf.String(), "hello")
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("subsequent write: %v, want ErrInjected", err)
+	}
+	if w.Written() != 5 {
+		t.Errorf("Written() = %d, want 5", w.Written())
+	}
+}
+
+func TestWriterCustomError(t *testing.T) {
+	boom := errors.New("boom")
+	w := &Writer{W: io.Discard, Limit: 0, Err: boom}
+	if _, err := w.Write([]byte("a")); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want custom error", err)
+	}
+}
+
+func TestReaderTruncates(t *testing.T) {
+	r := &Reader{R: strings.NewReader("hello world"), Limit: 5}
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("ReadAll error %v, want ErrUnexpectedEOF", err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("read %q before fault, want %q", got, "hello")
+	}
+}
+
+func TestReaderCustomError(t *testing.T) {
+	boom := errors.New("line dropped")
+	r := &Reader{R: strings.NewReader("abc"), Limit: 1, Err: boom}
+	if _, err := io.ReadAll(r); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want custom error", err)
+	}
+}

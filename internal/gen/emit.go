@@ -1,7 +1,11 @@
 package gen
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -20,16 +24,86 @@ type opOut struct {
 // opRef addresses one operation inside the plan's unit/op grid.
 type opRef struct{ unit, op int }
 
+// OpError is the structured error produced when one emission operation
+// panics. The panic is confined to the operation: the worker pool
+// drains cleanly and every other library still emits, so a single run
+// reports every failing operation via errors.Join.
+type OpError struct {
+	// Library and Kind name the library whose operation failed.
+	Library string
+	Kind    string
+	// Op names the failing operation, e.g. `ABIE "Address"`.
+	Op string
+	// Recovered is the recovered panic value.
+	Recovered any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *OpError) Error() string {
+	return fmt.Sprintf("gen: panic emitting %s of %s %q: %v", e.Op, e.Kind, e.Library, e.Recovered)
+}
+
+// opLabel names an operation for OpError and status messages.
+func opLabel(op emitOp) string {
+	switch {
+	case op.abie != nil:
+		return fmt.Sprintf("ABIE %q", op.abie.Name)
+	case op.cdt != nil:
+		return fmt.Sprintf("CDT %q", op.cdt.Name)
+	case op.qdt != nil:
+		return fmt.Sprintf("QDT %q", op.qdt.Name)
+	default:
+		return fmt.Sprintf("ENUM %q", op.enum.Name)
+	}
+}
+
+// testEmitFault, when non-nil, runs before every emission operation. It
+// is the fault-injection hook of the test harness: tests make it panic
+// or block to prove panic isolation and clean cancellation drain.
+var testEmitFault func(lib *core.Library, op string)
+
+// safeOp executes one operation with panic isolation; a panicking
+// operation becomes a structured OpError instead of crashing the
+// process or wedging the pool.
+func (p *Plan) safeOp(u *planUnit, j int) (out opOut, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &OpError{
+				Library:   u.lib.Name,
+				Kind:      u.lib.Kind.String(),
+				Op:        opLabel(u.ops[j]),
+				Recovered: r,
+				Stack:     debug.Stack(),
+			}
+		}
+	}()
+	if testEmitFault != nil {
+		testEmitFault(u.lib, opLabel(u.ops[j]))
+	}
+	return p.runOp(u, u.ops[j]), nil
+}
+
 // Execute runs the emit phase: every operation of the plan is executed
 // — on a bounded worker pool when Options.Parallelism asks for one —
 // and the resulting nodes are merged into schema documents in plan
 // order. Because the plan fixed all ordering, prefixes and imports
 // up front and each operation only reads the immutable plan and model
 // index, the output is byte-identical regardless of worker count.
+//
+// Failure semantics: a panicking operation is isolated into an OpError
+// and the remaining operations still run, so the returned error (built
+// with errors.Join) names every failing library, not just the first. A
+// cancelled Options.Context stops workers claiming further operations,
+// drains the pool and returns the wrapped context error.
 func (p *Plan) Execute() (*Result, error) {
+	ctx := p.opts.ctx()
 	outs := make([][]opOut, len(p.units))
+	errs := make([][]error, len(p.units))
 	for i, u := range p.units {
 		outs[i] = make([]opOut, len(u.ops))
+		errs[i] = make([]error, len(u.ops))
 	}
 	workers := p.opts.Parallelism
 	if max := runtime.GOMAXPROCS(0); workers > max {
@@ -40,21 +114,46 @@ func (p *Plan) Execute() (*Result, error) {
 	}
 	if workers <= 1 {
 		for i, u := range p.units {
-			for j, op := range u.ops {
-				outs[i][j] = p.runOp(u, op)
+			for j := range u.ops {
+				if ctx.Err() != nil {
+					return nil, fmt.Errorf("gen: emit cancelled: %w", ctx.Err())
+				}
+				outs[i][j], errs[i][j] = p.safeOp(u, j)
 			}
 			p.sink.emitf("emitted %d definition(s) for %s %s", len(u.ops), u.lib.Kind, u.lib.Name)
 		}
 	} else {
-		p.executeParallel(outs, workers)
+		p.executeParallel(ctx, outs, errs, workers)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("gen: emit cancelled: %w", err)
+	}
+	if err := joinOpErrors(errs); err != nil {
+		return nil, err
 	}
 	return p.merge(outs)
 }
 
+// joinOpErrors aggregates the per-operation error grid in plan order so
+// one run reports every failing library.
+func joinOpErrors(errs [][]error) error {
+	var all []error
+	for _, unit := range errs {
+		for _, err := range unit {
+			if err != nil {
+				all = append(all, err)
+			}
+		}
+	}
+	return errors.Join(all...)
+}
+
 // executeParallel fans the flattened operation list out to the worker
 // pool in chunks; a per-unit countdown reports each library's
-// completion through the serialized status sink.
-func (p *Plan) executeParallel(outs [][]opOut, workers int) {
+// completion through the serialized status sink. Workers observe the
+// context between operations, so cancellation drains the pool without
+// leaking goroutines or deadlocking the chunk counter.
+func (p *Plan) executeParallel(ctx context.Context, outs [][]opOut, errs [][]error, workers int) {
 	flat := make([]opRef, 0, p.totalOps)
 	remaining := make([]atomic.Int64, len(p.units))
 	for i, u := range p.units {
@@ -81,6 +180,9 @@ func (p *Plan) executeParallel(outs [][]opOut, workers int) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				start := next.Add(chunk) - chunk
 				if start >= int64(len(flat)) {
 					return
@@ -90,8 +192,11 @@ func (p *Plan) executeParallel(outs [][]opOut, workers int) {
 					end = int64(len(flat))
 				}
 				for _, ref := range flat[start:end] {
+					if ctx.Err() != nil {
+						return
+					}
 					u := p.units[ref.unit]
-					outs[ref.unit][ref.op] = p.runOp(u, u.ops[ref.op])
+					outs[ref.unit][ref.op], errs[ref.unit][ref.op] = p.safeOp(u, ref.op)
 					if remaining[ref.unit].Add(-1) == 0 {
 						p.sink.emitf("emitted %d definition(s) for %s %s", len(u.ops), u.lib.Kind, u.lib.Name)
 					}

@@ -220,9 +220,20 @@ func (pl *planner) declare(u *planUnit, prefix, uri string) {
 	u.decls = append(u.decls, xsd.Namespace{Prefix: prefix, URI: uri})
 }
 
+// ctxErr reports a cancelled plan walk as a wrapped context error.
+func (pl *planner) ctxErr() error {
+	if err := pl.opts.ctx().Err(); err != nil {
+		return fmt.Errorf("gen: plan cancelled: %w", err)
+	}
+	return nil
+}
+
 // ensureLibrary plans the full schema of a library (all its elements)
 // exactly once.
 func (pl *planner) ensureLibrary(lib *core.Library) error {
+	if err := pl.ctxErr(); err != nil {
+		return err
+	}
 	u, err := pl.unitFor(lib)
 	if err != nil {
 		return err
@@ -301,6 +312,9 @@ func globalStyle(style ASBIEStyle, kind uml.AggregationKind) bool {
 // Add-In starts at the selected root element and pursues every outgoing
 // aggregation and composition connector").
 func (pl *planner) planABIETree(u *planUnit, lib *core.Library, abie *core.ABIE) error {
+	if err := pl.ctxErr(); err != nil {
+		return err
+	}
 	if pl.emitted[abie] {
 		return nil
 	}

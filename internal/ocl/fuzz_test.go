@@ -1,6 +1,9 @@
 package ocl
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // FuzzParse checks that arbitrary input never panics the parser, and
 // that anything that parses also evaluates (or errors) without panicking
@@ -19,6 +22,10 @@ func FuzzParse(f *testing.F) {
 		"-> -> ->",
 		"'unterminated",
 		"\x00\xff",
+		// Limit-edge seeds: pathological nesting and an oversized token.
+		strings.Repeat("(", 500) + "1" + strings.Repeat(")", 500),
+		"'" + strings.Repeat("x", 1<<16) + "'",
+		strings.Repeat("self.", 1000) + "x",
 	}
 	for _, s := range seeds {
 		f.Add(s)

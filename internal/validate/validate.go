@@ -37,16 +37,25 @@ func (s Severity) String() string {
 // Finding is one validation result.
 type Finding struct {
 	// Rule is the stable rule identifier (semantic rules are prefixed
-	// "SEM-", profile constraint IDs pass through).
+	// "SEM-", profile constraint IDs pass through; import diagnostics
+	// use "XMI-").
 	Rule     string
 	Severity Severity
 	// Element locates the finding.
 	Element string
 	Message string
+	// Line and Col locate the finding in a source document when the
+	// finding came from an import (1-based; zero when the finding has no
+	// source position, e.g. semantic rules over an in-memory model).
+	Line int
+	Col  int
 }
 
 // String renders the finding for reports.
 func (f Finding) String() string {
+	if f.Line > 0 {
+		return fmt.Sprintf("%s [%s] %s: %s (at %d:%d)", f.Severity, f.Rule, f.Element, f.Message, f.Line, f.Col)
+	}
 	return fmt.Sprintf("%s [%s] %s: %s", f.Severity, f.Rule, f.Element, f.Message)
 }
 

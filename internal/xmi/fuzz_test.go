@@ -1,6 +1,7 @@
 package xmi
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/go-ccts/ccts/internal/fixture"
@@ -17,6 +18,13 @@ func FuzzImport(f *testing.F) {
 	f.Add(`<xmi:XMI xmlns:xmi="http://schema.omg.org/spec/XMI/2.1" xmlns:uml="http://schema.omg.org/spec/UML/2.1"><uml:Model xmi:id="m" name="X"></uml:Model></xmi:XMI>`)
 	f.Add(`<broken`)
 	f.Add("")
+	// Limit-edge seeds: nesting beyond the default depth limit, an
+	// attribute value past the default token-length limit, and the DTD /
+	// entity declarations the hardened decoder rejects outright.
+	f.Add(strings.Repeat("<a>", 200) + strings.Repeat("</a>", 200))
+	f.Add(`<a b="` + strings.Repeat("x", 1<<20+1) + `"/>`)
+	f.Add(`<!DOCTYPE foo [<!ENTITY bomb "x">]><xmi:XMI xmlns:xmi="http://schema.omg.org/spec/XMI/2.1">&bomb;</xmi:XMI>`)
+	f.Add(`<?xml version="1.0"?><!DOCTYPE lolz [<!ENTITY lol "lol"><!ENTITY lol2 "&lol;&lol;">]><lolz>&lol2;</lolz>`)
 	f.Fuzz(func(t *testing.T, doc string) {
 		m, err := ImportString(doc)
 		if err != nil {

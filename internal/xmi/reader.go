@@ -6,25 +6,55 @@ import (
 	"io"
 	"strings"
 
+	"github.com/go-ccts/ccts/internal/limits"
 	"github.com/go-ccts/ccts/internal/uml"
 )
 
-// Import reads an XMI document produced by Export back into a UML model.
-// References (association ends, dependency clients/suppliers) may point
-// forward in the document; they are resolved in a second pass.
+// ImportOptions steer the hardened importer.
+type ImportOptions struct {
+	// Limits bounds the resources the document may consume; the zero
+	// value disables all limits (Import itself applies limits.Default).
+	Limits limits.Limits
+	// Lenient switches the importer from fail-fast to best-effort:
+	// model-level defects (dangling ID references, malformed tagged
+	// values or multiplicities, unsupported elements) are collected as
+	// Diagnostics and the partial model is returned. Stream-level
+	// failures (XML syntax, limit violations, I/O) still abort.
+	Lenient bool
+	// StereotypeKnown, when set, is consulted for every non-empty
+	// stereotype encountered; unknown stereotypes become Diagnostics in
+	// lenient mode (and are ignored otherwise). The element argument
+	// names the UML element kind: "package", "class", "enumeration",
+	// "attribute", "association", "dependency".
+	StereotypeKnown func(element, stereotype string) bool
+}
+
+// Diagnostic is one best-effort import finding, positioned at the
+// 1-based line:col where the defect appeared in the document.
+type Diagnostic struct {
+	// Rule is a stable identifier (XMI-REF, XMI-STEREO, XMI-TAG,
+	// XMI-MULT, XMI-AGG, XMI-ELEM, XMI-TYPE).
+	Rule string
+	// Element names the model element the defect is attached to.
+	Element string
+	// Message describes the defect.
+	Message string
+	// Line and Col locate the defect in the XMI document.
+	Line, Col int
+}
+
+// String renders the diagnostic for reports.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%d:%d [%s] %s: %s", d.Line, d.Col, d.Rule, d.Element, d.Message)
+}
+
+// Import reads an XMI document produced by Export back into a UML model,
+// enforcing the default ingestion limits. References (association ends,
+// dependency clients/suppliers) may point forward in the document; they
+// are resolved in a second pass.
 func Import(r io.Reader) (*uml.Model, error) {
-	dec := xml.NewDecoder(r)
-	p := &importer{
-		byID: map[string]any{},
-	}
-	model, err := p.document(dec)
-	if err != nil {
-		return nil, err
-	}
-	if err := p.resolve(); err != nil {
-		return nil, err
-	}
-	return model, nil
+	m, _, err := ImportWithOptions(r, ImportOptions{Limits: limits.Default()})
+	return m, err
 }
 
 // ImportString reads an XMI document from a string.
@@ -32,21 +62,82 @@ func ImportString(doc string) (*uml.Model, error) {
 	return Import(strings.NewReader(doc))
 }
 
+// ImportWithOptions reads an XMI document under explicit options. In
+// lenient mode the returned model may be partial and the diagnostics
+// describe every defect that was skipped over; in strict mode
+// diagnostics are always nil and the first defect aborts with a
+// positional error.
+func ImportWithOptions(r io.Reader, opts ImportOptions) (*uml.Model, []Diagnostic, error) {
+	dec := limits.NewDecoder(r, opts.Limits)
+	p := &importer{
+		byID:            map[string]any{},
+		dec:             dec,
+		lenient:         opts.Lenient,
+		stereotypeKnown: opts.StereotypeKnown,
+	}
+	model, err := p.document()
+	if err != nil {
+		return nil, p.diags, err
+	}
+	if err := p.resolve(); err != nil {
+		return nil, p.diags, err
+	}
+	return model, p.diags, nil
+}
+
 // pendingAssociation defers end resolution until all classes are known.
 type pendingAssociation struct {
 	assoc          *uml.Association
+	owner          *uml.Package
 	source, target string
+	line, col      int
 }
 
 type pendingDependency struct {
 	dep              *uml.Dependency
+	owner            *uml.Package
 	client, supplier string
+	line, col        int
 }
 
 type importer struct {
 	byID         map[string]any
 	associations []pendingAssociation
 	dependencies []pendingDependency
+
+	dec             *limits.Decoder
+	lenient         bool
+	stereotypeKnown func(element, stereotype string) bool
+	diags           []Diagnostic
+}
+
+// failf aborts in strict mode and records a diagnostic in lenient mode
+// (returning nil so the caller can recover and continue).
+func (p *importer) failf(rule, element, format string, args ...any) error {
+	if !p.lenient {
+		return p.dec.Wrap("xmi", fmt.Errorf(format, args...))
+	}
+	line, col := p.dec.Pos()
+	p.diags = append(p.diags, Diagnostic{
+		Rule: rule, Element: element,
+		Message: fmt.Sprintf(format, args...),
+		Line:    line, Col: col,
+	})
+	return nil
+}
+
+// checkStereotype records a diagnostic for stereotypes the configured
+// profile checker does not know.
+func (p *importer) checkStereotype(element, name, st string) {
+	if st == "" || p.stereotypeKnown == nil || p.stereotypeKnown(element, st) {
+		return
+	}
+	line, col := p.dec.Pos()
+	p.diags = append(p.diags, Diagnostic{
+		Rule: "XMI-STEREO", Element: name,
+		Message: fmt.Sprintf("unknown %s stereotype %q", element, st),
+		Line:    line, Col: col,
+	})
 }
 
 func attr(se xml.StartElement, local string) string {
@@ -67,22 +158,46 @@ func xmiType(se xml.StartElement) string {
 	return attr(se, "type")
 }
 
-func parseMult(se xml.StartElement) (uml.Multiplicity, error) {
+// parseMult reads the lower/upper multiplicity attributes; in lenient
+// mode a malformed range is diagnosed and defaults to 1..1.
+func (p *importer) parseMult(se xml.StartElement, element string) (uml.Multiplicity, error) {
 	lower, upper := attr(se, "lower"), attr(se, "upper")
 	if lower == "" && upper == "" {
 		return uml.One, nil
 	}
-	return uml.ParseMultiplicity(lower + ".." + upper)
+	m, err := uml.ParseMultiplicity(lower + ".." + upper)
+	if err != nil {
+		if ferr := p.failf("XMI-MULT", element, "malformed multiplicity %q..%q: %v", lower, upper, err); ferr != nil {
+			return uml.One, ferr
+		}
+		return uml.One, nil
+	}
+	return m, nil
 }
 
-func (p *importer) document(dec *xml.Decoder) (*uml.Model, error) {
+// taggedValue applies one taggedValue element; a missing tag name is a
+// malformed tagged value.
+func (p *importer) taggedValue(se xml.StartElement, element string, tags *uml.TaggedValues) error {
+	tag := attr(se, "tag")
+	if tag == "" {
+		if err := p.failf("XMI-TAG", element, "taggedValue without tag name"); err != nil {
+			return err
+		}
+		return p.dec.Skip()
+	}
+	tags.Set(tag, attr(se, "value"))
+	return p.dec.Skip()
+}
+
+func (p *importer) document() (*uml.Model, error) {
+	dec := p.dec
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
 			return nil, fmt.Errorf("xmi: no uml:Model element found")
 		}
 		if err != nil {
-			return nil, fmt.Errorf("xmi: %w", err)
+			return nil, dec.Wrap("xmi", err)
 		}
 		se, ok := tok.(xml.StartElement)
 		if !ok {
@@ -92,39 +207,56 @@ func (p *importer) document(dec *xml.Decoder) (*uml.Model, error) {
 		case se.Name.Local == "XMI":
 			continue // descend
 		case se.Name.Local == "Model" && se.Name.Space == UMLNamespace:
-			return p.model(dec, se)
+			return p.model(se)
 		default:
-			return nil, fmt.Errorf("xmi: unexpected element <%s>", se.Name.Local)
+			if err := p.failf("XMI-ELEM", se.Name.Local, "unexpected element <%s>", se.Name.Local); err != nil {
+				return nil, err
+			}
+			if err := dec.Skip(); err != nil {
+				return nil, dec.Wrap("xmi", err)
+			}
 		}
 	}
 }
 
-func (p *importer) model(dec *xml.Decoder, se xml.StartElement) (*uml.Model, error) {
+func (p *importer) model(se xml.StartElement) (*uml.Model, error) {
+	dec := p.dec
 	m := uml.NewModel(attr(se, "name"))
 	for {
 		tok, err := dec.Token()
 		if err != nil {
-			return nil, fmt.Errorf("xmi: %w", err)
+			return nil, dec.Wrap("xmi", err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
 			switch t.Name.Local {
 			case "taggedValue":
-				m.Tags.Set(attr(t, "tag"), attr(t, "value"))
-				if err := dec.Skip(); err != nil {
+				if err := p.taggedValue(t, m.Name, &m.Tags); err != nil {
 					return nil, err
 				}
 			case "packagedElement":
 				if xmiType(t) != "uml:Package" {
-					return nil, fmt.Errorf("xmi: model children must be packages, got %q", xmiType(t))
+					if err := p.failf("XMI-TYPE", attr(t, "name"), "model children must be packages, got %q", xmiType(t)); err != nil {
+						return nil, err
+					}
+					if err := dec.Skip(); err != nil {
+						return nil, dec.Wrap("xmi", err)
+					}
+					continue
 				}
+				p.checkStereotype("package", attr(t, "name"), attr(t, "stereotype"))
 				pkg := m.AddPackage(attr(t, "name"), attr(t, "stereotype"))
 				p.byID[attr(t, "id")] = pkg
-				if err := p.packageBody(dec, pkg); err != nil {
+				if err := p.packageBody(pkg); err != nil {
 					return nil, err
 				}
 			default:
-				return nil, fmt.Errorf("xmi: unexpected model child <%s>", t.Name.Local)
+				if err := p.failf("XMI-ELEM", m.Name, "unexpected model child <%s>", t.Name.Local); err != nil {
+					return nil, err
+				}
+				if err := dec.Skip(); err != nil {
+					return nil, dec.Wrap("xmi", err)
+				}
 			}
 		case xml.EndElement:
 			if t.Name.Local == "Model" {
@@ -134,26 +266,31 @@ func (p *importer) model(dec *xml.Decoder, se xml.StartElement) (*uml.Model, err
 	}
 }
 
-func (p *importer) packageBody(dec *xml.Decoder, pkg *uml.Package) error {
+func (p *importer) packageBody(pkg *uml.Package) error {
+	dec := p.dec
 	for {
 		tok, err := dec.Token()
 		if err != nil {
-			return fmt.Errorf("xmi: %w", err)
+			return dec.Wrap("xmi", err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
 			switch t.Name.Local {
 			case "taggedValue":
-				pkg.Tags.Set(attr(t, "tag"), attr(t, "value"))
-				if err := dec.Skip(); err != nil {
+				if err := p.taggedValue(t, pkg.QualifiedName(), &pkg.Tags); err != nil {
 					return err
 				}
 			case "packagedElement":
-				if err := p.packagedElement(dec, pkg, t); err != nil {
+				if err := p.packagedElement(pkg, t); err != nil {
 					return err
 				}
 			default:
-				return fmt.Errorf("xmi: unexpected package child <%s>", t.Name.Local)
+				if err := p.failf("XMI-ELEM", pkg.QualifiedName(), "unexpected package child <%s>", t.Name.Local); err != nil {
+					return err
+				}
+				if err := dec.Skip(); err != nil {
+					return dec.Wrap("xmi", err)
+				}
 			}
 		case xml.EndElement:
 			return nil
@@ -161,100 +298,129 @@ func (p *importer) packageBody(dec *xml.Decoder, pkg *uml.Package) error {
 	}
 }
 
-func (p *importer) packagedElement(dec *xml.Decoder, pkg *uml.Package, se xml.StartElement) error {
+func (p *importer) packagedElement(pkg *uml.Package, se xml.StartElement) error {
 	id := attr(se, "id")
+	name := attr(se, "name")
 	switch xmiType(se) {
 	case "uml:Package":
-		child := pkg.AddPackage(attr(se, "name"), attr(se, "stereotype"))
+		p.checkStereotype("package", name, attr(se, "stereotype"))
+		child := pkg.AddPackage(name, attr(se, "stereotype"))
 		p.byID[id] = child
-		return p.packageBody(dec, child)
+		return p.packageBody(child)
 	case "uml:Class":
-		c := pkg.AddClass(attr(se, "name"), attr(se, "stereotype"))
+		p.checkStereotype("class", name, attr(se, "stereotype"))
+		c := pkg.AddClass(name, attr(se, "stereotype"))
 		p.byID[id] = c
-		return p.classBody(dec, c)
+		return p.classBody(c)
 	case "uml:Enumeration":
-		e := pkg.AddEnumeration(attr(se, "name"), attr(se, "stereotype"))
+		p.checkStereotype("enumeration", name, attr(se, "stereotype"))
+		e := pkg.AddEnumeration(name, attr(se, "stereotype"))
 		p.byID[id] = e
-		return p.enumBody(dec, e)
+		return p.enumBody(e)
 	case "uml:Association":
-		mult, err := parseMult(se)
+		role := attr(se, "role")
+		p.checkStereotype("association", role, attr(se, "stereotype"))
+		mult, err := p.parseMult(se, "association "+role)
 		if err != nil {
 			return err
 		}
 		kind, err := uml.ParseAggregationKind(attr(se, "aggregation"))
 		if err != nil {
-			return err
+			if ferr := p.failf("XMI-AGG", "association "+role, "%v", err); ferr != nil {
+				return ferr
+			}
+			kind = uml.AggregationNone
 		}
 		a := &uml.Association{
 			Stereotype: attr(se, "stereotype"),
-			TargetRole: attr(se, "role"),
+			TargetRole: role,
 			TargetMult: mult,
 			Kind:       kind,
 		}
 		pkg.AddAssociation(a)
+		line, col := p.dec.Pos()
 		p.associations = append(p.associations, pendingAssociation{
-			assoc: a, source: attr(se, "source"), target: attr(se, "target"),
+			assoc: a, owner: pkg, source: attr(se, "source"), target: attr(se, "target"),
+			line: line, col: col,
 		})
-		return p.tagsOnly(dec, &a.Tags)
+		return p.tagsOnly(&a.Tags, "association "+role)
 	case "uml:Dependency":
+		p.checkStereotype("dependency", "dependency", attr(se, "stereotype"))
 		d := pkg.AddDependency(attr(se, "stereotype"), nil, nil)
+		line, col := p.dec.Pos()
 		p.dependencies = append(p.dependencies, pendingDependency{
-			dep: d, client: attr(se, "client"), supplier: attr(se, "supplier"),
+			dep: d, owner: pkg, client: attr(se, "client"), supplier: attr(se, "supplier"),
+			line: line, col: col,
 		})
-		return dec.Skip()
+		return p.dec.Skip()
 	default:
-		return fmt.Errorf("xmi: unsupported packagedElement type %q", xmiType(se))
+		if err := p.failf("XMI-TYPE", name, "unsupported packagedElement type %q", xmiType(se)); err != nil {
+			return err
+		}
+		return p.dec.Skip()
 	}
 }
 
-func (p *importer) tagsOnly(dec *xml.Decoder, tags *uml.TaggedValues) error {
+func (p *importer) tagsOnly(tags *uml.TaggedValues, element string) error {
+	dec := p.dec
 	for {
 		tok, err := dec.Token()
 		if err != nil {
-			return fmt.Errorf("xmi: %w", err)
+			return dec.Wrap("xmi", err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
 			if t.Name.Local == "taggedValue" {
-				tags.Set(attr(t, "tag"), attr(t, "value"))
-				if err := dec.Skip(); err != nil {
+				if err := p.taggedValue(t, element, tags); err != nil {
 					return err
 				}
 				continue
 			}
-			return fmt.Errorf("xmi: unexpected element <%s>", t.Name.Local)
+			if err := p.failf("XMI-ELEM", element, "unexpected element <%s>", t.Name.Local); err != nil {
+				return err
+			}
+			if err := dec.Skip(); err != nil {
+				return dec.Wrap("xmi", err)
+			}
 		case xml.EndElement:
 			return nil
 		}
 	}
 }
 
-func (p *importer) classBody(dec *xml.Decoder, c *uml.Class) error {
+func (p *importer) classBody(c *uml.Class) error {
+	dec := p.dec
 	for {
 		tok, err := dec.Token()
 		if err != nil {
-			return fmt.Errorf("xmi: %w", err)
+			return dec.Wrap("xmi", err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
 			switch t.Name.Local {
 			case "taggedValue":
-				c.Tags.Set(attr(t, "tag"), attr(t, "value"))
-				if err := dec.Skip(); err != nil {
+				if err := p.taggedValue(t, c.QualifiedName(), &c.Tags); err != nil {
 					return err
 				}
 			case "ownedAttribute":
-				mult, err := parseMult(t)
+				aname := attr(t, "name")
+				p.checkStereotype("attribute", c.Name+"."+aname, attr(t, "stereotype"))
+				mult, err := p.parseMult(t, "attribute "+c.Name+"."+aname)
 				if err != nil {
 					return err
 				}
-				a := c.AddAttribute(attr(t, "name"), attr(t, "stereotype"), attr(t, "type"), mult)
+				a := c.AddAttribute(aname, attr(t, "stereotype"), attr(t, "type"), mult)
 				p.byID[attr(t, "id")] = a
-				if err := p.tagsOnly(dec, &a.Tags); err != nil {
+				if err := p.tagsOnly(&a.Tags, "attribute "+c.Name+"."+aname); err != nil {
 					return err
 				}
 			default:
-				return fmt.Errorf("xmi: unexpected class child <%s>", t.Name.Local)
+				if err := p.failf("XMI-ELEM", c.QualifiedName(), "unexpected class child <%s>", t.Name.Local); err != nil {
+					return err
+				}
+				if err := dec.Skip(); err != nil {
+					return dec.Wrap("xmi", err)
+				}
 			}
 		case xml.EndElement:
 			return nil
@@ -262,24 +428,30 @@ func (p *importer) classBody(dec *xml.Decoder, c *uml.Class) error {
 	}
 }
 
-func (p *importer) enumBody(dec *xml.Decoder, e *uml.Enumeration) error {
+func (p *importer) enumBody(e *uml.Enumeration) error {
+	dec := p.dec
 	for {
 		tok, err := dec.Token()
 		if err != nil {
-			return fmt.Errorf("xmi: %w", err)
+			return dec.Wrap("xmi", err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
 			switch t.Name.Local {
 			case "taggedValue":
-				e.Tags.Set(attr(t, "tag"), attr(t, "value"))
+				if err := p.taggedValue(t, e.QualifiedName(), &e.Tags); err != nil {
+					return err
+				}
+				continue
 			case "ownedLiteral":
 				e.AddLiteral(attr(t, "name"), attr(t, "value"))
 			default:
-				return fmt.Errorf("xmi: unexpected enumeration child <%s>", t.Name.Local)
+				if err := p.failf("XMI-ELEM", e.QualifiedName(), "unexpected enumeration child <%s>", t.Name.Local); err != nil {
+					return err
+				}
 			}
 			if err := dec.Skip(); err != nil {
-				return err
+				return dec.Wrap("xmi", err)
 			}
 		case xml.EndElement:
 			return nil
@@ -287,7 +459,16 @@ func (p *importer) enumBody(dec *xml.Decoder, e *uml.Enumeration) error {
 	}
 }
 
-// resolve wires association ends and dependency participants.
+// posErrf builds a strict-mode resolution error positioned at the
+// element that held the dangling reference.
+func posErrf(line, col int, format string, args ...any) error {
+	return &limits.PosError{Op: "xmi", Line: line, Col: col, Err: fmt.Errorf(format, args...)}
+}
+
+// resolve wires association ends and dependency participants. In
+// lenient mode, associations and dependencies with dangling or
+// mistyped references are diagnosed and dropped from their owning
+// package instead of aborting the import.
 func (p *importer) resolve() error {
 	classByID := func(id, context string) (*uml.Class, error) {
 		el, ok := p.byID[id]
@@ -313,25 +494,61 @@ func (p *importer) resolve() error {
 	}
 	for _, pa := range p.associations {
 		src, err := classByID(pa.source, "association source")
-		if err != nil {
-			return err
+		if err == nil {
+			var dst *uml.Class
+			dst, err = classByID(pa.target, "association target")
+			if err == nil {
+				pa.assoc.Source, pa.assoc.Target = src, dst
+				continue
+			}
 		}
-		dst, err := classByID(pa.target, "association target")
-		if err != nil {
-			return err
+		if !p.lenient {
+			return posErrf(pa.line, pa.col, "%v", err)
 		}
-		pa.assoc.Source, pa.assoc.Target = src, dst
+		p.diags = append(p.diags, Diagnostic{
+			Rule: "XMI-REF", Element: "association " + pa.assoc.TargetRole,
+			Message: strings.TrimPrefix(err.Error(), "xmi: "),
+			Line:    pa.line, Col: pa.col,
+		})
+		dropAssociation(pa.owner, pa.assoc)
 	}
 	for _, pd := range p.dependencies {
 		client, err := classifierByID(pd.client, "dependency client")
-		if err != nil {
-			return err
+		if err == nil {
+			var supplier uml.Classifier
+			supplier, err = classifierByID(pd.supplier, "dependency supplier")
+			if err == nil {
+				pd.dep.Client, pd.dep.Supplier = client, supplier
+				continue
+			}
 		}
-		supplier, err := classifierByID(pd.supplier, "dependency supplier")
-		if err != nil {
-			return err
+		if !p.lenient {
+			return posErrf(pd.line, pd.col, "%v", err)
 		}
-		pd.dep.Client, pd.dep.Supplier = client, supplier
+		p.diags = append(p.diags, Diagnostic{
+			Rule: "XMI-REF", Element: "dependency " + pd.dep.Stereotype,
+			Message: strings.TrimPrefix(err.Error(), "xmi: "),
+			Line:    pd.line, Col: pd.col,
+		})
+		dropDependency(pd.owner, pd.dep)
 	}
 	return nil
+}
+
+func dropAssociation(pkg *uml.Package, a *uml.Association) {
+	for i, x := range pkg.Associations {
+		if x == a {
+			pkg.Associations = append(pkg.Associations[:i], pkg.Associations[i+1:]...)
+			return
+		}
+	}
+}
+
+func dropDependency(pkg *uml.Package, d *uml.Dependency) {
+	for i, x := range pkg.Dependencies {
+		if x == d {
+			pkg.Dependencies = append(pkg.Dependencies[:i], pkg.Dependencies[i+1:]...)
+			return
+		}
+	}
 }

@@ -17,6 +17,12 @@ func FuzzParse(f *testing.F) {
 	f.Add(`<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema"><xsd:simpleType name="S"><xsd:restriction base="xsd:token"><xsd:enumeration value="x"/></xsd:restriction></xsd:simpleType></xsd:schema>`)
 	f.Add(`<foo>`)
 	f.Add("")
+	// Limit-edge seeds: nesting beyond the default depth limit, an
+	// attribute value past the default token-length limit, and DTD /
+	// entity declarations the hardened decoder rejects outright.
+	f.Add(strings.Repeat(`<xsd:sequence>`, 200) + strings.Repeat(`</xsd:sequence>`, 200))
+	f.Add(`<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="` + strings.Repeat("u", 1<<20+1) + `"/>`)
+	f.Add(`<!DOCTYPE schema [<!ENTITY e "x">]><xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">&e;</xsd:schema>`)
 	f.Fuzz(func(t *testing.T, doc string) {
 		s, err := Parse(strings.NewReader(doc))
 		if err != nil {

@@ -6,29 +6,38 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"github.com/go-ccts/ccts/internal/limits"
 )
 
-// Parse reads an XSD document into the object model. It understands the
-// subset the writer emits (plus whitespace/comment tolerance): imports,
-// global elements, complex types with sequences or simpleContent
-// extensions, simple types with restriction facets, and CCTS
-// annotations.
+// Parse reads an XSD document into the object model, enforcing the
+// default ingestion limits. It understands the subset the writer emits
+// (plus whitespace/comment tolerance): imports, global elements,
+// complex types with sequences or simpleContent extensions, simple
+// types with restriction facets, and CCTS annotations.
 func Parse(r io.Reader) (*Schema, error) {
-	dec := xml.NewDecoder(r)
+	return ParseWithLimits(r, limits.Default())
+}
+
+// ParseWithLimits parses a schema under explicit resource limits (the
+// zero Limits disables all checks). Limit violations and parse errors
+// carry the line:col position at which they occurred.
+func ParseWithLimits(r io.Reader, lim limits.Limits) (*Schema, error) {
+	dec := limits.NewDecoder(r, lim)
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
-			return nil, fmt.Errorf("xsd: no schema element found")
+			return nil, errf(dec, "no schema element found")
 		}
 		if err != nil {
-			return nil, fmt.Errorf("xsd: %w", err)
+			return nil, dec.Wrap("xsd", err)
 		}
 		start, ok := tok.(xml.StartElement)
 		if !ok {
 			continue
 		}
 		if start.Name.Space != XSDNamespace || start.Name.Local != "schema" {
-			return nil, fmt.Errorf("xsd: root element is {%s}%s, want {%s}schema",
+			return nil, errf(dec, "root element is {%s}%s, want {%s}schema",
 				start.Name.Space, start.Name.Local, XSDNamespace)
 		}
 		return parseSchema(dec, start)
@@ -40,7 +49,14 @@ func ParseString(doc string) (*Schema, error) {
 	return Parse(strings.NewReader(doc))
 }
 
-func parseSchema(dec *xml.Decoder, start xml.StartElement) (*Schema, error) {
+// errf builds a parse error positioned at the decoder's current
+// offset.
+func errf(dec *limits.Decoder, format string, args ...any) error {
+	line, col := dec.Pos()
+	return &limits.PosError{Op: "xsd", Line: line, Col: col, Err: fmt.Errorf(format, args...)}
+}
+
+func parseSchema(dec *limits.Decoder, start xml.StartElement) (*Schema, error) {
 	s := &Schema{}
 	for _, a := range start.Attr {
 		switch {
@@ -65,13 +81,13 @@ func parseSchema(dec *xml.Decoder, start xml.StartElement) (*Schema, error) {
 	for {
 		tok, err := dec.Token()
 		if err != nil {
-			return nil, fmt.Errorf("xsd: %w", err)
+			return nil, dec.Wrap("xsd", err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
 			if t.Name.Space != XSDNamespace {
 				if err := dec.Skip(); err != nil {
-					return nil, fmt.Errorf("xsd: %w", err)
+					return nil, dec.Wrap("xsd", err)
 				}
 				continue
 			}
@@ -113,7 +129,7 @@ func parseSchema(dec *xml.Decoder, start xml.StartElement) (*Schema, error) {
 					return nil, err
 				}
 			default:
-				return nil, fmt.Errorf("xsd: unsupported schema child <xsd:%s>", t.Name.Local)
+				return nil, errf(dec, "unsupported schema child <xsd:%s>", t.Name.Local)
 			}
 		case xml.EndElement:
 			return s, nil
@@ -121,7 +137,7 @@ func parseSchema(dec *xml.Decoder, start xml.StartElement) (*Schema, error) {
 	}
 }
 
-func parseOccurs(attrs []xml.Attr) (Occurs, error) {
+func parseOccurs(dec *limits.Decoder, attrs []xml.Attr) (Occurs, error) {
 	o := Occurs{Min: 1, Max: 1}
 	explicit := false
 	for _, a := range attrs {
@@ -129,7 +145,7 @@ func parseOccurs(attrs []xml.Attr) (Occurs, error) {
 		case "minOccurs":
 			n, err := strconv.Atoi(a.Value)
 			if err != nil || n < 0 {
-				return o, fmt.Errorf("xsd: invalid minOccurs %q", a.Value)
+				return o, errf(dec, "invalid minOccurs %q", a.Value)
 			}
 			o.Min = n
 			explicit = true
@@ -139,7 +155,7 @@ func parseOccurs(attrs []xml.Attr) (Occurs, error) {
 			} else {
 				n, err := strconv.Atoi(a.Value)
 				if err != nil || n < 0 {
-					return o, fmt.Errorf("xsd: invalid maxOccurs %q", a.Value)
+					return o, errf(dec, "invalid maxOccurs %q", a.Value)
 				}
 				o.Max = n
 			}
@@ -150,10 +166,10 @@ func parseOccurs(attrs []xml.Attr) (Occurs, error) {
 	return o, nil
 }
 
-func parseElement(dec *xml.Decoder, start xml.StartElement) (*Element, error) {
+func parseElement(dec *limits.Decoder, start xml.StartElement) (*Element, error) {
 	e := &Element{}
 	var err error
-	if e.Occurs, err = parseOccurs(start.Attr); err != nil {
+	if e.Occurs, err = parseOccurs(dec, start.Attr); err != nil {
 		return nil, err
 	}
 	for _, a := range start.Attr {
@@ -169,7 +185,7 @@ func parseElement(dec *xml.Decoder, start xml.StartElement) (*Element, error) {
 	for {
 		tok, err := dec.Token()
 		if err != nil {
-			return nil, fmt.Errorf("xsd: %w", err)
+			return nil, dec.Wrap("xsd", err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
@@ -181,17 +197,17 @@ func parseElement(dec *xml.Decoder, start xml.StartElement) (*Element, error) {
 				e.Annotation = ann
 				continue
 			}
-			return nil, fmt.Errorf("xsd: unsupported element child <%s> (anonymous types are not part of the NDR subset)", t.Name.Local)
+			return nil, errf(dec, "unsupported element child <%s> (anonymous types are not part of the NDR subset)", t.Name.Local)
 		case xml.EndElement:
 			if e.Name == "" && e.Ref == "" {
-				return nil, fmt.Errorf("xsd: element without name or ref")
+				return nil, errf(dec, "element without name or ref")
 			}
 			return e, nil
 		}
 	}
 }
 
-func parseAttribute(dec *xml.Decoder, start xml.StartElement) (*Attribute, error) {
+func parseAttribute(dec *limits.Decoder, start xml.StartElement) (*Attribute, error) {
 	a := &Attribute{}
 	for _, at := range start.Attr {
 		switch at.Name.Local {
@@ -206,7 +222,7 @@ func parseAttribute(dec *xml.Decoder, start xml.StartElement) (*Attribute, error
 	for {
 		tok, err := dec.Token()
 		if err != nil {
-			return nil, fmt.Errorf("xsd: %w", err)
+			return nil, dec.Wrap("xsd", err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
@@ -223,14 +239,14 @@ func parseAttribute(dec *xml.Decoder, start xml.StartElement) (*Attribute, error
 			}
 		case xml.EndElement:
 			if a.Name == "" {
-				return nil, fmt.Errorf("xsd: attribute without name")
+				return nil, errf(dec, "attribute without name")
 			}
 			return a, nil
 		}
 	}
 }
 
-func parseComplexType(dec *xml.Decoder, start xml.StartElement) (*ComplexType, error) {
+func parseComplexType(dec *limits.Decoder, start xml.StartElement) (*ComplexType, error) {
 	ct := &ComplexType{}
 	for _, a := range start.Attr {
 		if a.Name.Local == "name" {
@@ -240,7 +256,7 @@ func parseComplexType(dec *xml.Decoder, start xml.StartElement) (*ComplexType, e
 	for {
 		tok, err := dec.Token()
 		if err != nil {
-			return nil, fmt.Errorf("xsd: %w", err)
+			return nil, dec.Wrap("xsd", err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
@@ -270,23 +286,23 @@ func parseComplexType(dec *xml.Decoder, start xml.StartElement) (*ComplexType, e
 				}
 				ct.Annotation = ann
 			default:
-				return nil, fmt.Errorf("xsd: unsupported complexType child <xsd:%s>", t.Name.Local)
+				return nil, errf(dec, "unsupported complexType child <xsd:%s>", t.Name.Local)
 			}
 		case xml.EndElement:
 			if ct.Name == "" {
-				return nil, fmt.Errorf("xsd: anonymous complex types are not part of the NDR subset")
+				return nil, errf(dec, "anonymous complex types are not part of the NDR subset")
 			}
 			return ct, nil
 		}
 	}
 }
 
-func parseSequence(dec *xml.Decoder) ([]*Element, error) {
+func parseSequence(dec *limits.Decoder) ([]*Element, error) {
 	var seq []*Element
 	for {
 		tok, err := dec.Token()
 		if err != nil {
-			return nil, fmt.Errorf("xsd: %w", err)
+			return nil, dec.Wrap("xsd", err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
@@ -298,19 +314,19 @@ func parseSequence(dec *xml.Decoder) ([]*Element, error) {
 				seq = append(seq, e)
 				continue
 			}
-			return nil, fmt.Errorf("xsd: unsupported sequence child <%s>", t.Name.Local)
+			return nil, errf(dec, "unsupported sequence child <%s>", t.Name.Local)
 		case xml.EndElement:
 			return seq, nil
 		}
 	}
 }
 
-func parseSimpleContent(dec *xml.Decoder) (*SimpleContent, error) {
+func parseSimpleContent(dec *limits.Decoder) (*SimpleContent, error) {
 	sc := &SimpleContent{}
 	for {
 		tok, err := dec.Token()
 		if err != nil {
-			return nil, fmt.Errorf("xsd: %w", err)
+			return nil, dec.Wrap("xsd", err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
@@ -327,21 +343,21 @@ func parseSimpleContent(dec *xml.Decoder) (*SimpleContent, error) {
 				sc.Extension = ext
 				continue
 			}
-			return nil, fmt.Errorf("xsd: unsupported simpleContent child <%s>", t.Name.Local)
+			return nil, errf(dec, "unsupported simpleContent child <%s>", t.Name.Local)
 		case xml.EndElement:
 			if sc.Extension == nil {
-				return nil, fmt.Errorf("xsd: simpleContent without extension")
+				return nil, errf(dec, "simpleContent without extension")
 			}
 			return sc, nil
 		}
 	}
 }
 
-func parseExtensionBody(dec *xml.Decoder, ext *Extension) error {
+func parseExtensionBody(dec *limits.Decoder, ext *Extension) error {
 	for {
 		tok, err := dec.Token()
 		if err != nil {
-			return fmt.Errorf("xsd: %w", err)
+			return dec.Wrap("xsd", err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
@@ -353,14 +369,14 @@ func parseExtensionBody(dec *xml.Decoder, ext *Extension) error {
 				ext.Attributes = append(ext.Attributes, a)
 				continue
 			}
-			return fmt.Errorf("xsd: unsupported extension child <%s>", t.Name.Local)
+			return errf(dec, "unsupported extension child <%s>", t.Name.Local)
 		case xml.EndElement:
 			return nil
 		}
 	}
 }
 
-func parseSimpleType(dec *xml.Decoder, start xml.StartElement) (*SimpleType, error) {
+func parseSimpleType(dec *limits.Decoder, start xml.StartElement) (*SimpleType, error) {
 	st := &SimpleType{}
 	for _, a := range start.Attr {
 		if a.Name.Local == "name" {
@@ -370,7 +386,7 @@ func parseSimpleType(dec *xml.Decoder, start xml.StartElement) (*SimpleType, err
 	for {
 		tok, err := dec.Token()
 		if err != nil {
-			return nil, fmt.Errorf("xsd: %w", err)
+			return nil, dec.Wrap("xsd", err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
@@ -394,18 +410,18 @@ func parseSimpleType(dec *xml.Decoder, start xml.StartElement) (*SimpleType, err
 				}
 				st.Annotation = ann
 			default:
-				return nil, fmt.Errorf("xsd: unsupported simpleType child <xsd:%s>", t.Name.Local)
+				return nil, errf(dec, "unsupported simpleType child <xsd:%s>", t.Name.Local)
 			}
 		case xml.EndElement:
 			if st.Name == "" {
-				return nil, fmt.Errorf("xsd: anonymous simple types are not part of the NDR subset")
+				return nil, errf(dec, "anonymous simple types are not part of the NDR subset")
 			}
 			return st, nil
 		}
 	}
 }
 
-func parseRestriction(dec *xml.Decoder, start xml.StartElement) (*Restriction, error) {
+func parseRestriction(dec *limits.Decoder, start xml.StartElement) (*Restriction, error) {
 	r := &Restriction{}
 	for _, a := range start.Attr {
 		if a.Name.Local == "base" {
@@ -423,7 +439,7 @@ func parseRestriction(dec *xml.Decoder, start xml.StartElement) (*Restriction, e
 	for {
 		tok, err := dec.Token()
 		if err != nil {
-			return nil, fmt.Errorf("xsd: %w", err)
+			return nil, dec.Wrap("xsd", err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
@@ -436,17 +452,17 @@ func parseRestriction(dec *xml.Decoder, start xml.StartElement) (*Restriction, e
 			case "minLength":
 				n, err := strconv.Atoi(v)
 				if err != nil {
-					return nil, fmt.Errorf("xsd: invalid minLength %q", v)
+					return nil, errf(dec, "invalid minLength %q", v)
 				}
 				r.MinLength = &n
 			case "maxLength":
 				n, err := strconv.Atoi(v)
 				if err != nil {
-					return nil, fmt.Errorf("xsd: invalid maxLength %q", v)
+					return nil, errf(dec, "invalid maxLength %q", v)
 				}
 				r.MaxLength = &n
 			default:
-				return nil, fmt.Errorf("xsd: unsupported restriction facet <%s>", t.Name.Local)
+				return nil, errf(dec, "unsupported restriction facet <%s>", t.Name.Local)
 			}
 			if err := dec.Skip(); err != nil {
 				return nil, err
@@ -459,7 +475,7 @@ func parseRestriction(dec *xml.Decoder, start xml.StartElement) (*Restriction, e
 
 // parseAnnotation reads an annotation, collecting the ccts documentation
 // entries (any namespaced child of xsd:documentation).
-func parseAnnotation(dec *xml.Decoder) (*Annotation, error) {
+func parseAnnotation(dec *limits.Decoder) (*Annotation, error) {
 	ann := &Annotation{}
 	depth := 1
 	var currentTag string
@@ -467,7 +483,7 @@ func parseAnnotation(dec *xml.Decoder) (*Annotation, error) {
 	for depth > 0 {
 		tok, err := dec.Token()
 		if err != nil {
-			return nil, fmt.Errorf("xsd: %w", err)
+			return nil, dec.Wrap("xsd", err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
