@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench verify fuzz-smoke
+.PHONY: build test bench bench-serve verify fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,14 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-serve measures the HTTP service: memoized vs cold /v1/generate,
+# /v1/validate, and wire-level end-to-end requests. The text output is
+# converted to BENCH_serve.json (the cache-hit/miss ratio is the
+# acceptance metric for the schema cache).
+bench-serve:
+	$(GO) test ./internal/server -run='^$$' -bench='BenchmarkServe' -benchmem \
+		| tee /dev/stderr | $(GO) run ./internal/tools/benchjson -o BENCH_serve.json
 
 # fuzz-smoke runs every fuzz target briefly against its seed corpus plus
 # whatever the engine mutates in FUZZTIME. It is a smoke test of the
@@ -23,8 +31,11 @@ fuzz-smoke:
 
 # verify is the full pre-merge gate: static checks, the entire test
 # suite under the race detector (the parallel emit phase must be
-# data-race-free at any Parallelism setting), and the fuzz smoke pass.
+# data-race-free at any Parallelism setting), a dedicated -race pass
+# over the serving stack (singleflight, admission gating, drain), and
+# the fuzz smoke pass.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./internal/server ./internal/schemacache ./internal/registry
 	$(MAKE) fuzz-smoke

@@ -2,6 +2,7 @@ package ccts_test
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -80,16 +81,53 @@ func TestLoadSchemaSetErrors(t *testing.T) {
 	if _, err := ccts.LoadSchemaSet("/no/such/dir"); err == nil {
 		t.Error("missing dir should fail")
 	}
+
 	empty := t.TempDir()
 	if _, err := ccts.LoadSchemaSet(empty); err == nil {
 		t.Error("empty dir should fail")
+	} else if !strings.Contains(err.Error(), "no .xsd files") {
+		t.Errorf("empty dir error should say no .xsd files: %v", err)
 	}
-	bad := t.TempDir()
-	if err := os.WriteFile(filepath.Join(bad, "x.xsd"), []byte("<broken"), 0o644); err != nil {
+
+	// A directory with files but none of them schemas reads the same as
+	// an empty one; the stray file is skipped, not parsed.
+	nonXSD := t.TempDir()
+	if err := os.WriteFile(filepath.Join(nonXSD, "notes.txt"), []byte("not a schema"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ccts.LoadSchemaSet(bad); err == nil {
-		t.Error("broken schema should fail")
+	if _, err := ccts.LoadSchemaSet(nonXSD); err == nil {
+		t.Error("dir without .xsd files should fail")
+	} else if !strings.Contains(err.Error(), "no .xsd files") {
+		t.Errorf("non-XSD dir error should say no .xsd files: %v", err)
+	}
+}
+
+func TestLoadSchemaSetPositionedError(t *testing.T) {
+	bad := t.TempDir()
+	// Line 3 declares an element with a malformed attribute list.
+	doc := "<xsd:schema xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\"\n" +
+		"    targetNamespace=\"urn:t\">\n" +
+		"  <xsd:element name=\"Root\" type=</xsd:schema>\n"
+	path := filepath.Join(bad, "broken.xsd")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ccts.LoadSchemaSet(bad)
+	if err == nil {
+		t.Fatal("broken schema should fail")
+	}
+	var fe *ccts.SchemaFileError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error is %T, want *ccts.SchemaFileError: %v", err, err)
+	}
+	if fe.File != path {
+		t.Errorf("File = %q, want %q", fe.File, path)
+	}
+	if fe.Line < 1 {
+		t.Errorf("error carries no position: %+v", fe)
+	}
+	if !strings.Contains(err.Error(), "broken.xsd") {
+		t.Errorf("message does not name the file: %v", err)
 	}
 }
 

@@ -19,6 +19,8 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -27,13 +29,40 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	err := run(os.Args[1:], os.Stdout)
+	if errors.Is(err, flag.ErrHelp) {
+		// Asking for usage is not a failure.
+		return
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccconsole:", err)
 		os.Exit(1)
 	}
 }
 
+const usage = `usage: ccconsole COMMAND model.xmi ...
+
+  stats model.xmi
+  where-used model.xmi NAME
+  unused model.xmi
+  update-ns model.xmi OLD NEW [-o out.xmi]
+  bump-version model.xmi VERSION [-o out.xmi]
+  relaxng model.xmi LIBRARY [ROOT]
+  rdfs model.xmi
+  sample model.xmi LIBRARY ROOT [minimal|full]
+  plantuml model.xmi [-hide-datatypes] [LIBRARY ...]
+  diff old.xmi new.xmi
+  gobindings model.xmi LIBRARY ROOT [PACKAGE]
+`
+
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "-h", "--help", "help":
+			fmt.Fprint(out, usage)
+			return flag.ErrHelp
+		}
+	}
 	if len(args) < 2 {
 		return fmt.Errorf("usage: ccconsole stats|where-used|unused|update-ns|bump-version|relaxng model.xmi ...")
 	}

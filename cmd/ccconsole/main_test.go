@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -260,5 +262,19 @@ func TestConsoleErrors(t *testing.T) {
 		if err := run(args, &buf); err == nil {
 			t.Errorf("case %d (%v) should fail", i, args)
 		}
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	for _, arg := range []string{"-h", "--help", "help"} {
+		t.Run(arg, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run([]string{arg}, &buf); !errors.Is(err, flag.ErrHelp) {
+				t.Errorf("run(%q) = %v, want flag.ErrHelp (treated as success)", arg, err)
+			}
+			if !strings.Contains(buf.String(), "usage: ccconsole") {
+				t.Errorf("usage text not printed:\n%s", buf.String())
+			}
+		})
 	}
 }

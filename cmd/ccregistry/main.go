@@ -23,7 +23,12 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	err := run(os.Args[1:], os.Stdout)
+	if errors.Is(err, flag.ErrHelp) {
+		// Asking for usage is not a failure.
+		return
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccregistry:", err)
 		os.Exit(1)
 	}

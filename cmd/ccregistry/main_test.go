@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -101,5 +103,16 @@ func TestRegistryCLIErrors(t *testing.T) {
 	}
 	if err := run([]string{"-store", bad, "search", "x"}, &buf); err == nil {
 		t.Error("corrupt store should fail")
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	for _, arg := range []string{"-h", "--help"} {
+		t.Run(arg, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run([]string{arg}, &buf); !errors.Is(err, flag.ErrHelp) {
+				t.Errorf("run(%q) = %v, want flag.ErrHelp (treated as success)", arg, err)
+			}
+		})
 	}
 }

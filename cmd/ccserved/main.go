@@ -1,0 +1,146 @@
+// Command ccserved serves the transformation pipeline over HTTP: the
+// paper's batch generator dialog becomes a resident service with a
+// content-addressed schema cache, admission control and metrics.
+//
+// Endpoints: POST /v1/generate, POST /v1/validate,
+// GET /v1/registry/search, GET /healthz, GET /metrics.
+//
+// SIGINT/SIGTERM drain the server gracefully: the listener stops
+// accepting, in-flight requests get -drain-timeout to finish (their
+// generation contexts are cancelled when it expires), then the process
+// exits. -h/-help print usage and exit 0.
+//
+// Usage:
+//
+//	ccserved -addr :8080 -parallel 4 -max-inflight 16 -request-timeout 30s \
+//	         -cache-bytes 67108864 -limits default -registry registry.json
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	ccts "github.com/go-ccts/ccts"
+	"github.com/go-ccts/ccts/internal/limits"
+	"github.com/go-ccts/ccts/internal/registry"
+	"github.com/go-ccts/ccts/internal/server"
+)
+
+func main() {
+	err := run(os.Args[1:])
+	if errors.Is(err, flag.ErrHelp) {
+		// Asking for usage is not a failure.
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccserved:", err)
+		os.Exit(1)
+	}
+}
+
+// config is the parsed flag set, separated from serving so tests can
+// exercise flag handling without binding a socket.
+type config struct {
+	addr         string
+	server       server.Config
+	drainTimeout time.Duration
+}
+
+// parseFlags maps the command line onto a server configuration.
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("ccserved", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		parallel     = fs.Int("parallel", 1, "emit-phase worker count per generation (capped at GOMAXPROCS)")
+		maxInflight  = fs.Int("max-inflight", 0, "max concurrently admitted generations; 0 = 2*GOMAXPROCS; excess requests get 503")
+		reqTimeout   = fs.Duration("request-timeout", 30*time.Second, "per-request work budget (0 disables)")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+		cacheBytes   = fs.Int64("cache-bytes", 64<<20, "schema cache budget in bytes (negative disables caching)")
+		limitsProf   = fs.String("limits", "default", "ingestion limits profile: default or unlimited")
+		registryPath = fs.String("registry", "", "registry store (JSON) backing /v1/registry/search")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+
+	cfg := &config{addr: *addr, drainTimeout: *drainTimeout}
+	cfg.server = server.Config{
+		Parallelism:    *parallel,
+		MaxInFlight:    *maxInflight,
+		RequestTimeout: *reqTimeout,
+		CacheBytes:     *cacheBytes,
+	}
+	switch *limitsProf {
+	case "default":
+		cfg.server.Limits = limits.Default()
+	case "unlimited":
+		cfg.server.Limits = limits.Unlimited()
+	default:
+		return nil, fmt.Errorf("unknown -limits profile %q (want default or unlimited)", *limitsProf)
+	}
+	if *registryPath != "" {
+		reg, err := loadRegistry(*registryPath)
+		if err != nil {
+			return nil, err
+		}
+		cfg.server.Registry = reg
+	}
+	return cfg, nil
+}
+
+// loadRegistry reads a registry store saved by ccregistry.
+func loadRegistry(path string) (*registry.Guarded, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening registry store: %w", err)
+	}
+	defer f.Close()
+	store := ccts.NewRegistry()
+	if err := store.LoadJSON(f); err != nil {
+		return nil, fmt.Errorf("loading registry store %s: %w", path, err)
+	}
+	return registry.NewGuarded(store), nil
+}
+
+func run(args []string) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+
+	srv := server.New(cfg.server)
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
+
+	// Graceful drain: the first SIGINT/SIGTERM stops the listener and
+	// gives in-flight requests the drain budget; Shutdown's context
+	// expiry then hard-closes what is left.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "ccserved: listening on %s\n", cfg.addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "ccserved: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		httpSrv.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestHelpExitsZero(t *testing.T) {
+	for _, arg := range []string{"-h", "--help"} {
+		t.Run(arg, func(t *testing.T) {
+			if err := run([]string{arg}); !errors.Is(err, flag.ErrHelp) {
+				t.Errorf("run(%q) = %v, want flag.ErrHelp (treated as success)", arg, err)
+			}
+		})
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0",
+		"-parallel", "4",
+		"-max-inflight", "7",
+		"-request-timeout", "5s",
+		"-cache-bytes", "1024",
+		"-limits", "unlimited",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != "127.0.0.1:0" {
+		t.Errorf("addr = %q", cfg.addr)
+	}
+	if cfg.server.Parallelism != 4 || cfg.server.MaxInFlight != 7 {
+		t.Errorf("parallelism/inflight = %d/%d, want 4/7", cfg.server.Parallelism, cfg.server.MaxInFlight)
+	}
+	if cfg.server.RequestTimeout != 5*time.Second {
+		t.Errorf("request timeout = %v", cfg.server.RequestTimeout)
+	}
+	if cfg.server.CacheBytes != 1024 {
+		t.Errorf("cache bytes = %d", cfg.server.CacheBytes)
+	}
+	if cfg.server.Limits.MaxDepth != 0 {
+		t.Errorf("limits profile not unlimited: %+v", cfg.server.Limits)
+	}
+}
+
+func TestParseFlagsRejectsUnknownLimitsProfile(t *testing.T) {
+	if _, err := parseFlags([]string{"-limits", "bogus"}); err == nil {
+		t.Error("unknown limits profile accepted")
+	}
+}
+
+func TestParseFlagsLoadsRegistry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.json")
+	if err := os.WriteFile(path, []byte(`[{"kind":"ACC","name":"Person","den":"Person. Details"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := parseFlags([]string{"-registry", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.server.Registry == nil || cfg.server.Registry.Len() != 1 {
+		t.Fatalf("registry not loaded: %+v", cfg.server.Registry)
+	}
+	if _, err := parseFlags([]string{"-registry", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("missing registry store accepted")
+	}
+}

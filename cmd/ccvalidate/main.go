@@ -10,21 +10,28 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	ccts "github.com/go-ccts/ccts"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	err := run(os.Args[1:], os.Stdout)
+	if errors.Is(err, flag.ErrHelp) {
+		// Asking for usage is not a failure.
+		return
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccvalidate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out *os.File) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ccvalidate", flag.ContinueOnError)
 	var (
 		modelPath  = fs.String("model", "", "XMI model file to validate")
@@ -44,7 +51,7 @@ func run(args []string, out *os.File) error {
 	}
 }
 
-func validateModel(path string, out *os.File) error {
+func validateModel(path string, out io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -78,7 +85,7 @@ func validateModel(path string, out *os.File) error {
 	return nil
 }
 
-func validateInstances(dir string, files []string, out *os.File) error {
+func validateInstances(dir string, files []string, out io.Writer) error {
 	if len(files) == 0 {
 		return fmt.Errorf("no instance documents given")
 	}

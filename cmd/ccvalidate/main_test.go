@@ -1,6 +1,9 @@
 package main
 
 import (
+	"errors"
+	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -134,5 +137,15 @@ func TestValidateCLIErrors(t *testing.T) {
 	}
 	if _, err := capture(t, []string{"-schemas", t.TempDir(), "x.xml"}); err == nil {
 		t.Error("empty schema dir should fail")
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	for _, arg := range []string{"-h", "--help"} {
+		t.Run(arg, func(t *testing.T) {
+			if err := run([]string{arg}, io.Discard); !errors.Is(err, flag.ErrHelp) {
+				t.Errorf("run(%q) = %v, want flag.ErrHelp (treated as success)", arg, err)
+			}
+		})
 	}
 }

@@ -10,6 +10,8 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -19,15 +21,32 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	err := run(os.Args[1:], os.Stdout)
+	if errors.Is(err, flag.ErrHelp) {
+		// Asking for usage is not a failure.
+		return
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccxmi:", err)
 		os.Exit(1)
 	}
 }
 
+const usage = `usage: ccxmi COMMAND ...
+
+  sample [-o file.xmi]        write the built-in EB005-HoardingPermit model
+  info model.xmi              print the library tree and statistics
+  roundtrip in.xmi out.xmi    import and re-export a model
+`
+
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: ccxmi sample|info|roundtrip ...")
+	}
+	switch args[0] {
+	case "-h", "--help", "help":
+		fmt.Fprint(out, usage)
+		return flag.ErrHelp
 	}
 	switch args[0] {
 	case "sample":

@@ -3,12 +3,14 @@ package ccts
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 
 	"github.com/go-ccts/ccts/internal/gen"
+	"github.com/go-ccts/ccts/internal/limits"
 	"github.com/go-ccts/ccts/internal/ndr"
 	"github.com/go-ccts/ccts/internal/xsd"
 	"github.com/go-ccts/ccts/internal/xsdval"
@@ -173,7 +175,32 @@ func CompileSchemas(res *GenerateResult) (*SchemaSet, error) {
 // ParseSchema reads an XSD document (of the NDR subset) from r.
 func ParseSchema(r io.Reader) (*Schema, error) { return xsd.Parse(r) }
 
-// LoadSchemaSet parses every .xsd file in dir into a SchemaSet.
+// SchemaFileError reports a schema file that failed to parse while
+// loading a directory, positioned at file:line:col.
+type SchemaFileError struct {
+	// File is the path of the offending .xsd file.
+	File string
+	// Line and Col locate the defect within the file (1-based; zero
+	// when the parser could not attribute a position).
+	Line, Col int
+	// Err is the underlying parse error.
+	Err error
+}
+
+// Error implements error.
+func (e *SchemaFileError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("ccts: %s:%d:%d: %v", e.File, e.Line, e.Col, e.Err)
+	}
+	return fmt.Sprintf("ccts: %s: %v", e.File, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *SchemaFileError) Unwrap() error { return e.Err }
+
+// LoadSchemaSet parses every .xsd file in dir into a SchemaSet. A file
+// that fails to parse is reported as a *SchemaFileError naming it and
+// carrying the line:col position of the defect.
 func LoadSchemaSet(dir string) (*SchemaSet, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -184,14 +211,20 @@ func LoadSchemaSet(dir string) (*SchemaSet, error) {
 		if e.IsDir() || filepath.Ext(e.Name()) != ".xsd" {
 			continue
 		}
-		f, err := os.Open(filepath.Join(dir, e.Name()))
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
 		if err != nil {
 			return nil, fmt.Errorf("ccts: %w", err)
 		}
 		s, err := xsd.Parse(f)
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("ccts: parsing %s: %w", e.Name(), err)
+			fe := &SchemaFileError{File: path, Err: err}
+			var pe *limits.PosError
+			if errors.As(err, &pe) {
+				fe.Line, fe.Col, fe.Err = pe.Line, pe.Col, pe.Err
+			}
+			return nil, fe
 		}
 		schemas = append(schemas, s)
 	}

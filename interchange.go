@@ -29,6 +29,27 @@ func ImportXMI(r io.Reader) (*Model, error) {
 	return FromUML(um)
 }
 
+// ImportLimits bounds the resources one imported document may consume;
+// see limits.Limits. The zero value disables every limit.
+type ImportLimits = limits.Limits
+
+// DefaultImportLimits returns the production ingestion limits applied
+// by ImportXMI (input bytes, nesting depth, element/attribute counts,
+// token length, DTD rejection).
+func DefaultImportLimits() ImportLimits { return limits.Default() }
+
+// ImportXMIWithLimits is ImportXMI under caller-chosen resource limits.
+// Serving deployments size the limits to their request-body budget; a
+// violation surfaces as a *limits.Violation carrying the line:col where
+// the budget was crossed (matching errors.Is(err, limits.ErrLimit)).
+func ImportXMIWithLimits(r io.Reader, lim ImportLimits) (*Model, error) {
+	um, _, err := xmi.ImportWithOptions(r, xmi.ImportOptions{Limits: lim})
+	if err != nil {
+		return nil, err
+	}
+	return FromUML(um)
+}
+
 // ImportXMIDiagnostics reads an XMI document leniently: instead of
 // aborting on the first defect, recoverable problems — dangling ID
 // references, unknown stereotypes, malformed tagged values or
@@ -43,8 +64,15 @@ func ImportXMI(r io.Reader) (*Model, error) {
 // ingesting third-party XMI can show every defect with line:col in one
 // pass rather than failing defect-by-defect.
 func ImportXMIDiagnostics(r io.Reader) (*UMLModel, *validate.Report, error) {
+	return ImportXMIDiagnosticsWithLimits(r, limits.Default())
+}
+
+// ImportXMIDiagnosticsWithLimits is ImportXMIDiagnostics under
+// caller-chosen resource limits, for servers whose request-body budget
+// differs from the batch default.
+func ImportXMIDiagnosticsWithLimits(r io.Reader, lim ImportLimits) (*UMLModel, *validate.Report, error) {
 	um, diags, err := xmi.ImportWithOptions(r, xmi.ImportOptions{
-		Limits:          limits.Default(),
+		Limits:          lim,
 		Lenient:         true,
 		StereotypeKnown: knownProfileStereotype,
 	})

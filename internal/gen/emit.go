@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"github.com/go-ccts/ccts/internal/core"
+	"github.com/go-ccts/ccts/internal/metrics"
 	"github.com/go-ccts/ccts/internal/ndr"
 	"github.com/go-ccts/ccts/internal/xsd"
 )
@@ -113,15 +114,20 @@ func (p *Plan) Execute() (*Result, error) {
 		workers = p.totalOps
 	}
 	if workers <= 1 {
+		opsDone, active := p.poolInstruments()
+		active.Inc()
 		for i, u := range p.units {
 			for j := range u.ops {
 				if ctx.Err() != nil {
+					active.Dec()
 					return nil, fmt.Errorf("gen: emit cancelled: %w", ctx.Err())
 				}
 				outs[i][j], errs[i][j] = p.safeOp(u, j)
+				opsDone.Inc()
 			}
 			p.sink.emitf("emitted %d definition(s) for %s %s", len(u.ops), u.lib.Kind, u.lib.Name)
 		}
+		active.Dec()
 	} else {
 		p.executeParallel(ctx, outs, errs, workers)
 	}
@@ -146,6 +152,18 @@ func joinOpErrors(errs [][]error) error {
 		}
 	}
 	return errors.Join(all...)
+}
+
+// poolInstruments returns the emit-phase instruments: an operation
+// counter and a live-worker gauge. When Options.Metrics is nil they are
+// detached instruments that count into the void, so the hot path needs
+// no nil checks.
+func (p *Plan) poolInstruments() (*metrics.Counter, *metrics.Gauge) {
+	if p.opts.Metrics == nil {
+		return &metrics.Counter{}, &metrics.Gauge{}
+	}
+	return p.opts.Metrics.Counter("gen_emit_ops_total", "Emission operations executed."),
+		p.opts.Metrics.Gauge("gen_emit_workers_active", "Live emit-pool workers.")
 }
 
 // executeParallel fans the flattened operation list out to the worker
@@ -173,12 +191,15 @@ func (p *Plan) executeParallel(ctx context.Context, outs [][]opOut, errs [][]err
 	} else if chunk > 64 {
 		chunk = 64
 	}
+	opsDone, active := p.poolInstruments()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			active.Inc()
+			defer active.Dec()
 			for {
 				if ctx.Err() != nil {
 					return
@@ -197,6 +218,7 @@ func (p *Plan) executeParallel(ctx context.Context, outs [][]opOut, errs [][]err
 					}
 					u := p.units[ref.unit]
 					outs[ref.unit][ref.op], errs[ref.unit][ref.op] = p.safeOp(u, ref.op)
+					opsDone.Inc()
 					if remaining[ref.unit].Add(-1) == 0 {
 						p.sink.emitf("emitted %d definition(s) for %s %s", len(u.ops), u.lib.Kind, u.lib.Name)
 					}

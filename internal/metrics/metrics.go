@@ -1,0 +1,157 @@
+// Package metrics is a minimal counter/gauge registry with a Prometheus
+// text exposition writer. The serving subsystem needs operational
+// visibility (request counts, cache hit rates, worker activity) without
+// pulling an external client library into the module, so this package
+// implements the tiny subset the /metrics endpoint requires: named
+// monotonic counters, named gauges, and a deterministic text rendering.
+// All types are safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored to keep the counter monotonic.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metric is one registered instrument with its exposition metadata.
+type metric struct {
+	name    string
+	help    string
+	counter *Counter
+	gauge   *Gauge
+}
+
+// Registry holds named instruments. Counter and Gauge are idempotent:
+// asking for an existing name returns the already-registered instrument,
+// so independent subsystems can share instruments by name.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*metric{}}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Registering a name that already names a gauge panics: that
+// is a programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.counter == nil {
+			panic(fmt.Sprintf("metrics: %q is already registered as a gauge", name))
+		}
+		return m.counter
+	}
+	c := &Counter{}
+	r.metrics[name] = &metric{name: name, help: help, counter: c}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Registering a name that already names a counter panics.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.gauge == nil {
+			panic(fmt.Sprintf("metrics: %q is already registered as a counter", name))
+		}
+		return m.gauge
+	}
+	g := &Gauge{}
+	r.metrics[name] = &metric{name: name, help: help, gauge: g}
+	return g
+}
+
+// Snapshot returns the current value of every instrument, keyed by name.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64, len(r.metrics))
+	for name, m := range r.metrics {
+		if m.counter != nil {
+			out[name] = m.counter.Value()
+		} else {
+			out[name] = m.gauge.Value()
+		}
+	}
+	return out
+}
+
+// WritePrometheus renders every instrument in Prometheus text exposition
+// format (version 0.0.4), sorted by name so the output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ms := make([]*metric, len(names))
+	for i, name := range names {
+		ms[i] = r.metrics[name]
+	}
+	r.mu.RUnlock()
+
+	for _, m := range ms {
+		kind, value := "gauge", int64(0)
+		if m.counter != nil {
+			kind, value = "counter", m.counter.Value()
+		} else {
+			value = m.gauge.Value()
+		}
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m.name, kind, m.name, value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Total requests.")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("inflight", "In-flight requests.")
+	g.Set(3)
+	g.Dec()
+	g.Add(2)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x", "")
+	b := r.Counter("x", "")
+	if a != b {
+		t.Error("Counter is not idempotent per name")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a gauge under a counter name did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "Bs seen.").Add(7)
+	r.Gauge("a_current", "Current As.").Set(2)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP a_current Current As.\n" +
+		"# TYPE a_current gauge\n" +
+		"a_current 2\n" +
+		"# HELP b_total Bs seen.\n" +
+		"# TYPE b_total counter\n" +
+		"b_total 7\n"
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "").Add(3)
+	r.Gauge("g", "").Set(-1)
+	snap := r.Snapshot()
+	if snap["c"] != 3 || snap["g"] != -1 {
+		t.Errorf("snapshot = %v, want c=3 g=-1", snap)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("shared_total", "").Inc()
+				r.Gauge("shared_gauge", "").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "").Value(); got != 1600 {
+		t.Errorf("counter = %d, want 1600", got)
+	}
+	if got := r.Gauge("shared_gauge", "").Value(); got != 1600 {
+		t.Errorf("gauge = %d, want 1600", got)
+	}
+}

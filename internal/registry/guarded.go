@@ -1,0 +1,88 @@
+package registry
+
+import (
+	"io"
+	"sync"
+
+	"github.com/go-ccts/ccts/internal/core"
+)
+
+// Guarded wraps a Registry behind a sync.RWMutex so concurrent HTTP
+// handlers can search while registrations or reloads are in progress.
+// Search traffic takes the read lock and proceeds in parallel; mutations
+// take the write lock. This is the guard internal/server puts in front
+// of /v1/registry/search — the underlying Registry itself stays
+// single-threaded (see the Registry doc comment).
+type Guarded struct {
+	mu  sync.RWMutex
+	reg *Registry
+}
+
+// NewGuarded returns a Guarded wrapping reg; a nil reg starts empty.
+// The caller must not keep using reg directly afterwards — every access
+// has to go through the guard.
+func NewGuarded(reg *Registry) *Guarded {
+	if reg == nil {
+		reg = New()
+	}
+	return &Guarded{reg: reg}
+}
+
+// Len reports the number of registered entries.
+func (g *Guarded) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.reg.Len()
+}
+
+// Search finds entries matching the query; see Registry.Search.
+func (g *Guarded) Search(query string) []Entry {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.reg.Search(query)
+}
+
+// SearchInContext filters Search results by business context; see
+// Registry.SearchInContext.
+func (g *Guarded) SearchInContext(query string, situation core.Context) []Entry {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.reg.SearchInContext(query, situation)
+}
+
+// Find returns the entry with the exact DEN; see Registry.Find.
+func (g *Guarded) Find(den string) (Entry, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.reg.Find(den)
+}
+
+// Add registers one entry; see Registry.Add.
+func (g *Guarded) Add(e Entry) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.reg.Add(e)
+}
+
+// RegisterModel registers every dictionary item of a model; see
+// Registry.RegisterModel.
+func (g *Guarded) RegisterModel(m *core.Model) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.reg.RegisterModel(m)
+}
+
+// LoadJSON merges a saved registry into the store; see
+// Registry.LoadJSON.
+func (g *Guarded) LoadJSON(rd io.Reader) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.reg.LoadJSON(rd)
+}
+
+// SaveJSON persists the store; see Registry.SaveJSON.
+func (g *Guarded) SaveJSON(w io.Writer) error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.reg.SaveJSON(w)
+}

@@ -1,0 +1,53 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestGuardedConcurrentUse hammers a Guarded registry with concurrent
+// readers and writers; run under -race (make verify does) this proves
+// the guard covers every path /v1/registry/search depends on.
+func TestGuardedConcurrentUse(t *testing.T) {
+	g := NewGuarded(nil)
+	var wg sync.WaitGroup
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				g.Add(Entry{
+					Kind: "ACC",
+					Name: fmt.Sprintf("Item%d_%d", w, i),
+					DEN:  fmt.Sprintf("Item%d_%d. Details", w, i),
+				})
+			}
+		}(w)
+	}
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, e := range g.Search("Item") {
+					if e.DEN == "" {
+						t.Error("search returned an entry without a DEN")
+						return
+					}
+				}
+				g.Find("Item0_0. Details")
+				g.Len()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := g.Len(); got != 4*200 {
+		t.Errorf("Len = %d, want %d", got, 4*200)
+	}
+	if got := len(g.Search("Item3_")); got != 200 {
+		t.Errorf("Search(Item3_) = %d entries, want 200", got)
+	}
+}

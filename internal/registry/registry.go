@@ -48,6 +48,13 @@ func (e Entry) key() string {
 }
 
 // Registry is an in-memory dictionary of registered entries.
+//
+// A Registry is NOT safe for concurrent use: Add, RegisterModel,
+// LoadJSON and ImportCSV mutate the entry slice and index that Search,
+// Find and the exporters read, so a concurrent reader may observe a
+// half-built index. Batch tools (cmd/ccregistry) use it single-threaded;
+// concurrent callers — the HTTP serving layer answering
+// /v1/registry/search while reloads happen — must wrap it in a Guarded.
 type Registry struct {
 	entries []Entry
 	index   map[string]int

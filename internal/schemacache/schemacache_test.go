@@ -1,0 +1,240 @@
+package schemacache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func val(name string, n int) *Value {
+	return &Value{Files: []File{{Name: name, Data: make([]byte, n)}}}
+}
+
+func TestKeyCanonicalization(t *testing.T) {
+	base := Key([]byte("<xmi>\n<a/>\n</xmi>\n"), "lib|root")
+	cases := []struct {
+		name string
+		xmi  string
+		fp   string
+		same bool
+	}{
+		{"crlf line endings", "<xmi>\r\n<a/>\r\n</xmi>\r\n", "lib|root", true},
+		{"bare cr line endings", "<xmi>\r<a/>\r</xmi>\r", "lib|root", true},
+		{"trailing blank lines", "<xmi>\n<a/>\n</xmi>\n\n\n", "lib|root", true},
+		{"different document", "<xmi>\n<b/>\n</xmi>\n", "lib|root", false},
+		{"different fingerprint", "<xmi>\n<a/>\n</xmi>\n", "lib|other", false},
+		{"content moved into fingerprint", "<xmi>\n<a/>\n</xmi>\nlib", "|root", false},
+	}
+	for _, tc := range cases {
+		got := Key([]byte(tc.xmi), tc.fp)
+		if (got == base) != tc.same {
+			t.Errorf("%s: key equality = %v, want %v", tc.name, got == base, tc.same)
+		}
+	}
+}
+
+func TestHitMissAndLRUEviction(t *testing.T) {
+	c := New(250)
+	ctx := context.Background()
+	compute := func(name string) func() (*Value, error) {
+		return func() (*Value, error) { return val(name, 100), nil }
+	}
+
+	if _, out, _ := c.Do(ctx, "a", compute("a")); out != Miss {
+		t.Fatalf("first a: outcome %v, want miss", out)
+	}
+	if _, out, _ := c.Do(ctx, "a", compute("a")); out != Hit {
+		t.Fatalf("second a: outcome %v, want hit", out)
+	}
+	c.Do(ctx, "b", compute("b"))
+	// Touch a so b is the LRU entry, then insert c to force one eviction.
+	c.Do(ctx, "a", compute("a"))
+	c.Do(ctx, "c", compute("c"))
+
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; want it dropped as LRU")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a was evicted; want it resident (recently used)")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Hits != 2 {
+		t.Errorf("hits = %d, want 2", st.Hits)
+	}
+	if st.Misses != 3 {
+		t.Errorf("misses = %d, want 3", st.Misses)
+	}
+	if st.Bytes > 250 {
+		t.Errorf("bytes = %d, want <= budget 250", st.Bytes)
+	}
+}
+
+func TestOversizedValueNotCached(t *testing.T) {
+	c := New(50)
+	ctx := context.Background()
+	c.Do(ctx, "big", func() (*Value, error) { return val("big", 1000), nil })
+	if _, ok := c.Get("big"); ok {
+		t.Error("value larger than the whole budget was cached")
+	}
+	if st := c.Stats(); st.Bytes != 0 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want empty cache", st)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New(1 << 20)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if _, _, err := c.Do(ctx, "k", func() (*Value, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, out, err := c.Do(ctx, "k", func() (*Value, error) { return val("ok", 10), nil })
+	if err != nil || out != Miss || v == nil {
+		t.Fatalf("retry after error: v=%v out=%v err=%v, want fresh miss", v, out, err)
+	}
+}
+
+func TestSingleflightCollapse(t *testing.T) {
+	c := New(1 << 20)
+	ctx := context.Background()
+	var computations atomic.Int64
+	release := make(chan struct{})
+
+	const waiters = 32
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, out, err := c.Do(ctx, "shared", func() (*Value, error) {
+				computations.Add(1)
+				<-release
+				return val("shared", 10), nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			if v == nil || v.Files[0].Name != "shared" {
+				t.Errorf("waiter %d: wrong value %v", i, v)
+			}
+			outcomes[i] = out
+		}(i)
+	}
+	// Let all goroutines enqueue before releasing the leader.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		inflight := len(c.flight) == 1
+		coalesced := c.coalesced
+		c.mu.Unlock()
+		if inflight && coalesced == waiters-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiters did not coalesce in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computations.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want exactly 1", n)
+	}
+	misses, coalesced := 0, 0
+	for _, out := range outcomes {
+		switch out {
+		case Miss:
+			misses++
+		case Coalesced:
+			coalesced++
+		}
+	}
+	if misses != 1 || coalesced != waiters-1 {
+		t.Errorf("outcomes: %d misses, %d coalesced; want 1 and %d", misses, coalesced, waiters-1)
+	}
+}
+
+func TestCoalescedWaiterObservesCancellation(t *testing.T) {
+	c := New(1 << 20)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go c.Do(context.Background(), "k", func() (*Value, error) {
+		close(started)
+		<-release
+		return val("k", 1), nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, "k", func() (*Value, error) { return val("k", 1), nil })
+		done <- err
+	}()
+	// The waiter must be parked on the in-flight call before we cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		parked := c.coalesced == 1
+		c.mu.Unlock()
+		if parked {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter did not return")
+	}
+	close(release)
+}
+
+func TestZeroBudgetStillCollapses(t *testing.T) {
+	c := New(0)
+	ctx := context.Background()
+	c.Do(ctx, "k", func() (*Value, error) { return val("k", 1), nil })
+	if _, out, _ := c.Do(ctx, "k", func() (*Value, error) { return val("k", 1), nil }); out != Miss {
+		t.Errorf("outcome = %v, want miss with caching disabled", out)
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New(10_000)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%20)
+				v, _, err := c.Do(ctx, key, func() (*Value, error) { return val(key, 100), nil })
+				if err != nil || v == nil || v.Files[0].Name != key {
+					t.Errorf("key %s: v=%v err=%v", key, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes > 10_000 {
+		t.Errorf("bytes = %d over budget", st.Bytes)
+	}
+}

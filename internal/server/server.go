@@ -1,0 +1,354 @@
+// Package server exposes the transformation pipeline over HTTP: the
+// paper's batch generator (UML profile model in, NDR-compliant XSD out)
+// becomes a resident service. Endpoints:
+//
+//	POST /v1/generate        XMI in; zipped or multipart schema set +
+//	                         diagnostics out. Memoized through a
+//	                         content-addressed schema cache.
+//	POST /v1/validate        XMI in; validate.Report JSON out.
+//	GET  /v1/registry/search query over a loaded registry store.
+//	GET  /healthz            liveness + cache/admission snapshot.
+//	GET  /metrics            Prometheus text exposition.
+//
+// Admission control reuses the robustness layer: request bodies run
+// under internal/limits budgets, a bounded semaphore caps in-flight
+// generations (saturation answers 503), every request's context is
+// threaded into the import and the generate pipeline so client
+// disconnects and the request timeout cancel real work, and panics are
+// isolated into structured 500s. Model defects answer 400, validation
+// errors 422.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	ccts "github.com/go-ccts/ccts"
+	"github.com/go-ccts/ccts/internal/gen"
+	"github.com/go-ccts/ccts/internal/limits"
+	"github.com/go-ccts/ccts/internal/metrics"
+	"github.com/go-ccts/ccts/internal/registry"
+	"github.com/go-ccts/ccts/internal/schemacache"
+	"github.com/go-ccts/ccts/internal/validate"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Parallelism is the emit-phase worker count per generation (see
+	// ccts.GenerateOptions.Parallelism). Values <= 1 emit sequentially.
+	Parallelism int
+	// MaxInFlight caps concurrently admitted generations/validations;
+	// requests beyond it answer 503. Default: 2 * GOMAXPROCS.
+	MaxInFlight int
+	// RequestTimeout bounds one request's work; 0 disables the bound.
+	RequestTimeout time.Duration
+	// Limits is the ingestion budget applied to request bodies and the
+	// XML parsing behind them; the zero value means limits.Default().
+	Limits limits.Limits
+	// CacheBytes is the schema cache budget. 0 means the 64 MiB
+	// default; negative disables caching (singleflight still applies).
+	CacheBytes int64
+	// Registry, when non-nil, backs /v1/registry/search. Without it the
+	// endpoint answers 404.
+	Registry *registry.Guarded
+	// Metrics receives the server's instruments; nil creates a private
+	// registry (exposed on /metrics either way).
+	Metrics *metrics.Registry
+}
+
+// Server is the HTTP serving layer. Create with New; the zero value is
+// not usable.
+type Server struct {
+	cfg   Config
+	lim   limits.Limits
+	cache *schemacache.Cache
+	reg   *registry.Guarded
+	mx    *metrics.Registry
+	sem   chan struct{}
+	mux   *http.ServeMux
+
+	requests  *metrics.Counter
+	saturated *metrics.Counter
+	panics    *metrics.Counter
+	errors4xx *metrics.Counter
+	errors5xx *metrics.Counter
+	inflight  *metrics.Gauge
+}
+
+// New builds a Server from cfg, applying the documented defaults.
+func New(cfg Config) *Server {
+	lim := cfg.Limits
+	if lim == (limits.Limits{}) {
+		lim = limits.Default()
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	cacheBytes := cfg.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = 64 << 20
+	}
+	mx := cfg.Metrics
+	if mx == nil {
+		mx = metrics.NewRegistry()
+	}
+	s := &Server{
+		cfg:   cfg,
+		lim:   lim,
+		cache: schemacache.New(cacheBytes),
+		reg:   cfg.Registry,
+		mx:    mx,
+		sem:   make(chan struct{}, maxInFlight),
+		mux:   http.NewServeMux(),
+
+		requests:  mx.Counter("ccserved_requests_total", "HTTP requests received."),
+		saturated: mx.Counter("ccserved_saturated_total", "Requests rejected with 503 because the admission semaphore was full."),
+		panics:    mx.Counter("ccserved_panics_total", "Request handlers recovered from a panic."),
+		errors4xx: mx.Counter("ccserved_errors_4xx_total", "Responses with a 4xx status."),
+		errors5xx: mx.Counter("ccserved_errors_5xx_total", "Responses with a 5xx status."),
+		inflight:  mx.Gauge("ccserved_inflight", "Requests currently holding an admission slot."),
+	}
+	s.cache.Instrument(mx)
+	s.mux.HandleFunc("/v1/generate", s.handleGenerate)
+	s.mux.HandleFunc("/v1/validate", s.handleValidate)
+	s.mux.HandleFunc("/v1/registry/search", s.handleRegistrySearch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the server's HTTP handler: the route mux wrapped in
+// request accounting and panic isolation.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Inc()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Inc()
+				s.writeError(w, &apiError{
+					Status:  http.StatusInternalServerError,
+					Code:    "panic",
+					Message: fmt.Sprintf("internal error: %v", rec),
+				})
+				// The stack goes to stderr, not to the client.
+				fmt.Fprintf(debugWriter, "ccserved: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *metrics.Registry { return s.mx }
+
+// Cache returns the schema cache (for stats and tests).
+func (s *Server) Cache() *schemacache.Cache { return s.cache }
+
+// debugWriter receives panic stacks; a variable so tests can silence it.
+var debugWriter io.Writer = os.Stderr
+
+// requestContext derives the per-request work context: the client's
+// context bounded by the configured request timeout.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// admit claims an admission slot without blocking; it reports false
+// when the semaphore is saturated. release undoes a successful admit.
+func (s *Server) admit() bool {
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Inc()
+		return true
+	default:
+		s.saturated.Inc()
+		return false
+	}
+}
+
+func (s *Server) release() {
+	s.inflight.Dec()
+	<-s.sem
+}
+
+// errSaturated marks a rejected admission; mapped to 503.
+var errSaturated = errors.New("server: admission semaphore saturated")
+
+// apiError is the structured error envelope every failure path answers
+// with: {"error": ..., "code": ..., "findings": [...]} plus the HTTP
+// status.
+type apiError struct {
+	Status  int
+	Code    string
+	Message string
+	Report  *validate.Report
+}
+
+func (e *apiError) Error() string { return e.Message }
+
+// jsonFinding is the wire form of a validate.Finding.
+type jsonFinding struct {
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	Element  string `json:"element,omitempty"`
+	Message  string `json:"message"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+}
+
+func toJSONFindings(fs []validate.Finding) []jsonFinding {
+	out := make([]jsonFinding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, jsonFinding{
+			Rule:     f.Rule,
+			Severity: f.Severity.String(),
+			Element:  f.Element,
+			Message:  f.Message,
+			Line:     f.Line,
+			Col:      f.Col,
+		})
+	}
+	return out
+}
+
+// writeError renders an apiError and updates the error counters.
+func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
+	if e.Status >= 500 {
+		s.errors5xx.Inc()
+	} else if e.Status >= 400 {
+		s.errors4xx.Inc()
+	}
+	body := struct {
+		Error    string        `json:"error"`
+		Code     string        `json:"code"`
+		Findings []jsonFinding `json:"findings,omitempty"`
+	}{Error: e.Message, Code: e.Code}
+	if e.Report != nil {
+		body.Findings = toJSONFindings(e.Report.Findings)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if e.Status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(e.Status)
+	json.NewEncoder(w).Encode(body)
+}
+
+// mapError converts a pipeline failure into the documented status
+// mapping: 503 for saturation, 504 for a request-budget timeout, 400
+// for model/input defects (including limit violations, which are a
+// property of the submitted document), 500 for isolated panics.
+func mapError(err error) *apiError {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae
+	case errors.Is(err, errSaturated):
+		return &apiError{Status: http.StatusServiceUnavailable, Code: "saturated", Message: "server is at its in-flight generation limit; retry"}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &apiError{Status: http.StatusGatewayTimeout, Code: "timeout", Message: "request exceeded the server's time budget"}
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is moot but keep the map total.
+		return &apiError{Status: 499, Code: "canceled", Message: "request canceled"}
+	case errors.Is(err, limits.ErrLimit), errors.Is(err, limits.ErrDTD):
+		return &apiError{Status: http.StatusBadRequest, Code: "limit", Message: err.Error()}
+	default:
+		var opErr *gen.OpError
+		if errors.As(err, &opErr) {
+			return &apiError{Status: http.StatusInternalServerError, Code: "panic", Message: err.Error()}
+		}
+		return &apiError{Status: http.StatusBadRequest, Code: "model", Message: err.Error()}
+	}
+}
+
+// readBody slurps the request body under the configured byte budget.
+// Exceeding it answers 413 (the HTTP-native form of MaxInputBytes).
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, *apiError) {
+	max := s.lim.MaxInputBytes
+	if max <= 0 {
+		max = 64 << 20
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, max))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, &apiError{
+				Status:  http.StatusRequestEntityTooLarge,
+				Code:    "limit",
+				Message: fmt.Sprintf("request body exceeds %d bytes", max),
+			}
+		}
+		return nil, &apiError{Status: http.StatusBadRequest, Code: "body", Message: err.Error()}
+	}
+	return body, nil
+}
+
+// handleHealthz answers a liveness snapshot.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Code: "method", Message: "use GET"})
+		return
+	}
+	st := s.cache.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":   "ok",
+		"inflight": s.inflight.Value(),
+		"capacity": cap(s.sem),
+		"cache": map[string]any{
+			"hits": st.Hits, "misses": st.Misses, "coalesced": st.Coalesced,
+			"evictions": st.Evictions, "entries": st.Entries, "bytes": st.Bytes,
+		},
+	})
+}
+
+// handleMetrics renders the Prometheus exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Code: "method", Message: "use GET"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.mx.WritePrometheus(w)
+}
+
+// handleRegistrySearch answers /v1/registry/search?q=...&context=...
+func (s *Server) handleRegistrySearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Code: "method", Message: "use GET"})
+		return
+	}
+	if s.reg == nil {
+		s.writeError(w, &apiError{Status: http.StatusNotFound, Code: "registry", Message: "no registry store loaded"})
+		return
+	}
+	q := r.URL.Query().Get("q")
+	var entries []registry.Entry
+	if ctxExpr := r.URL.Query().Get("context"); ctxExpr != "" {
+		situation, err := ccts.ParseContext(ctxExpr)
+		if err != nil {
+			s.writeError(w, &apiError{Status: http.StatusBadRequest, Code: "context", Message: err.Error()})
+			return
+		}
+		entries = s.reg.SearchInContext(q, situation)
+	} else {
+		entries = s.reg.Search(q)
+	}
+	if entries == nil {
+		entries = []registry.Entry{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(entries)
+}

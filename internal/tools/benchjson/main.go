@@ -1,0 +1,140 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into a stable JSON document, so benchmark runs (e.g. `make
+// bench-serve`) leave a machine-readable record next to the repo's
+// other BENCH_* artifacts.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./pkg | go run ./internal/tools/benchjson -o BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Doc is the output document.
+type Doc struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output, keeping benchmark lines and the
+// goos/goarch/pkg/cpu header, and ignoring everything else (PASS, ok,
+// log lines).
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			doc.Benchmarks = append(doc.Benchmarks, res)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseLine splits one benchmark result line, e.g.
+//
+//	BenchmarkServeCacheHit-8  13180  91999 ns/op  271.32 MB/s  186391 B/op  141 allocs/op
+func parseLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, fmt.Errorf("short benchmark line %q", line)
+	}
+	res := Result{Name: strings.TrimSuffix(fields[0], "-"+lastDash(fields[0]))}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("benchmark line %q: %w", line, err)
+	}
+	res.Runs = runs
+	// Remaining fields come in "<value> <unit>" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			res.NsPerOp, err = strconv.ParseFloat(val, 64)
+		case "MB/s":
+			res.MBPerS, err = strconv.ParseFloat(val, 64)
+		case "B/op":
+			res.BytesPerOp, err = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("benchmark line %q: %w", line, err)
+		}
+	}
+	return res, nil
+}
+
+// lastDash returns the GOMAXPROCS suffix of a benchmark name ("8" in
+// "BenchmarkX-8"), or an impossible token when there is none.
+func lastDash(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		suffix := name[i+1:]
+		if _, err := strconv.Atoi(suffix); err == nil {
+			return suffix
+		}
+	}
+	return "\x00"
+}

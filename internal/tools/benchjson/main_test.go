@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/go-ccts/ccts/internal/server
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkServeCacheHit-8    	   13180	     91999 ns/op	 271.32 MB/s	  186391 B/op	     141 allocs/op
+BenchmarkServeCacheMiss     	     424	   2773067 ns/op	    9.00 MB/s
+BenchmarkServeValidate      	     685	   1871098 ns/op
+PASS
+ok  	github.com/go-ccts/ccts/internal/server	3.621s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" {
+		t.Errorf("header = %s/%s", doc.Goos, doc.Goarch)
+	}
+	if doc.Pkg != "github.com/go-ccts/ccts/internal/server" {
+		t.Errorf("pkg = %q", doc.Pkg)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	hit := doc.Benchmarks[0]
+	if hit.Name != "BenchmarkServeCacheHit" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", hit.Name)
+	}
+	if hit.Runs != 13180 || hit.NsPerOp != 91999 || hit.MBPerS != 271.32 {
+		t.Errorf("hit = %+v", hit)
+	}
+	if hit.BytesPerOp != 186391 || hit.AllocsPerOp != 141 {
+		t.Errorf("memstats = %+v", hit)
+	}
+	if v := doc.Benchmarks[2]; v.Runs != 685 || v.BytesPerOp != 0 {
+		t.Errorf("validate = %+v", v)
+	}
+}
+
+func TestParseRejectsMalformedLine(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkBroken notanumber ns/op\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+}
+
+func TestLastDash(t *testing.T) {
+	if got := lastDash("BenchmarkX-8"); got != "8" {
+		t.Errorf("lastDash = %q", got)
+	}
+	if got := lastDash("BenchmarkX-extra"); got == "extra" {
+		t.Error("non-numeric suffix treated as GOMAXPROCS")
+	}
+}
