@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-serve verify fuzz-smoke
+.PHONY: build test bench bench-serve bench-repo verify fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,15 @@ bench-serve:
 	$(GO) test ./internal/server -run='^$$' -bench='BenchmarkServe' -benchmem \
 		| tee /dev/stderr | $(GO) run ./internal/tools/benchjson -o BENCH_serve.json
 
+# bench-repo measures the schema repository: a cold publish (full
+# pipeline + blob writes + WAL commit), a warm publish (full dedup, the
+# steady-state cost of republishing known content) and a stored-file
+# read. The warm/cold gap is the acceptance metric for content
+# addressing.
+bench-repo:
+	$(GO) test ./internal/repo -run='^$$' -bench='BenchmarkRepo' -benchmem \
+		| tee /dev/stderr | $(GO) run ./internal/tools/benchjson -o BENCH_repo.json
+
 # fuzz-smoke runs every fuzz target briefly against its seed corpus plus
 # whatever the engine mutates in FUZZTIME. It is a smoke test of the
 # ingestion hardening (resource limits, DTD rejection, truncation), not
@@ -32,10 +41,11 @@ fuzz-smoke:
 # verify is the full pre-merge gate: static checks, the entire test
 # suite under the race detector (the parallel emit phase must be
 # data-race-free at any Parallelism setting), a dedicated -race pass
-# over the serving stack (singleflight, admission gating, drain), and
-# the fuzz smoke pass.
+# over the serving and repository stack (singleflight, admission
+# gating, drain, concurrent publishes against the WAL), and the fuzz
+# smoke pass.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -race -count=1 ./internal/server ./internal/schemacache ./internal/registry
+	$(GO) test -race -count=1 ./internal/server ./internal/schemacache ./internal/registry ./internal/repo ./cmd/ccrepo
 	$(MAKE) fuzz-smoke

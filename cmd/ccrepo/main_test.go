@@ -1,0 +1,336 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	ccts "github.com/go-ccts/ccts"
+	"github.com/go-ccts/ccts/internal/fixture"
+	"github.com/go-ccts/ccts/internal/repo"
+)
+
+const testSubject = "hoarding-permit"
+
+// writeXMI builds the HoardingPermit fixture, applies an optional
+// mutation, and writes the exported XMI to a file under dir.
+func writeXMI(t *testing.T, dir, name string, mutate func(*fixture.HoardingPermit)) string {
+	t.Helper()
+	f, err := fixture.BuildHoardingPermit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutate != nil {
+		mutate(f)
+	}
+	var buf bytes.Buffer
+	if err := ccts.ExportXMI(f.Model, &buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func breaking(f *fixture.HoardingPermit) {
+	enum := f.Model.FindENUM("CountryType_Code")
+	enum.Literals = enum.Literals[1:] // drop USA
+}
+
+func additive(f *fixture.HoardingPermit) {
+	f.Model.FindENUM("CountryType_Code").AddLiteral("NZL", "New Zealand")
+}
+
+func publishArgs(dir, model string, extra ...string) []string {
+	args := []string{"-dir", dir, "publish",
+		"-subject", testSubject,
+		"-library", "EB005-HoardingPermit",
+		"-root", "HoardingPermit"}
+	args = append(args, extra...)
+	return append(args, model)
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	for _, args := range [][]string{
+		{"-h"},
+		{"-dir", t.TempDir(), "publish", "-h"},
+		{"-dir", t.TempDir(), "get", "-h"},
+	} {
+		if err := run(args, io.Discard); !errors.Is(err, flag.ErrHelp) {
+			t.Errorf("run(%q) = %v, want flag.ErrHelp", args, err)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if err := run(nil, io.Discard); err == nil {
+		t.Error("no arguments should fail")
+	}
+	if err := run([]string{"-dir", t.TempDir(), "frobnicate"}, io.Discard); err == nil || !strings.Contains(err.Error(), "unknown subcommand") {
+		t.Errorf("unknown subcommand error = %v", err)
+	}
+	if err := run([]string{"-dir", t.TempDir(), "publish"}, io.Discard); err == nil {
+		t.Error("publish without flags should fail")
+	}
+	if err := run([]string{"-dir", t.TempDir(), "-default-policy", "strict", "list"}, io.Discard); err == nil {
+		t.Error("bad -default-policy should fail")
+	}
+}
+
+func TestPublishListGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "repo")
+	model := writeXMI(t, dir, "model.xmi", nil)
+
+	var out bytes.Buffer
+	if err := run(publishArgs(data, model), &out); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if !strings.Contains(out.String(), "published "+testSubject+" version 1") {
+		t.Errorf("publish output = %q", out.String())
+	}
+
+	// Additive revision becomes version 2 under the default backward policy.
+	model2 := writeXMI(t, dir, "model2.xmi", additive)
+	out.Reset()
+	if err := run(publishArgs(data, model2), &out); err != nil {
+		t.Fatalf("additive publish: %v", err)
+	}
+	if !strings.Contains(out.String(), "version 2") {
+		t.Errorf("additive publish output = %q", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-dir", data, "list"}, &out); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if !strings.Contains(out.String(), testSubject) || !strings.Contains(out.String(), "1 subject(s)") {
+		t.Errorf("list output = %q", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-dir", data, "list", testSubject}, &out); err != nil {
+		t.Fatalf("list subject: %v", err)
+	}
+	if !strings.Contains(out.String(), "live") || !strings.Contains(out.String(), "  2") {
+		t.Errorf("version listing = %q", out.String())
+	}
+
+	// Metadata via get, then one file and a full exported directory.
+	out.Reset()
+	if err := run([]string{"-dir", data, "get", "-subject", testSubject}, &out); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	var meta struct {
+		Subject string       `json:"subject"`
+		Version repo.Version `json:"version"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &meta); err != nil {
+		t.Fatalf("get output not JSON: %v\n%s", err, out.String())
+	}
+	if meta.Version.Number != 2 || len(meta.Version.Files) == 0 {
+		t.Fatalf("unexpected metadata: %+v", meta)
+	}
+
+	name := meta.Version.Files[0].Name
+	out.Reset()
+	if err := run([]string{"-dir", data, "get", "-subject", testSubject, "-version", "1", "-file", name}, &out); err != nil {
+		t.Fatalf("get -file: %v", err)
+	}
+	if !strings.Contains(out.String(), "<xsd:schema") {
+		t.Errorf("get -file %s did not return a schema, got %q...", name, out.String()[:min(80, out.Len())])
+	}
+
+	exportDir := filepath.Join(dir, "export")
+	out.Reset()
+	if err := run([]string{"-dir", data, "get", "-subject", testSubject, "-out", exportDir}, &out); err != nil {
+		t.Fatalf("get -out: %v", err)
+	}
+	for _, f := range meta.Version.Files {
+		if _, err := os.Stat(filepath.Join(exportDir, f.Name)); err != nil {
+			t.Errorf("exported file %s: %v", f.Name, err)
+		}
+	}
+	diags, err := os.ReadFile(filepath.Join(exportDir, "diagnostics.json"))
+	if err != nil {
+		t.Fatalf("diagnostics.json: %v", err)
+	}
+	if !bytes.Contains(diags, []byte(`"findings"`)) {
+		t.Errorf("diagnostics.json = %q", diags)
+	}
+
+	// Bad version strings fail.
+	if err := run([]string{"-dir", data, "get", "-subject", testSubject, "-version", "zero"}, io.Discard); err == nil {
+		t.Error("get -version zero should fail")
+	}
+}
+
+func TestBreakingPublishIsIncompatible(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "repo")
+	model := writeXMI(t, dir, "model.xmi", nil)
+	if err := run(publishArgs(data, model), io.Discard); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+
+	bad := writeXMI(t, dir, "breaking.xmi", breaking)
+	var out bytes.Buffer
+	err := run(publishArgs(data, bad), &out)
+	if !errors.Is(err, errIncompatible) {
+		t.Fatalf("breaking publish error = %v, want errIncompatible", err)
+	}
+	var rejection struct {
+		Subject string `json:"subject"`
+		Against int    `json:"against"`
+		Changes []struct {
+			Breaking bool `json:"breaking"`
+		} `json:"changes"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rejection); err != nil {
+		t.Fatalf("rejection output not JSON: %v\n%s", err, out.String())
+	}
+	if rejection.Against != 1 || len(rejection.Changes) == 0 {
+		t.Errorf("rejection = %+v", rejection)
+	}
+	for _, c := range rejection.Changes {
+		if !c.Breaking {
+			t.Error("rejection listed a non-breaking change")
+		}
+	}
+
+	// Nothing was stored: still exactly one version.
+	out.Reset()
+	if err := run([]string{"-dir", data, "list", testSubject}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "  2") {
+		t.Errorf("breaking publish stored a version: %q", out.String())
+	}
+
+	// Under -policy none the same revision publishes.
+	if err := run(publishArgs(data, bad, "-policy", "none"), io.Discard); err != nil {
+		t.Fatalf("publish -policy none: %v", err)
+	}
+}
+
+func TestCheckDryRun(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "repo")
+	model := writeXMI(t, dir, "model.xmi", nil)
+	good := writeXMI(t, dir, "additive.xmi", additive)
+	bad := writeXMI(t, dir, "breaking.xmi", breaking)
+
+	// Unknown subject: anything well-formed is compatible.
+	var out bytes.Buffer
+	if err := run([]string{"-dir", data, "check", "-subject", testSubject, model}, &out); err != nil {
+		t.Fatalf("check new subject: %v", err)
+	}
+
+	if err := run(publishArgs(data, model), io.Discard); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+
+	out.Reset()
+	if err := run([]string{"-dir", data, "check", "-subject", testSubject, good}, &out); err != nil {
+		t.Fatalf("check additive: %v", err)
+	}
+	var res struct {
+		Compatible bool `json:"compatible"`
+		Against    int  `json:"against"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compatible || res.Against != 1 {
+		t.Errorf("additive check = %+v", res)
+	}
+
+	out.Reset()
+	err := run([]string{"-dir", data, "check", "-subject", testSubject, bad}, &out)
+	if !errors.Is(err, errIncompatible) {
+		t.Fatalf("breaking check error = %v, want errIncompatible", err)
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Compatible {
+		t.Error("breaking check reported compatible")
+	}
+
+	// A dry run stores nothing.
+	out.Reset()
+	if err := run([]string{"-dir", data, "list", testSubject}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "  1") || strings.Contains(out.String(), "  2") {
+		t.Errorf("check mutated the repository: %q", out.String())
+	}
+}
+
+func TestGC(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "repo")
+	model := writeXMI(t, dir, "model.xmi", nil)
+	if err := run(publishArgs(data, model), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	model2 := writeXMI(t, dir, "model2.xmi", additive)
+	if err := run(publishArgs(data, model2), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing unreferenced yet.
+	var out bytes.Buffer
+	if err := run([]string{"-dir", data, "gc"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "reclaimed 0 blob(s)") {
+		t.Errorf("gc on live repo = %q", out.String())
+	}
+
+	// Tombstone version 1 by publishing nothing new and deleting via the
+	// library (the CLI has no delete subcommand; deletion is a server/API
+	// operation) — reopen directly to tombstone, then gc reclaims.
+	r, err := repo.Open(data, repo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(testSubject, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-dir", data, "gc"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "reclaimed 0 blob(s)") {
+		t.Errorf("gc after tombstone = %q", out.String())
+	}
+}
+
+func TestPublishRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "repo")
+	garbage := filepath.Join(dir, "garbage.xmi")
+	if err := os.WriteFile(garbage, []byte("<not-xmi/>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(publishArgs(data, garbage), io.Discard); err == nil {
+		t.Error("publishing garbage should fail")
+	}
+	if err := run(publishArgs(data, filepath.Join(dir, "missing.xmi")), io.Discard); err == nil {
+		t.Error("publishing a missing file should fail")
+	}
+	if err := run(publishArgs(data, garbage, "-style", "baroque"), io.Discard); err == nil {
+		t.Error("bad -style should fail")
+	}
+}

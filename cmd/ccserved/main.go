@@ -3,7 +3,8 @@
 // content-addressed schema cache, admission control and metrics.
 //
 // Endpoints: POST /v1/generate, POST /v1/validate,
-// GET /v1/registry/search, GET /healthz, GET /metrics.
+// GET /v1/registry/search, the /v1/repo family (when -repo is set),
+// GET /healthz, GET /metrics.
 //
 // SIGINT/SIGTERM drain the server gracefully: the listener stops
 // accepting, in-flight requests get -drain-timeout to finish (their
@@ -30,6 +31,7 @@ import (
 	ccts "github.com/go-ccts/ccts"
 	"github.com/go-ccts/ccts/internal/limits"
 	"github.com/go-ccts/ccts/internal/registry"
+	"github.com/go-ccts/ccts/internal/repo"
 	"github.com/go-ccts/ccts/internal/server"
 )
 
@@ -51,6 +53,10 @@ type config struct {
 	addr         string
 	server       server.Config
 	drainTimeout time.Duration
+	// repoDir enables the /v1/repo endpoints; the repository is opened in
+	// run (not parseFlags) so flag parsing stays free of side effects.
+	repoDir    string
+	repoPolicy repo.Policy
 }
 
 // parseFlags maps the command line onto a server configuration.
@@ -65,6 +71,8 @@ func parseFlags(args []string) (*config, error) {
 		cacheBytes   = fs.Int64("cache-bytes", 64<<20, "schema cache budget in bytes (negative disables caching)")
 		limitsProf   = fs.String("limits", "default", "ingestion limits profile: default or unlimited")
 		registryPath = fs.String("registry", "", "registry store (JSON) backing /v1/registry/search")
+		repoDir      = fs.String("repo", "", "schema repository directory backing /v1/repo (empty disables)")
+		repoPolicy   = fs.String("repo-policy", "backward", "default compatibility policy for new subjects: none or backward")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -92,6 +100,12 @@ func parseFlags(args []string) (*config, error) {
 		}
 		cfg.server.Registry = reg
 	}
+	cfg.repoDir = *repoDir
+	policy, err := repo.ParsePolicy(*repoPolicy)
+	if err != nil {
+		return nil, err
+	}
+	cfg.repoPolicy = policy
 	return cfg, nil
 }
 
@@ -113,6 +127,17 @@ func run(args []string) error {
 	cfg, err := parseFlags(args)
 	if err != nil {
 		return err
+	}
+
+	// The repository outlives any single request; the process owns it and
+	// closes it (checkpointing the WAL) after the drain completes.
+	if cfg.repoDir != "" {
+		rp, err := repo.Open(cfg.repoDir, repo.Config{DefaultPolicy: cfg.repoPolicy})
+		if err != nil {
+			return fmt.Errorf("opening schema repository: %w", err)
+		}
+		defer rp.Close()
+		cfg.server.Repo = rp
 	}
 
 	srv := server.New(cfg.server)

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"github.com/go-ccts/ccts/internal/repo"
 )
 
 func TestHelpExitsZero(t *testing.T) {
@@ -45,6 +47,35 @@ func TestParseFlags(t *testing.T) {
 	}
 	if cfg.server.Limits.MaxDepth != 0 {
 		t.Errorf("limits profile not unlimited: %+v", cfg.server.Limits)
+	}
+}
+
+func TestParseFlagsRepo(t *testing.T) {
+	// Default: no repository, backward policy.
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.repoDir != "" || cfg.repoPolicy != repo.PolicyBackward {
+		t.Errorf("defaults = %q/%v", cfg.repoDir, cfg.repoPolicy)
+	}
+
+	// parseFlags records the directory but must not create it; the
+	// repository is opened in run.
+	dir := filepath.Join(t.TempDir(), "repo")
+	cfg, err = parseFlags([]string{"-repo", dir, "-repo-policy", "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.repoDir != dir || cfg.repoPolicy != repo.PolicyNone {
+		t.Errorf("repo flags = %q/%v", cfg.repoDir, cfg.repoPolicy)
+	}
+	if _, err := os.Stat(dir); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("parseFlags created the repository directory: %v", err)
+	}
+
+	if _, err := parseFlags([]string{"-repo-policy", "strict"}); err == nil {
+		t.Error("unknown repo policy accepted")
 	}
 }
 

@@ -164,6 +164,145 @@ func TestChangeString(t *testing.T) {
 	}
 }
 
+// changeFor finds the first change whose rendering contains fragment.
+func changeFor(t *testing.T, r *Report, fragment string) Change {
+	t.Helper()
+	for _, c := range r.Changes {
+		if strings.Contains(c.String(), fragment) {
+			return c
+		}
+	}
+	t.Fatalf("no change matching %q in %v", fragment, r.Changes)
+	return Change{}
+}
+
+func TestTightens(t *testing.T) {
+	one := core.Cardinality{Lower: 1, Upper: 1}
+	opt := core.Cardinality{Lower: 0, Upper: 1}
+	many := core.Cardinality{Lower: 0, Upper: core.Unbounded}
+	oneOrMore := core.Cardinality{Lower: 1, Upper: core.Unbounded}
+	cases := []struct {
+		name     string
+		old, new core.Cardinality
+		want     bool
+	}{
+		{"raise lower", opt, one, true},
+		{"lower upper", many, opt, true},
+		{"unbounded to bounded", oneOrMore, one, true},
+		{"widen lower", one, opt, false},
+		{"widen upper", opt, many, false},
+		{"bounded to unbounded", one, oneOrMore, false},
+		{"unchanged", opt, opt, false},
+	}
+	for _, tc := range cases {
+		if got := tightens(tc.old, tc.new); got != tc.want {
+			t.Errorf("%s: tightens(%s, %s) = %t, want %t", tc.name, tc.old, tc.new, got, tc.want)
+		}
+	}
+}
+
+func TestBreakingClassification(t *testing.T) {
+	a := fixture.MustBuildHoardingPermit()
+	b := fixture.MustBuildHoardingPermit()
+
+	// Breaking edits: remove a BCC, tighten a cardinality, retype a
+	// BBIE's ACC base type, drop an ASBIE, remove an ENUM literal.
+	permit := b.Model.FindACC("Permit")
+	permit.BCCs = permit.BCCs[1:]                              // drop ClosureReason
+	permit.BCCs[0].Card = core.Cardinality{Lower: 1, Upper: 1} // IsClosedFootpath required
+	b.Permit.ASBIEs = b.Permit.ASBIEs[1:]                      // drop Included>Attachment
+	enum := b.Model.FindENUM("CountryType_Code")
+	enum.Literals = enum.Literals[1:]
+
+	// Additive edits: new BCC, new ENUM literal, version bump.
+	if _, err := permit.AddBCC("NightWork", b.Catalog.CDT(catalog.CDTIndicator), core.Cardinality{Lower: 0, Upper: 1}); err != nil {
+		t.Fatal(err)
+	}
+	enum.AddLiteral("NZL", "New Zealand")
+	b.Common.Version = "0.2"
+
+	r := Compare(a.Model, b.Model)
+
+	breaking := []string{
+		"BCC ClosureReason removed",
+		"BCC IsClosedFootpath cardinality 0..1 -> 1",
+		"ASBIE Included>Attachment removed",
+		"literal USA removed",
+	}
+	additive := []string{
+		"BCC NightWork added",
+		"literal NZL added",
+		`version "0.1" -> "0.2"`,
+	}
+	for _, frag := range breaking {
+		c := changeFor(t, r, frag)
+		if !c.Breaking {
+			t.Errorf("change %q must be breaking: %+v", frag, c)
+		}
+	}
+	for _, frag := range additive {
+		c := changeFor(t, r, frag)
+		// The fragment may share a Change with a breaking detail (same
+		// element); assert the detail is not listed as breaking.
+		for _, bd := range c.BreakingDetails {
+			if strings.Contains(frag, bd) {
+				t.Errorf("detail %q wrongly classified breaking in %+v", bd, c)
+			}
+		}
+	}
+
+	// Report.Breaking must include every breaking change and only those.
+	for _, c := range r.Breaking() {
+		if !c.Breaking {
+			t.Errorf("Breaking() returned non-breaking change %+v", c)
+		}
+	}
+	if len(r.Breaking()) == 0 {
+		t.Error("Breaking() empty despite breaking edits")
+	}
+}
+
+func TestAdditiveRevisionIsNonBreaking(t *testing.T) {
+	a := fixture.MustBuildHoardingPermit()
+	b := fixture.MustBuildHoardingPermit()
+	// Purely additive revision: a new ACC, a new literal, version bumps.
+	if _, err := b.CCLib.AddACC("Inspection"); err != nil {
+		t.Fatal(err)
+	}
+	b.Model.FindENUM("CountryType_Code").AddLiteral("NZL", "New Zealand")
+	b.Common.Version = "0.2"
+
+	r := Compare(a.Model, b.Model)
+	if r.Empty() {
+		t.Fatal("expected changes")
+	}
+	if got := r.Breaking(); len(got) != 0 {
+		t.Errorf("additive revision reported breaking changes: %v", got)
+	}
+}
+
+func TestRemovedElementIsBreaking(t *testing.T) {
+	a := fixture.MustBuildHoardingPermit()
+	b := fixture.MustBuildHoardingPermit()
+	b.Common.ABIEs = b.Common.ABIEs[:1]
+	r := Compare(a.Model, b.Model)
+	removed := r.ByKind(Removed)
+	if len(removed) == 0 {
+		t.Fatal("expected a removed change")
+	}
+	for _, c := range removed {
+		if !c.Breaking {
+			t.Errorf("removed change not breaking: %+v", c)
+		}
+	}
+	added := r.ByKind(Added)
+	for _, c := range added {
+		if c.Breaking {
+			t.Errorf("added change marked breaking: %+v", c)
+		}
+	}
+}
+
 func TestPrimLibraryDiff(t *testing.T) {
 	oldM := core.NewModel("A")
 	bizA := oldM.AddBusinessLibrary("B")

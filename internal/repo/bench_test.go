@@ -1,0 +1,71 @@
+package repo
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/fixture"
+)
+
+// BenchmarkRepoPublishCold measures a publish whose content is new every
+// iteration: every blob misses the store, so the run prices the full
+// canonicalize + hash + fsync + WAL pipeline.
+func BenchmarkRepoPublishCold(b *testing.B) {
+	r := openRepo(b, b.TempDir(), Config{DefaultPolicy: PolicyNone, CheckpointEvery: 1 << 20})
+	req := buildRequest(b, fixture.MustBuildHoardingPermit())
+	var total int64
+	for _, f := range req.Files {
+		total += int64(len(f.Data))
+	}
+	b.SetBytes(total + int64(len(req.Input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iter := req
+		iter.Input = append([]byte(fmt.Sprintf("<!--%d-->", i)), req.Input...)
+		iter.Files = append([]File(nil), req.Files...)
+		iter.Files[0] = File{Name: req.Files[0].Name, Data: append([]byte(fmt.Sprintf("<!--%d-->", i)), req.Files[0].Data...)}
+		if _, err := r.Publish(iter); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepoPublishWarm measures a publish whose content already
+// resides in the store: every blob write short-circuits on the stat, so
+// the run prices the dedup fast path plus the WAL record.
+func BenchmarkRepoPublishWarm(b *testing.B) {
+	r := openRepo(b, b.TempDir(), Config{DefaultPolicy: PolicyNone, CheckpointEvery: 1 << 20})
+	req := buildRequest(b, fixture.MustBuildHoardingPermit())
+	var total int64
+	for _, f := range req.Files {
+		total += int64(len(f.Data))
+	}
+	b.SetBytes(total + int64(len(req.Input)))
+	if _, err := r.Publish(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Publish(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepoVersionFile measures the lock-free read path: snapshot
+// lookup plus a verified blob read.
+func BenchmarkRepoVersionFile(b *testing.B) {
+	r := openRepo(b, b.TempDir(), Config{DefaultPolicy: PolicyNone})
+	req := buildRequest(b, fixture.MustBuildHoardingPermit())
+	if _, err := r.Publish(req); err != nil {
+		b.Fatal(err)
+	}
+	name := req.Files[0].Name
+	b.SetBytes(int64(len(req.Files[0].Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.VersionFile(testSubject, 1, name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

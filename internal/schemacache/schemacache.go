@@ -11,13 +11,11 @@
 package schemacache
 
 import (
-	"bytes"
 	"container/list"
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"sync"
 
+	"github.com/go-ccts/ccts/internal/contentaddr"
 	"github.com/go-ccts/ccts/internal/metrics"
 )
 
@@ -53,42 +51,17 @@ func (v *Value) size() int64 {
 	return n
 }
 
-// Canonicalize normalizes an XMI document for content addressing:
-// CRLF/CR line endings become LF and trailing whitespace-only lines are
-// trimmed, so the same model saved by tools with different line-ending
-// conventions hits the same cache entry. The element structure is not
-// reformatted — two semantically equal but differently indented
-// documents are distinct inputs, which is the safe direction for a
-// cache (false misses cost a regeneration; false hits would serve the
-// wrong schemas).
-func Canonicalize(xmi []byte) []byte {
-	out := bytes.ReplaceAll(xmi, []byte("\r\n"), []byte("\n"))
-	out = bytes.ReplaceAll(out, []byte{'\r'}, []byte{'\n'})
-	return bytes.TrimRight(out, " \t\n")
-}
+// Canonicalize normalizes an XMI document for content addressing. It is
+// contentaddr.Canonicalize, re-exported so cache callers keep a single
+// import; the cache and the persistent schema repository share the
+// definition and therefore can never address the same input differently.
+func Canonicalize(xmi []byte) []byte { return contentaddr.Canonicalize(xmi) }
 
 // Key derives the content address of a request: SHA-256 over the
 // canonicalized XMI bytes and the caller's options fingerprint (library,
 // root, style, annotation flags — everything that changes the output).
-// The fingerprint is length-prefixed into the hash so distinct
-// (document, fingerprint) pairs can never collide by concatenation.
-func Key(xmi []byte, fingerprint string) string {
-	h := sha256.New()
-	canon := Canonicalize(xmi)
-	var lenbuf [8]byte
-	putUint64(lenbuf[:], uint64(len(canon)))
-	h.Write(lenbuf[:])
-	h.Write(canon)
-	h.Write([]byte(fingerprint))
-	return hex.EncodeToString(h.Sum(nil))
-}
-
-func putUint64(b []byte, v uint64) {
-	for i := 7; i >= 0; i-- {
-		b[i] = byte(v)
-		v >>= 8
-	}
-}
+// It is contentaddr.Key, shared with the schema repository.
+func Key(xmi []byte, fingerprint string) string { return contentaddr.Key(xmi, fingerprint) }
 
 // Outcome classifies how a Do call was answered.
 type Outcome int

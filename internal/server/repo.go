@@ -1,0 +1,345 @@
+package server
+
+// The /v1/repo endpoint family exposes the persistent schema repository:
+// publishing runs the full generate pipeline and stores the result as a
+// new version of a subject, gated by the subject's compatibility policy;
+// reads serve stored versions without regenerating anything.
+//
+//	GET    /v1/repo/subjects                          subject listing
+//	POST   /v1/repo/subjects/{subject}/versions       generate + publish
+//	GET    /v1/repo/subjects/{subject}/versions       version listing
+//	GET    /v1/repo/subjects/{subject}/versions/{n}   zip, ?file= or ?format=json
+//	DELETE /v1/repo/subjects/{subject}/versions/{n}   tombstone
+//	GET    /v1/repo/subjects/{subject}/compat         dry-run gate (POST too)
+//
+// {n} is a version number or "latest". A publish rejected by the policy
+// answers 409 with the machine-readable change list; a tombstoned
+// version answers 410.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	ccts "github.com/go-ccts/ccts"
+	"github.com/go-ccts/ccts/internal/diff"
+	"github.com/go-ccts/ccts/internal/repo"
+	"github.com/go-ccts/ccts/internal/schemacache"
+)
+
+// jsonChange is the wire form of a diff.Change.
+type jsonChange struct {
+	Kind            string   `json:"kind"`
+	Element         string   `json:"element"`
+	Details         []string `json:"details,omitempty"`
+	Breaking        bool     `json:"breaking"`
+	BreakingDetails []string `json:"breakingDetails,omitempty"`
+}
+
+func toJSONChanges(cs []diff.Change) []jsonChange {
+	out := make([]jsonChange, 0, len(cs))
+	for _, c := range cs {
+		out = append(out, jsonChange{
+			Kind: c.Kind, Element: c.Element, Details: c.Details,
+			Breaking: c.Breaking, BreakingDetails: c.BreakingDetails,
+		})
+	}
+	return out
+}
+
+// writeRepoError renders repository failures: 409 with the change list
+// for a policy rejection, 410 for tombstones, 404 for unknown names,
+// and the standard mapping otherwise.
+func (s *Server) writeRepoError(w http.ResponseWriter, err error) {
+	var ce *repo.CompatError
+	switch {
+	case errors.As(err, &ce):
+		s.errors4xx.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		json.NewEncoder(w).Encode(struct {
+			Error   string       `json:"error"`
+			Code    string       `json:"code"`
+			Subject string       `json:"subject"`
+			Against int          `json:"against"`
+			Policy  repo.Policy  `json:"policy"`
+			Changes []jsonChange `json:"changes"`
+		}{
+			Error: ce.Error(), Code: "incompatible", Subject: ce.Subject,
+			Against: ce.Against, Policy: ce.Policy,
+			Changes: toJSONChanges(ce.Report.Breaking()),
+		})
+	case errors.Is(err, repo.ErrDeleted):
+		s.writeError(w, &apiError{Status: http.StatusGone, Code: "deleted", Message: err.Error()})
+	case errors.Is(err, repo.ErrNotFound):
+		s.writeError(w, &apiError{Status: http.StatusNotFound, Code: "not_found", Message: err.Error()})
+	default:
+		s.writeError(w, mapError(err))
+	}
+}
+
+// repoConfigured guards every /v1/repo handler.
+func (s *Server) repoConfigured(w http.ResponseWriter) bool {
+	if s.repo == nil {
+		s.writeError(w, &apiError{Status: http.StatusNotFound, Code: "repo", Message: "no schema repository configured"})
+		return false
+	}
+	return true
+}
+
+// handleRepoSubjects is GET /v1/repo/subjects.
+func (s *Server) handleRepoSubjects(w http.ResponseWriter, r *http.Request) {
+	if !s.repoConfigured(w) {
+		return
+	}
+	type jsonSubject struct {
+		Name     string      `json:"name"`
+		Policy   repo.Policy `json:"policy"`
+		Versions int         `json:"versions"`
+		Latest   int         `json:"latest"`
+	}
+	subs := s.repo.Subjects()
+	out := make([]jsonSubject, 0, len(subs))
+	for _, sub := range subs {
+		out = append(out, jsonSubject{Name: sub.Name, Policy: sub.Policy, Versions: sub.Versions, Latest: sub.Latest})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleRepoPublish is POST /v1/repo/subjects/{subject}/versions: the
+// body is XMI, the query parameters are those of /v1/generate plus an
+// optional 'policy'; the generated schema set becomes the subject's next
+// version. Generation itself is memoized through the schema cache, so
+// republishing known content pays only the gate and the WAL commit.
+func (s *Server) handleRepoPublish(w http.ResponseWriter, r *http.Request) {
+	if !s.repoConfigured(w) {
+		return
+	}
+	subject := r.PathValue("subject")
+	params, aerr := parseGenParams(r.URL.Query())
+	if aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+	var policy repo.Policy
+	if p := r.URL.Query().Get("policy"); p != "" {
+		parsed, err := repo.ParsePolicy(p)
+		if err != nil {
+			s.writeError(w, &apiError{Status: http.StatusBadRequest, Code: "params", Message: err.Error()})
+			return
+		}
+		policy = parsed
+	}
+	body, aerr := s.readBody(w, r)
+	if aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	// The cold path yields the imported model as a by-product; on a
+	// cache hit it stays nil and the repository re-imports for the gate.
+	var model *ccts.Model
+	key := schemacache.Key(body, params.fingerprint())
+	val, outcome, err := s.cache.Do(ctx, key, func() (*schemacache.Value, error) {
+		v, m, err := s.generateModel(ctx, body, params)
+		model = m
+		return v, err
+	})
+	if err != nil {
+		s.writeError(w, mapError(err))
+		return
+	}
+
+	files := make([]repo.File, 0, len(val.Files))
+	for _, f := range val.Files {
+		files = append(files, repo.File{Name: f.Name, Data: f.Data})
+	}
+	v, err := s.repo.Publish(repo.PublishRequest{
+		Subject:     subject,
+		Input:       body,
+		Fingerprint: params.fingerprint(),
+		RootElement: val.RootElement,
+		Files:       files,
+		Diagnostics: val.Diagnostics,
+		Policy:      policy,
+		Model:       model,
+	})
+	if err != nil {
+		s.writeRepoError(w, err)
+		return
+	}
+	w.Header().Set("X-Ccserved-Cache", outcome.String())
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(struct {
+		Subject string       `json:"subject"`
+		Version repo.Version `json:"version"`
+	}{Subject: subject, Version: *v})
+}
+
+// handleRepoVersions is GET /v1/repo/subjects/{subject}/versions.
+func (s *Server) handleRepoVersions(w http.ResponseWriter, r *http.Request) {
+	if !s.repoConfigured(w) {
+		return
+	}
+	subject := r.PathValue("subject")
+	vs, err := s.repo.Versions(subject)
+	if err != nil {
+		s.writeRepoError(w, err)
+		return
+	}
+	policy, _ := s.repo.Policy(subject)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Subject  string         `json:"subject"`
+		Policy   repo.Policy    `json:"policy"`
+		Versions []repo.Version `json:"versions"`
+	}{Subject: subject, Policy: policy, Versions: vs})
+}
+
+// parseVersionNumber accepts a positive integer or "latest" (0).
+func parseVersionNumber(raw string) (int, *apiError) {
+	if raw == "latest" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n <= 0 {
+		return 0, &apiError{Status: http.StatusBadRequest, Code: "params", Message: fmt.Sprintf("version must be a positive integer or 'latest', got %q", raw)}
+	}
+	return n, nil
+}
+
+// handleRepoVersion is GET /v1/repo/subjects/{subject}/versions/{number}:
+// the stored schema set as a zip (default), one file via ?file=, or the
+// version metadata via ?format=json.
+func (s *Server) handleRepoVersion(w http.ResponseWriter, r *http.Request) {
+	if !s.repoConfigured(w) {
+		return
+	}
+	subject := r.PathValue("subject")
+	number, aerr := parseVersionNumber(r.PathValue("number"))
+	if aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+	v, err := s.repo.Version(subject, number)
+	if err != nil {
+		s.writeRepoError(w, err)
+		return
+	}
+
+	if name := r.URL.Query().Get("file"); name != "" {
+		data, err := s.repo.VersionFile(subject, v.Number, name)
+		if err != nil {
+			s.writeRepoError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		w.Header().Set("Content-Disposition", fmt.Sprintf(`attachment; filename=%q`, name))
+		w.Write(data)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Subject string       `json:"subject"`
+			Version repo.Version `json:"version"`
+		}{Subject: subject, Version: v})
+		return
+	}
+
+	// Assemble the stored set into the cache's value shape and reuse the
+	// deterministic zip writer of /v1/generate.
+	val := &schemacache.Value{RootElement: v.RootElement}
+	for _, f := range v.Files {
+		data, err := s.repo.Blob(f.SHA256)
+		if err != nil {
+			s.writeError(w, &apiError{Status: http.StatusInternalServerError, Code: "storage", Message: err.Error()})
+			return
+		}
+		val.Files = append(val.Files, schemacache.File{Name: f.Name, Data: data})
+	}
+	if v.DiagnosticsSHA256 != "" {
+		if val.Diagnostics, err = s.repo.Blob(v.DiagnosticsSHA256); err != nil {
+			s.writeError(w, &apiError{Status: http.StatusInternalServerError, Code: "storage", Message: err.Error()})
+			return
+		}
+	}
+	s.writeZip(w, val)
+}
+
+// handleRepoDelete is DELETE /v1/repo/subjects/{subject}/versions/{number}.
+func (s *Server) handleRepoDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.repoConfigured(w) {
+		return
+	}
+	subject := r.PathValue("subject")
+	number, aerr := parseVersionNumber(r.PathValue("number"))
+	if aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+	if number == 0 {
+		v, err := s.repo.Version(subject, 0)
+		if err != nil {
+			s.writeRepoError(w, err)
+			return
+		}
+		number = v.Number
+	}
+	if err := s.repo.Delete(subject, number); err != nil {
+		s.writeRepoError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Subject string `json:"subject"`
+		Deleted int    `json:"deleted"`
+	}{Subject: subject, Deleted: number})
+}
+
+// handleRepoCompat is GET|POST /v1/repo/subjects/{subject}/compat: the
+// body is a candidate XMI revision; the response reports whether a
+// publish would pass the subject's policy, with the full change list —
+// nothing is stored.
+func (s *Server) handleRepoCompat(w http.ResponseWriter, r *http.Request) {
+	if !s.repoConfigured(w) {
+		return
+	}
+	subject := r.PathValue("subject")
+	body, aerr := s.readBody(w, r)
+	if aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+	// The dry run imports up to two models; take an admission slot like
+	// any other compute-bound request.
+	if !s.admit() {
+		s.writeError(w, mapError(errSaturated))
+		return
+	}
+	defer s.release()
+
+	res, err := s.repo.Check(subject, body, nil)
+	if err != nil {
+		s.writeRepoError(w, err)
+		return
+	}
+	var changes []jsonChange
+	if res.Report != nil {
+		changes = toJSONChanges(res.Report.Changes)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Subject    string       `json:"subject"`
+		Policy     repo.Policy  `json:"policy"`
+		Against    int          `json:"against"`
+		Compatible bool         `json:"compatible"`
+		Changes    []jsonChange `json:"changes"`
+	}{Subject: res.Subject, Policy: res.Policy, Against: res.Against, Compatible: res.Compatible, Changes: changes})
+}

@@ -36,6 +36,7 @@ import (
 	"github.com/go-ccts/ccts/internal/limits"
 	"github.com/go-ccts/ccts/internal/metrics"
 	"github.com/go-ccts/ccts/internal/registry"
+	"github.com/go-ccts/ccts/internal/repo"
 	"github.com/go-ccts/ccts/internal/schemacache"
 	"github.com/go-ccts/ccts/internal/validate"
 )
@@ -59,6 +60,11 @@ type Config struct {
 	// Registry, when non-nil, backs /v1/registry/search. Without it the
 	// endpoint answers 404.
 	Registry *registry.Guarded
+	// Repo, when non-nil, backs the /v1/repo endpoint family (versioned
+	// publishing with compatibility gating). Without it those endpoints
+	// answer 404. The server instruments but does not own the
+	// repository; the caller opens and closes it.
+	Repo *repo.Repo
 	// Metrics receives the server's instruments; nil creates a private
 	// registry (exposed on /metrics either way).
 	Metrics *metrics.Registry
@@ -71,6 +77,7 @@ type Server struct {
 	lim   limits.Limits
 	cache *schemacache.Cache
 	reg   *registry.Guarded
+	repo  *repo.Repo
 	mx    *metrics.Registry
 	sem   chan struct{}
 	mux   *http.ServeMux
@@ -106,6 +113,7 @@ func New(cfg Config) *Server {
 		lim:   lim,
 		cache: schemacache.New(cacheBytes),
 		reg:   cfg.Registry,
+		repo:  cfg.Repo,
 		mx:    mx,
 		sem:   make(chan struct{}, maxInFlight),
 		mux:   http.NewServeMux(),
@@ -118,9 +126,19 @@ func New(cfg Config) *Server {
 		inflight:  mx.Gauge("ccserved_inflight", "Requests currently holding an admission slot."),
 	}
 	s.cache.Instrument(mx)
+	if s.repo != nil {
+		s.repo.Instrument(mx)
+	}
 	s.mux.HandleFunc("/v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("/v1/validate", s.handleValidate)
 	s.mux.HandleFunc("/v1/registry/search", s.handleRegistrySearch)
+	s.mux.HandleFunc("GET /v1/repo/subjects", s.handleRepoSubjects)
+	s.mux.HandleFunc("POST /v1/repo/subjects/{subject}/versions", s.handleRepoPublish)
+	s.mux.HandleFunc("GET /v1/repo/subjects/{subject}/versions", s.handleRepoVersions)
+	s.mux.HandleFunc("GET /v1/repo/subjects/{subject}/versions/{number}", s.handleRepoVersion)
+	s.mux.HandleFunc("DELETE /v1/repo/subjects/{subject}/versions/{number}", s.handleRepoDelete)
+	s.mux.HandleFunc("GET /v1/repo/subjects/{subject}/compat", s.handleRepoCompat)
+	s.mux.HandleFunc("POST /v1/repo/subjects/{subject}/compat", s.handleRepoCompat)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -302,8 +320,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.cache.Stats()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	doc := map[string]any{
 		"status":   "ok",
 		"inflight": s.inflight.Value(),
 		"capacity": cap(s.sem),
@@ -311,7 +328,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"hits": st.Hits, "misses": st.Misses, "coalesced": st.Coalesced,
 			"evictions": st.Evictions, "entries": st.Entries, "bytes": st.Bytes,
 		},
-	})
+	}
+	if s.repo != nil {
+		rs := s.repo.Stats()
+		doc["repo"] = map[string]any{
+			"subjects": rs.Subjects, "versions": rs.Versions, "deleted": rs.Deleted,
+			"blobs": rs.Blobs, "blobBytes": rs.BlobBytes, "logicalBytes": rs.LogicalBytes,
+			"dedupRatio": rs.DedupRatio(),
+			"publishes":  rs.Publishes, "rejections": rs.Rejections, "deletes": rs.Deletes,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(doc)
 }
 
 // handleMetrics renders the Prometheus exposition.
