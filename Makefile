@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-serve bench-repo verify fuzz-smoke
+.PHONY: build test bench bench-serve bench-repo verify fuzz-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -38,14 +38,25 @@ fuzz-smoke:
 	$(GO) test ./internal/xsd -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/ocl -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 
+# chaos-smoke replays the disk-fault soak on its own: ENOSPC injected
+# mid-publish under concurrent load must flip the service read-only
+# (503 + Retry-After on writes, byte-identical reads), and clearing the
+# fault must restore write mode through the background probe, with a
+# retrying client's publish landing on its own. Run under -race so the
+# degradation path is also proven data-race free.
+chaos-smoke:
+	$(GO) test ./internal/server -race -count=1 -run 'TestChaos' -timeout 120s
+
 # verify is the full pre-merge gate: static checks, the entire test
 # suite under the race detector (the parallel emit phase must be
 # data-race-free at any Parallelism setting), a dedicated -race pass
-# over the serving and repository stack (singleflight, admission
-# gating, drain, concurrent publishes against the WAL), and the fuzz
-# smoke pass.
+# over the serving, resilience and repository stack (singleflight,
+# admission gating, shedding, rate limiting, drain, health state
+# machine, client retry, concurrent publishes against the WAL), the
+# chaos smoke pass and the fuzz smoke pass.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -race -count=1 ./internal/server ./internal/schemacache ./internal/registry ./internal/repo ./cmd/ccrepo
+	$(GO) test -race -count=1 ./internal/server ./internal/schemacache ./internal/registry ./internal/repo ./internal/health ./internal/retry ./internal/client ./internal/faultio ./cmd/ccrepo
+	$(MAKE) chaos-smoke
 	$(MAKE) fuzz-smoke

@@ -12,6 +12,12 @@
 //	ccrepo -dir DIR list    [SUBJECT]
 //	ccrepo -dir DIR get     -subject S [-version N|latest] [-file NAME] [-out DIR]
 //	ccrepo -dir DIR gc
+//
+// With -server URL the same commands (except gc) run against a ccserved
+// instance over HTTP instead of a local directory, with automatic
+// retries: exponential backoff with full jitter, honoring the server's
+// Retry-After, bounded by -retries and -timeout. Exit codes: 1
+// operational failure, 2 policy rejection, 3 service unreachable.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"strconv"
 
 	ccts "github.com/go-ccts/ccts"
+	"github.com/go-ccts/ccts/internal/client"
 	"github.com/go-ccts/ccts/internal/diff"
 	"github.com/go-ccts/ccts/internal/repo"
 	"github.com/go-ccts/ccts/internal/validate"
@@ -44,8 +51,13 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccrepo:", err)
-		if errors.Is(err, errIncompatible) {
+		switch {
+		case errors.Is(err, errIncompatible):
 			os.Exit(2)
+		case client.IsConnectError(err):
+			// The service never answered: distinct exit code so wrappers
+			// can alert "ccserved down" instead of "publish failed".
+			os.Exit(3)
 		}
 		os.Exit(1)
 	}
@@ -55,12 +67,17 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ccrepo", flag.ContinueOnError)
 	dir := fs.String("dir", "ccrepo-data", "repository directory")
 	defPolicy := fs.String("default-policy", "backward", "policy for subjects created without an explicit -policy")
+	var remote remoteOptions
+	remote.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("usage: ccrepo [-dir DIR] publish|check|list|get|gc ... (-h for details)")
+		return errors.New("usage: ccrepo [-dir DIR | -server URL] publish|check|list|get|gc ... (-h for details)")
+	}
+	if remote.server != "" {
+		return runRemote(&remote, rest, out)
 	}
 
 	policy, err := repo.ParsePolicy(*defPolicy)

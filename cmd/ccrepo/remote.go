@@ -1,0 +1,251 @@
+package main
+
+// Remote mode: with -server URL, ccrepo talks to a running ccserved
+// instance through internal/client instead of opening the repository
+// directory. Every call rides the client's retry policy — exponential
+// backoff with full jitter, the server's Retry-After honored — so a
+// publish issued while the service is shedding load or briefly
+// read-only succeeds once capacity or the disk comes back. Exit codes:
+// 2 for a policy rejection (same as local mode), 3 when the service is
+// unreachable (connection refused, DNS failure) after the retry budget.
+
+import (
+	"archive/zip"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"github.com/go-ccts/ccts/internal/client"
+	"github.com/go-ccts/ccts/internal/retry"
+)
+
+// remoteOptions are the global remote-mode knobs.
+type remoteOptions struct {
+	server  string
+	retries int
+	timeout time.Duration
+	apiKey  string
+}
+
+func (o *remoteOptions) register(fs *flag.FlagSet) {
+	fs.StringVar(&o.server, "server", "", "ccserved base URL; when set, commands run against the service instead of a local -dir")
+	fs.IntVar(&o.retries, "retries", 4, "total attempts per remote request (first try included)")
+	fs.DurationVar(&o.timeout, "timeout", 0, "overall budget per remote command (0 = none); propagated to the server")
+	fs.StringVar(&o.apiKey, "api-key", "", "X-API-Key header for the server's per-client rate limiter")
+}
+
+// newClient builds the remote client and the command context.
+func (o *remoteOptions) newClient() (*client.Client, context.Context, context.CancelFunc) {
+	c := client.New(o.server, client.Options{
+		APIKey: o.apiKey,
+		Retry: retry.Policy{
+			MaxAttempts: o.retries,
+			OnRetry: func(attempt int, err error, delay time.Duration) {
+				fmt.Fprintf(os.Stderr, "ccrepo: attempt %d failed (%v); retrying in %s\n", attempt, err, delay.Round(time.Millisecond))
+			},
+		},
+	})
+	if o.timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
+		return c, ctx, cancel
+	}
+	return c, context.Background(), func() {}
+}
+
+// runRemote dispatches one subcommand against the service.
+func runRemote(o *remoteOptions, rest []string, out io.Writer) error {
+	c, ctx, cancel := o.newClient()
+	defer cancel()
+	switch rest[0] {
+	case "publish":
+		return remotePublish(ctx, c, rest[1:], out)
+	case "check":
+		return remoteCheck(ctx, c, rest[1:], out)
+	case "list":
+		return remoteList(ctx, c, rest[1:], out)
+	case "get":
+		return remoteGet(ctx, c, rest[1:], out)
+	case "gc":
+		return errors.New("gc runs against the repository directory; use -dir on the host that owns it, not -server")
+	default:
+		return fmt.Errorf("unknown subcommand %q (want publish, check, list, get or gc)", rest[0])
+	}
+}
+
+func remotePublish(ctx context.Context, c *client.Client, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ccrepo publish", flag.ContinueOnError)
+	var p pipelineFlags
+	p.register(fs)
+	policyName := fs.String("policy", "", "set the subject's compatibility policy (none or backward); empty inherits")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if p.subject == "" || p.library == "" || fs.NArg() != 1 {
+		return errors.New("usage: ccrepo -server URL publish -subject S -library L [-root R] [-policy P] model.xmi")
+	}
+	input, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	res, err := c.Publish(ctx, p.subject, input, client.PublishParams{
+		Library:  p.library,
+		Root:     p.root,
+		Style:    p.style,
+		Annotate: p.annotate,
+		Policy:   *policyName,
+	})
+	var ie *client.IncompatibleError
+	if errors.As(err, &ie) {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		enc.Encode(ie)
+		return fmt.Errorf("%w: %d breaking change(s) against version %d", errIncompatible, len(ie.Changes), ie.Against)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "published %s version %d (%d file(s), input %s)\n",
+		res.Subject, res.Version.Number, len(res.Version.Files), res.Version.InputSHA256[:12])
+	return nil
+}
+
+func remoteCheck(ctx context.Context, c *client.Client, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ccrepo check", flag.ContinueOnError)
+	var p pipelineFlags
+	p.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if p.subject == "" || fs.NArg() != 1 {
+		return errors.New("usage: ccrepo -server URL check -subject S model.xmi")
+	}
+	input, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	res, err := c.Check(ctx, p.subject, input)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	enc.Encode(res)
+	if !res.Compatible {
+		return errIncompatible
+	}
+	return nil
+}
+
+func remoteList(ctx context.Context, c *client.Client, args []string, out io.Writer) error {
+	if len(args) > 1 {
+		return errors.New("usage: ccrepo -server URL list [SUBJECT]")
+	}
+	if len(args) == 0 {
+		subs, err := c.Subjects(ctx)
+		if err != nil {
+			return err
+		}
+		for _, s := range subs {
+			fmt.Fprintf(out, "%-50s %-9s %3d version(s) latest %d\n", s.Name, s.Policy, s.Versions, s.Latest)
+		}
+		fmt.Fprintf(out, "%d subject(s)\n", len(subs))
+		return nil
+	}
+	vl, err := c.Versions(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	for _, v := range vl.Versions {
+		status := "live"
+		if v.Deleted {
+			status = "deleted"
+		}
+		fmt.Fprintf(out, "%3d  %-7s %2d file(s)  input %s\n", v.Number, status, len(v.Files), v.InputSHA256[:12])
+	}
+	return nil
+}
+
+func remoteGet(ctx context.Context, c *client.Client, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ccrepo get", flag.ContinueOnError)
+	subject := fs.String("subject", "", "subject to read")
+	version := fs.String("version", "latest", "version number or 'latest'")
+	file := fs.String("file", "", "write one named schema file to stdout")
+	outDir := fs.String("out", "", "write every schema file (and diagnostics.json) into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *subject == "" || fs.NArg() != 0 {
+		return errors.New("usage: ccrepo -server URL get -subject S [-version N|latest] [-file NAME] [-out DIR]")
+	}
+	number := 0
+	if *version != "latest" {
+		n, err := strconv.Atoi(*version)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("-version must be a positive integer or 'latest', got %q", *version)
+		}
+		number = n
+	}
+
+	if *file != "" {
+		data, err := c.File(ctx, *subject, number, *file)
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(data)
+		return err
+	}
+	if *outDir != "" {
+		// The zip is the one response that carries the whole set plus
+		// diagnostics.json in a single round-trip.
+		data, err := c.Zip(ctx, *subject, number)
+		if err != nil {
+			return err
+		}
+		zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return fmt.Errorf("reading schema-set archive: %w", err)
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		n := 0
+		for _, zf := range zr.File {
+			rc, err := zf.Open()
+			if err != nil {
+				return err
+			}
+			content, err := io.ReadAll(rc)
+			rc.Close()
+			if err != nil {
+				return err
+			}
+			name := filepath.Base(zf.Name) // archive entries are flat; refuse traversal
+			if err := os.WriteFile(filepath.Join(*outDir, name), content, 0o644); err != nil {
+				return err
+			}
+			if name != "diagnostics.json" {
+				n++
+			}
+		}
+		fmt.Fprintf(out, "wrote %d file(s) to %s\n", n, *outDir)
+		return nil
+	}
+	v, err := c.Version(ctx, *subject, number)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Subject string `json:"subject"`
+		Version any    `json:"version"`
+	}{Subject: *subject, Version: v})
+}

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"archive/zip"
+	"bytes"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/client"
+	"github.com/go-ccts/ccts/internal/repo"
+	"github.com/go-ccts/ccts/internal/server"
+)
+
+// startServed runs a ccserved instance over a fresh repository and
+// returns its base URL.
+func startServed(t *testing.T) string {
+	t.Helper()
+	r, err := repo.Open(t.TempDir(), repo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	srv := httptest.NewServer(server.New(server.Config{Repo: r}).Handler())
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func remoteArgs(url string, rest ...string) []string {
+	return append([]string{"-server", url}, rest...)
+}
+
+func TestRemotePublishListGet(t *testing.T) {
+	url := startServed(t)
+	dir := t.TempDir()
+	model := writeXMI(t, dir, "model.xmi", nil)
+
+	var out bytes.Buffer
+	err := run(remoteArgs(url, "publish",
+		"-subject", testSubject, "-library", "EB005-HoardingPermit", "-root", "HoardingPermit",
+		model), &out)
+	if err != nil {
+		t.Fatalf("remote publish: %v", err)
+	}
+	if !strings.Contains(out.String(), "published "+testSubject+" version 1") {
+		t.Errorf("publish output = %q", out.String())
+	}
+
+	out.Reset()
+	if err := run(remoteArgs(url, "list"), &out); err != nil {
+		t.Fatalf("remote list: %v", err)
+	}
+	if !strings.Contains(out.String(), testSubject) || !strings.Contains(out.String(), "1 subject(s)") {
+		t.Errorf("list output = %q", out.String())
+	}
+
+	out.Reset()
+	if err := run(remoteArgs(url, "list", testSubject), &out); err != nil {
+		t.Fatalf("remote list subject: %v", err)
+	}
+	if !strings.Contains(out.String(), "live") {
+		t.Errorf("version listing = %q", out.String())
+	}
+
+	// get -out extracts the zip, diagnostics included.
+	got := filepath.Join(dir, "got")
+	out.Reset()
+	if err := run(remoteArgs(url, "get", "-subject", testSubject, "-out", got), &out); err != nil {
+		t.Fatalf("remote get -out: %v", err)
+	}
+	entries, err := os.ReadDir(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name()] = true
+	}
+	if !names["diagnostics.json"] || len(names) < 2 {
+		t.Errorf("extracted files = %v, want schemas plus diagnostics.json", names)
+	}
+
+	// get -file streams one schema; it matches the local read.
+	var schemaName string
+	for n := range names {
+		if strings.HasSuffix(n, ".xsd") {
+			schemaName = n
+			break
+		}
+	}
+	if schemaName == "" {
+		t.Fatalf("no .xsd among %v", names)
+	}
+	out.Reset()
+	if err := run(remoteArgs(url, "get", "-subject", testSubject, "-file", schemaName), &out); err != nil {
+		t.Fatalf("remote get -file: %v", err)
+	}
+	disk, err := os.ReadFile(filepath.Join(got, schemaName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), disk) {
+		t.Errorf("get -file bytes differ from the extracted archive for %s", schemaName)
+	}
+
+	// Bare get prints version metadata JSON.
+	out.Reset()
+	if err := run(remoteArgs(url, "get", "-subject", testSubject), &out); err != nil {
+		t.Fatalf("remote get: %v", err)
+	}
+	if !strings.Contains(out.String(), `"number": 1`) {
+		t.Errorf("metadata output = %q", out.String())
+	}
+}
+
+func TestRemoteBreakingPublishIsIncompatible(t *testing.T) {
+	url := startServed(t)
+	dir := t.TempDir()
+	base := writeXMI(t, dir, "base.xmi", nil)
+	broken := writeXMI(t, dir, "broken.xmi", breaking)
+
+	pub := func(model string) (string, error) {
+		var out bytes.Buffer
+		err := run(remoteArgs(url, "publish",
+			"-subject", testSubject, "-library", "EB005-HoardingPermit", "-root", "HoardingPermit",
+			model), &out)
+		return out.String(), err
+	}
+	if _, err := pub(base); err != nil {
+		t.Fatal(err)
+	}
+	out, err := pub(broken)
+	if !errors.Is(err, errIncompatible) {
+		t.Fatalf("breaking remote publish = %v, want errIncompatible", err)
+	}
+	// The machine-readable change list reaches stdout.
+	if !strings.Contains(out, `"changes"`) || !strings.Contains(out, "CountryType_Code") {
+		t.Errorf("change list output = %q", out)
+	}
+
+	// The dry run agrees without storing anything.
+	var buf bytes.Buffer
+	err = run(remoteArgs(url, "check", "-subject", testSubject, broken), &buf)
+	if !errors.Is(err, errIncompatible) {
+		t.Fatalf("remote check = %v, want errIncompatible", err)
+	}
+	if !strings.Contains(buf.String(), `"compatible": false`) {
+		t.Errorf("check output = %q", buf.String())
+	}
+}
+
+func TestRemoteUnreachableIsConnectError(t *testing.T) {
+	// Reserve a port and close it: connection refused, fast.
+	srv := httptest.NewServer(nil)
+	url := srv.URL
+	srv.Close()
+
+	err := run(remoteArgs(url, "-retries", "2", "list"), io.Discard)
+	if !client.IsConnectError(err) {
+		t.Fatalf("err = %v, want a ConnectError (exit 3 in main)", err)
+	}
+}
+
+func TestRemoteGCRefused(t *testing.T) {
+	err := run(remoteArgs("http://localhost:1", "gc"), io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "local-only") && !strings.Contains(err.Error(), "-dir") {
+		t.Fatalf("remote gc = %v, want a local-only explanation", err)
+	}
+}
+
+// TestRemoteGetMatchesLocal publishes remotely, then reads the same
+// version locally from the server's repository directory via zip
+// comparison: both paths must serve byte-identical schema files.
+func TestRemoteGetMatchesLocal(t *testing.T) {
+	repoDir := t.TempDir()
+	r, err := repo.Open(repoDir, repo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server.New(server.Config{Repo: r}).Handler())
+	dir := t.TempDir()
+	model := writeXMI(t, dir, "model.xmi", nil)
+	if err := run(remoteArgs(srv.URL, "publish",
+		"-subject", testSubject, "-library", "EB005-HoardingPermit", "-root", "HoardingPermit",
+		model), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	c := client.New(srv.URL, client.Options{})
+	data, err := c.Zip(t.Context(), testSubject, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// The server no longer owns the directory; read it directly.
+	r.Close()
+	local, err := repo.Open(repoDir, repo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	for _, zf := range zr.File {
+		if zf.Name == "diagnostics.json" {
+			continue
+		}
+		rc, err := zf.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stored, err := local.VersionFile(testSubject, 1, zf.Name)
+		if err != nil {
+			t.Fatalf("VersionFile(%s): %v", zf.Name, err)
+		}
+		if !bytes.Equal(remote, stored) {
+			t.Errorf("%s: remote zip bytes differ from the stored blob", zf.Name)
+		}
+	}
+}

@@ -4,12 +4,20 @@
 //
 // Endpoints: POST /v1/generate, POST /v1/validate,
 // GET /v1/registry/search, the /v1/repo family (when -repo is set),
-// GET /healthz, GET /metrics.
+// GET|HEAD /healthz, GET /metrics.
 //
-// SIGINT/SIGTERM drain the server gracefully: the listener stops
-// accepting, in-flight requests get -drain-timeout to finish (their
-// generation contexts are cancelled when it expires), then the process
-// exits. -h/-help print usage and exit 0.
+// Overload and degradation control: requests queue up to
+// -max-queue-wait for an admission slot before a 503 shed, -rate
+// enables per-client token-bucket limiting (429 + Retry-After), and
+// with -repo set a health state machine watches the repository volume —
+// disk faults flip publishes to 503 read-only while reads keep serving,
+// and a background probe (-probe-interval) restores write mode.
+//
+// SIGINT/SIGTERM drain the server gracefully: /healthz flips to 503 so
+// load balancers stop routing, the listener stops accepting, in-flight
+// requests get -drain-timeout to finish (their generation contexts are
+// cancelled when it expires), then the process exits. -h/-help print
+// usage and exit 0.
 //
 // Usage:
 //
@@ -29,6 +37,7 @@ import (
 	"time"
 
 	ccts "github.com/go-ccts/ccts"
+	"github.com/go-ccts/ccts/internal/health"
 	"github.com/go-ccts/ccts/internal/limits"
 	"github.com/go-ccts/ccts/internal/registry"
 	"github.com/go-ccts/ccts/internal/repo"
@@ -57,6 +66,9 @@ type config struct {
 	// run (not parseFlags) so flag parsing stays free of side effects.
 	repoDir    string
 	repoPolicy repo.Policy
+	// probeInterval paces the health tracker's background disk probe
+	// (only started when a repository is configured).
+	probeInterval time.Duration
 }
 
 // parseFlags maps the command line onto a server configuration.
@@ -73,17 +85,24 @@ func parseFlags(args []string) (*config, error) {
 		registryPath = fs.String("registry", "", "registry store (JSON) backing /v1/registry/search")
 		repoDir      = fs.String("repo", "", "schema repository directory backing /v1/repo (empty disables)")
 		repoPolicy   = fs.String("repo-policy", "backward", "default compatibility policy for new subjects: none or backward")
+		maxQueueWait = fs.Duration("max-queue-wait", 500*time.Millisecond, "how long a request may queue for an admission slot before a 503 shed (0 = reject immediately)")
+		rate         = fs.Float64("rate", 0, "per-client request rate over /v1/ in requests/second (0 disables rate limiting)")
+		rateBurst    = fs.Int("rate-burst", 0, "per-client token-bucket burst; 0 = max(1, -rate)")
+		probeEvery   = fs.Duration("probe-interval", 2*time.Second, "background disk-probe interval for the health state machine (requires -repo)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 
-	cfg := &config{addr: *addr, drainTimeout: *drainTimeout}
+	cfg := &config{addr: *addr, drainTimeout: *drainTimeout, probeInterval: *probeEvery}
 	cfg.server = server.Config{
 		Parallelism:    *parallel,
 		MaxInFlight:    *maxInflight,
 		RequestTimeout: *reqTimeout,
 		CacheBytes:     *cacheBytes,
+		MaxQueueWait:   *maxQueueWait,
+		RatePerClient:  *rate,
+		RateBurst:      *rateBurst,
 	}
 	switch *limitsProf {
 	case "default":
@@ -130,14 +149,23 @@ func run(args []string) error {
 	}
 
 	// The repository outlives any single request; the process owns it and
-	// closes it (checkpointing the WAL) after the drain completes.
+	// closes it (checkpointing the WAL) after the drain completes. The
+	// health tracker watches the repository's volume: write faults flip
+	// publishes to 503 while reads keep serving, and the background probe
+	// restores write mode once the disk recovers.
 	if cfg.repoDir != "" {
-		rp, err := repo.Open(cfg.repoDir, repo.Config{DefaultPolicy: cfg.repoPolicy})
+		tracker := health.NewTracker(health.Options{})
+		rp, err := repo.Open(cfg.repoDir, repo.Config{DefaultPolicy: cfg.repoPolicy, Health: tracker})
 		if err != nil {
 			return fmt.Errorf("opening schema repository: %w", err)
 		}
 		defer rp.Close()
 		cfg.server.Repo = rp
+		cfg.server.Health = tracker
+		if cfg.probeInterval > 0 {
+			stopProbe := tracker.Start(cfg.probeInterval, health.DirProbe(cfg.repoDir))
+			defer stopProbe()
+		}
 	}
 
 	srv := server.New(cfg.server)
@@ -160,6 +188,9 @@ func run(args []string) error {
 		return err
 	case <-ctx.Done():
 	}
+	// Flip /healthz to 503 first so load balancers stop routing here,
+	// then stop the listener and drain in-flight work.
+	srv.BeginDrain()
 	fmt.Fprintln(os.Stderr, "ccserved: draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()

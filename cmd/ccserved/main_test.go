@@ -50,6 +50,41 @@ func TestParseFlags(t *testing.T) {
 	}
 }
 
+func TestParseFlagsOverloadControls(t *testing.T) {
+	// Defaults: 500ms queue wait, rate limiting off, 2s probe.
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.server.MaxQueueWait != 500*time.Millisecond {
+		t.Errorf("default MaxQueueWait = %v", cfg.server.MaxQueueWait)
+	}
+	if cfg.server.RatePerClient != 0 || cfg.server.RateBurst != 0 {
+		t.Errorf("rate limiting enabled by default: %v/%d", cfg.server.RatePerClient, cfg.server.RateBurst)
+	}
+	if cfg.probeInterval != 2*time.Second {
+		t.Errorf("default probe interval = %v", cfg.probeInterval)
+	}
+
+	cfg, err = parseFlags([]string{
+		"-max-queue-wait", "0",
+		"-rate", "2.5", "-rate-burst", "10",
+		"-probe-interval", "100ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.server.MaxQueueWait != 0 {
+		t.Errorf("MaxQueueWait = %v, want 0", cfg.server.MaxQueueWait)
+	}
+	if cfg.server.RatePerClient != 2.5 || cfg.server.RateBurst != 10 {
+		t.Errorf("rate = %v/%d, want 2.5/10", cfg.server.RatePerClient, cfg.server.RateBurst)
+	}
+	if cfg.probeInterval != 100*time.Millisecond {
+		t.Errorf("probe interval = %v", cfg.probeInterval)
+	}
+}
+
 func TestParseFlagsRepo(t *testing.T) {
 	// Default: no repository, backward policy.
 	cfg, err := parseFlags(nil)

@@ -1,0 +1,384 @@
+// Package client is the disciplined HTTP client for a ccserved
+// instance: the other half of the server's overload-control contract.
+// Every call runs under internal/retry — exponential backoff with full
+// jitter, the server's Retry-After honored as a floor — and classifies
+// responses so only transient failures burn retry budget:
+//
+//   - 429 and 5xx answers are transient and retried;
+//   - connection-level failures (refused, DNS, reset) are transient but
+//     surface as *ConnectError so callers can distinguish "server gone"
+//     from "server said no" (ccrepo exits 3 on the former);
+//   - every other non-2xx answer is permanent: retrying a 400 or 409
+//     cannot change the outcome.
+//
+// The caller's context deadline is propagated to the server via the
+// X-Request-Timeout header, so the server sheds work the client would
+// no longer wait for.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/go-ccts/ccts/internal/metrics"
+	"github.com/go-ccts/ccts/internal/repo"
+	"github.com/go-ccts/ccts/internal/retry"
+)
+
+// APIError is a structured non-2xx answer from the server.
+type APIError struct {
+	Status  int
+	Code    string // machine-readable code from the error envelope
+	Message string
+	Body    []byte // raw response body (for codes the client does not model)
+
+	retryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("server answered %d (%s): %s", e.Status, e.Code, e.Message)
+	}
+	return fmt.Sprintf("server answered %d", e.Status)
+}
+
+// RetryAfter exposes the server's Retry-After hint; internal/retry uses
+// it as the floor for the next backoff delay.
+func (e *APIError) RetryAfter() time.Duration { return e.retryAfter }
+
+// retryable reports whether repeating the request can succeed: server
+// overload and transient fault statuses, never client-side defects.
+func (e *APIError) retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status >= 500
+}
+
+// ConnectError marks a transport-level failure: nothing answered at
+// all (connection refused, DNS failure, reset mid-response). It is
+// retried like any transient error, but callers that exhaust the
+// budget can detect it and report "service unreachable" instead of an
+// HTTP failure.
+type ConnectError struct{ Err error }
+
+func (e *ConnectError) Error() string { return "connecting to server: " + e.Err.Error() }
+func (e *ConnectError) Unwrap() error { return e.Err }
+
+// IsConnectError reports whether err (at any wrap depth) is a
+// transport-level connection failure.
+func IsConnectError(err error) bool {
+	var ce *ConnectError
+	return errors.As(err, &ce)
+}
+
+// Change is the wire form of one schema diff entry in a 409 answer.
+type Change struct {
+	Kind            string   `json:"kind"`
+	Element         string   `json:"element"`
+	Details         []string `json:"details,omitempty"`
+	Breaking        bool     `json:"breaking"`
+	BreakingDetails []string `json:"breakingDetails,omitempty"`
+}
+
+// IncompatibleError is the parsed 409 answer to a publish: the policy
+// rejected the revision, with the machine-readable change list.
+type IncompatibleError struct {
+	Subject string   `json:"subject"`
+	Against int      `json:"against"`
+	Policy  string   `json:"policy"`
+	Changes []Change `json:"changes"`
+}
+
+func (e *IncompatibleError) Error() string {
+	return fmt.Sprintf("%s: %d breaking change(s) against version %d under policy %q",
+		e.Subject, len(e.Changes), e.Against, e.Policy)
+}
+
+// Options tunes a Client.
+type Options struct {
+	// HTTP is the underlying transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+	// Retry is the backoff policy for transient failures; the zero
+	// value means retry.Policy defaults (4 attempts, 100ms base, 5s cap).
+	Retry retry.Policy
+	// APIKey, when set, is sent as X-API-Key on every request (the
+	// server's rate-limiter key).
+	APIKey string
+	// Metrics, when non-nil, receives the client's retry instruments:
+	// retry_attempts_total, retry_success_total, retry_exhausted_total.
+	Metrics *metrics.Registry
+}
+
+// Client talks to one ccserved base URL. Safe for concurrent use.
+type Client struct {
+	base   string
+	http   *http.Client
+	policy retry.Policy
+	apiKey string
+
+	attempts  *metrics.Counter
+	successes *metrics.Counter
+	exhausted *metrics.Counter
+}
+
+// New builds a Client for baseURL (e.g. "http://localhost:8080").
+func New(baseURL string, opts Options) *Client {
+	c := &Client{
+		base:   strings.TrimRight(baseURL, "/"),
+		http:   opts.HTTP,
+		policy: opts.Retry,
+		apiKey: opts.APIKey,
+	}
+	if c.http == nil {
+		c.http = http.DefaultClient
+	}
+	if mx := opts.Metrics; mx != nil {
+		c.attempts = mx.Counter("retry_attempts_total", "Request attempts made by the ccserved client (first tries included).")
+		c.successes = mx.Counter("retry_success_total", "Client requests that eventually succeeded.")
+		c.exhausted = mx.Counter("retry_exhausted_total", "Client requests abandoned after the retry budget ran out.")
+	}
+	return c
+}
+
+// do runs one HTTP exchange under the retry policy and returns the
+// response body. Request bodies are replayed from memory on retries.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body []byte) ([]byte, error) {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	var out []byte
+	err := retry.Do(ctx, c.policy, func(ctx context.Context) error {
+		if c.attempts != nil {
+			c.attempts.Inc()
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, u, rd)
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		if c.apiKey != "" {
+			req.Header.Set("X-API-Key", c.apiKey)
+		}
+		// Propagate the remaining budget so the server sheds work this
+		// client would not wait for anyway.
+		if dl, ok := ctx.Deadline(); ok {
+			if rem := time.Until(dl); rem > 0 {
+				req.Header.Set("X-Request-Timeout", rem.Round(time.Millisecond).String())
+			}
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return ctxErr
+			}
+			return &ConnectError{Err: err}
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return &ConnectError{Err: err}
+		}
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			out = data
+			return nil
+		}
+		ae := &APIError{Status: resp.StatusCode, Body: data}
+		var envelope struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		if json.Unmarshal(data, &envelope) == nil {
+			ae.Code = envelope.Code
+			ae.Message = envelope.Error
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				ae.retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		if !ae.retryable() {
+			return retry.Permanent(ae)
+		}
+		return ae
+	})
+	if err != nil {
+		// Permanent server answers (4xx) are a final verdict, not an
+		// exhausted budget; everything else spent its retries.
+		var ae *APIError
+		if c.exhausted != nil && (!errors.As(err, &ae) || ae.retryable()) {
+			c.exhausted.Inc()
+		}
+		return nil, err
+	}
+	if c.successes != nil {
+		c.successes.Inc()
+	}
+	return out, nil
+}
+
+// PublishParams are the generation options of a remote publish; they
+// map onto the /v1/generate query parameters.
+type PublishParams struct {
+	Library  string
+	Root     string
+	Style    string // "shared" (default) or "composite"
+	Annotate bool
+	Policy   string // "", "none" or "backward"
+}
+
+func (p PublishParams) query() url.Values {
+	q := url.Values{}
+	q.Set("library", p.Library)
+	if p.Root != "" {
+		q.Set("root", p.Root)
+	}
+	if p.Style != "" {
+		q.Set("style", p.Style)
+	}
+	if p.Annotate {
+		q.Set("annotate", "true")
+	}
+	if p.Policy != "" {
+		q.Set("policy", p.Policy)
+	}
+	return q
+}
+
+// PublishResult is the 201 answer to a publish.
+type PublishResult struct {
+	Subject string       `json:"subject"`
+	Version repo.Version `json:"version"`
+}
+
+// Publish sends xmi as the next version of subject. A policy rejection
+// surfaces as *IncompatibleError (permanent, never retried).
+func (c *Client) Publish(ctx context.Context, subject string, xmi []byte, params PublishParams) (*PublishResult, error) {
+	data, err := c.do(ctx, http.MethodPost, "/v1/repo/subjects/"+url.PathEscape(subject)+"/versions", params.query(), xmi)
+	if err != nil {
+		var ae *APIError
+		if errors.As(err, &ae) && ae.Status == http.StatusConflict {
+			var ie IncompatibleError
+			if json.Unmarshal(ae.Body, &ie) == nil {
+				return nil, &ie
+			}
+		}
+		return nil, err
+	}
+	var res PublishResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("decoding publish response: %w", err)
+	}
+	return &res, nil
+}
+
+// CheckResult is the answer to a compatibility dry run.
+type CheckResult struct {
+	Subject    string   `json:"subject"`
+	Policy     string   `json:"policy"`
+	Against    int      `json:"against"`
+	Compatible bool     `json:"compatible"`
+	Changes    []Change `json:"changes"`
+}
+
+// Check runs the compatibility gate against subject without storing
+// anything.
+func (c *Client) Check(ctx context.Context, subject string, xmi []byte) (*CheckResult, error) {
+	data, err := c.do(ctx, http.MethodPost, "/v1/repo/subjects/"+url.PathEscape(subject)+"/compat", nil, xmi)
+	if err != nil {
+		return nil, err
+	}
+	var res CheckResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("decoding check response: %w", err)
+	}
+	return &res, nil
+}
+
+// Subject is one entry of the subject listing.
+type Subject struct {
+	Name     string `json:"name"`
+	Policy   string `json:"policy"`
+	Versions int    `json:"versions"`
+	Latest   int    `json:"latest"`
+}
+
+// Subjects lists every subject in the remote repository.
+func (c *Client) Subjects(ctx context.Context) ([]Subject, error) {
+	data, err := c.do(ctx, http.MethodGet, "/v1/repo/subjects", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	var subs []Subject
+	if err := json.Unmarshal(data, &subs); err != nil {
+		return nil, fmt.Errorf("decoding subject listing: %w", err)
+	}
+	return subs, nil
+}
+
+// VersionList is the version listing of one subject.
+type VersionList struct {
+	Subject  string         `json:"subject"`
+	Policy   string         `json:"policy"`
+	Versions []repo.Version `json:"versions"`
+}
+
+// Versions lists the versions of subject.
+func (c *Client) Versions(ctx context.Context, subject string) (*VersionList, error) {
+	data, err := c.do(ctx, http.MethodGet, "/v1/repo/subjects/"+url.PathEscape(subject)+"/versions", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	var vl VersionList
+	if err := json.Unmarshal(data, &vl); err != nil {
+		return nil, fmt.Errorf("decoding version listing: %w", err)
+	}
+	return &vl, nil
+}
+
+// versionPath renders the {number} path segment ("latest" for 0).
+func versionPath(subject string, number int) string {
+	n := "latest"
+	if number > 0 {
+		n = strconv.Itoa(number)
+	}
+	return "/v1/repo/subjects/" + url.PathEscape(subject) + "/versions/" + n
+}
+
+// Version fetches one version's metadata.
+func (c *Client) Version(ctx context.Context, subject string, number int) (*repo.Version, error) {
+	q := url.Values{"format": []string{"json"}}
+	data, err := c.do(ctx, http.MethodGet, versionPath(subject, number), q, nil)
+	if err != nil {
+		return nil, err
+	}
+	var res struct {
+		Version repo.Version `json:"version"`
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("decoding version metadata: %w", err)
+	}
+	return &res.Version, nil
+}
+
+// File fetches one named schema file of a stored version.
+func (c *Client) File(ctx context.Context, subject string, number int, name string) ([]byte, error) {
+	q := url.Values{"file": []string{name}}
+	return c.do(ctx, http.MethodGet, versionPath(subject, number), q, nil)
+}
+
+// Zip fetches the stored schema set (plus diagnostics.json) as the
+// server's deterministic zip archive.
+func (c *Client) Zip(ctx context.Context, subject string, number int) ([]byte, error) {
+	return c.do(ctx, http.MethodGet, versionPath(subject, number), nil, nil)
+}

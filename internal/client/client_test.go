@@ -1,0 +1,194 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/go-ccts/ccts/internal/metrics"
+	"github.com/go-ccts/ccts/internal/retry"
+)
+
+// fastRetry retries aggressively without real sleeping.
+func fastRetry(attempts int) retry.Policy {
+	return retry.Policy{
+		MaxAttempts: attempts,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    time.Millisecond,
+		Sleep:       func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+	}
+}
+
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"shed","code":"shed"}`))
+			return
+		}
+		w.Write([]byte(`[]`))
+	}))
+	defer srv.Close()
+
+	mx := metrics.NewRegistry()
+	c := New(srv.URL, Options{Retry: fastRetry(4), Metrics: mx})
+	if _, err := c.Subjects(context.Background()); err != nil {
+		t.Fatalf("Subjects = %v, want success after retries", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+	snap := mx.Snapshot()
+	if snap["retry_attempts_total"] != 3 || snap["retry_success_total"] != 1 || snap["retry_exhausted_total"] != 0 {
+		t.Errorf("metrics = attempts %d, success %d, exhausted %d; want 3/1/0",
+			snap["retry_attempts_total"], snap["retry_success_total"], snap["retry_exhausted_total"])
+	}
+}
+
+func TestPermanentErrorNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"query parameter 'library' is required","code":"params"}`))
+	}))
+	defer srv.Close()
+
+	mx := metrics.NewRegistry()
+	c := New(srv.URL, Options{Retry: fastRetry(4), Metrics: mx})
+	_, err := c.Subjects(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest || ae.Code != "params" {
+		t.Fatalf("err = %v, want 400 params APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("server saw %d calls, want 1 (no retry on 4xx)", calls.Load())
+	}
+	if snap := mx.Snapshot(); snap["retry_exhausted_total"] != 0 {
+		t.Error("a permanent 4xx counted as an exhausted retry budget")
+	}
+}
+
+func TestConnectionRefusedClassified(t *testing.T) {
+	// A server that is immediately closed leaves a port nothing listens on.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	u := srv.URL
+	srv.Close()
+
+	mx := metrics.NewRegistry()
+	c := New(u, Options{Retry: fastRetry(2), Metrics: mx})
+	_, err := c.Subjects(context.Background())
+	if !IsConnectError(err) {
+		t.Fatalf("err = %v, want ConnectError", err)
+	}
+	if snap := mx.Snapshot(); snap["retry_exhausted_total"] != 1 {
+		t.Errorf("retry_exhausted_total = %d, want 1", snap["retry_exhausted_total"])
+	}
+}
+
+func TestPublishParses201And409(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("library") {
+		case "ok":
+			w.WriteHeader(http.StatusCreated)
+			w.Write([]byte(`{"subject":"s","version":{"number":2,"files":[]}}`))
+		default:
+			w.WriteHeader(http.StatusConflict)
+			w.Write([]byte(`{"error":"incompatible","code":"incompatible","subject":"s","against":1,"policy":"backward","changes":[{"kind":"enum","element":"CountryType_Code","breaking":true}]}`))
+		}
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{Retry: fastRetry(2)})
+	res, err := c.Publish(context.Background(), "s", []byte("<xmi/>"), PublishParams{Library: "ok"})
+	if err != nil || res.Version.Number != 2 {
+		t.Fatalf("Publish = %+v, %v", res, err)
+	}
+
+	_, err = c.Publish(context.Background(), "s", []byte("<xmi/>"), PublishParams{Library: "bad"})
+	var ie *IncompatibleError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want IncompatibleError", err)
+	}
+	if ie.Against != 1 || len(ie.Changes) != 1 || !ie.Changes[0].Breaking {
+		t.Errorf("parsed 409 = %+v", ie)
+	}
+}
+
+func TestDeadlinePropagatedAsHeader(t *testing.T) {
+	var header atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		header.Store(r.Header.Get("X-Request-Timeout"))
+		w.Write([]byte(`[]`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{Retry: fastRetry(1)})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.Subjects(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := header.Load().(string)
+	if h == "" {
+		t.Fatal("X-Request-Timeout header not sent")
+	}
+	d, err := time.ParseDuration(h)
+	if err != nil || d <= 0 || d > 30*time.Second {
+		t.Errorf("X-Request-Timeout = %q, want a duration within the 30s budget", h)
+	}
+}
+
+func TestAPIKeySent(t *testing.T) {
+	var key atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key.Store(r.Header.Get("X-API-Key"))
+		w.Write([]byte(`[]`))
+	}))
+	defer srv.Close()
+	c := New(srv.URL, Options{Retry: fastRetry(1), APIKey: "tenant-a"})
+	if _, err := c.Subjects(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if k, _ := key.Load().(string); k != "tenant-a" {
+		t.Errorf("X-API-Key = %q", k)
+	}
+}
+
+func TestRetryAfterHintUsedAsFloor(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"rate limited","code":"rate_limited"}`))
+			return
+		}
+		w.Write([]byte(`[]`))
+	}))
+	defer srv.Close()
+
+	var sleeps []time.Duration
+	p := retry.Policy{
+		MaxAttempts: 2,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    time.Millisecond,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			sleeps = append(sleeps, d)
+			return nil
+		},
+	}
+	c := New(srv.URL, Options{Retry: p})
+	if _, err := c.Subjects(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(sleeps) != 1 || sleeps[0] != 7*time.Second {
+		t.Errorf("sleeps = %v, want the server's 7s Retry-After", sleeps)
+	}
+}

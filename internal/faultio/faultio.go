@@ -7,11 +7,21 @@ package faultio
 
 import (
 	"errors"
+	"fmt"
 	"io"
+	"sync"
+	"syscall"
+	"time"
 )
 
 // ErrInjected is the default error reported by the wrappers.
 var ErrInjected = errors.New("faultio: injected fault")
+
+// ErrNoSpace mimics a full filesystem: errors.Is(ErrNoSpace,
+// syscall.ENOSPC) holds, so production code that classifies disk
+// exhaustion (internal/health) treats the injected fault exactly like
+// the real one.
+var ErrNoSpace = fmt.Errorf("faultio: injected disk full: %w", syscall.ENOSPC)
 
 // Writer passes writes through to W until Limit bytes have been
 // written, then fails every subsequent write with Err (ErrInjected when
@@ -77,4 +87,93 @@ func (r *Reader) Read(p []byte) (int, error) {
 	n, err := r.R.Read(p)
 	r.n += int64(n)
 	return n, err
+}
+
+// AfterN passes the first N Write calls through to W, then fails every
+// later call with Err (ErrInjected when nil) — the "the disk filled up
+// partway through the batch" shape, counted in operations rather than
+// bytes.
+type AfterN struct {
+	W   io.Writer
+	N   int
+	Err error
+
+	calls int
+}
+
+// Write implements io.Writer.
+func (w *AfterN) Write(p []byte) (int, error) {
+	if w.calls >= w.N {
+		if w.Err != nil {
+			return 0, w.Err
+		}
+		return 0, ErrInjected
+	}
+	w.calls++
+	return w.W.Write(p)
+}
+
+// Latency delegates to W after sleeping D before every write — a slow
+// disk or saturated volume for tests that exercise queue-wait shedding
+// and deadline propagation.
+type Latency struct {
+	W io.Writer
+	D time.Duration
+}
+
+// Write implements io.Writer.
+func (w *Latency) Write(p []byte) (int, error) {
+	time.Sleep(w.D)
+	return w.W.Write(p)
+}
+
+// Injector is a switchable fault source, safe for concurrent use: a
+// chaos test hands Wrap to many writers up front and flips the fault on
+// and off mid-run with Set and Clear. While no fault is set, wrapped
+// writers pass through untouched.
+type Injector struct {
+	mu  sync.Mutex
+	err error
+}
+
+// Set makes every wrapped writer fail with err from now on.
+func (i *Injector) Set(err error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.err = err
+}
+
+// Clear restores pass-through behavior.
+func (i *Injector) Clear() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.err = nil
+}
+
+// Err returns the currently injected fault, or nil. It doubles as a
+// probe function: a health probe wired to Err sees exactly the fault
+// the wrapped writers see.
+func (i *Injector) Err() error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.err
+}
+
+// Wrap interposes the injector on w. The fault state is checked at
+// every Write, so a single long-lived wrapped writer observes Set and
+// Clear immediately.
+func (i *Injector) Wrap(w io.Writer) io.Writer {
+	return &injectedWriter{inj: i, w: w}
+}
+
+type injectedWriter struct {
+	inj *Injector
+	w   io.Writer
+}
+
+func (w *injectedWriter) Write(p []byte) (int, error) {
+	if err := w.inj.Err(); err != nil {
+		return 0, err
+	}
+	return w.w.Write(p)
 }

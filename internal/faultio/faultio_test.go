@@ -5,7 +5,9 @@ import (
 	"errors"
 	"io"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func TestWriterFailsAfterLimit(t *testing.T) {
@@ -51,4 +53,87 @@ func TestReaderCustomError(t *testing.T) {
 	if _, err := io.ReadAll(r); !errors.Is(err, boom) {
 		t.Fatalf("got %v, want custom error", err)
 	}
+}
+
+func TestErrNoSpaceClassifiesAsENOSPC(t *testing.T) {
+	if !errors.Is(ErrNoSpace, syscall.ENOSPC) {
+		t.Fatal("ErrNoSpace does not unwrap to syscall.ENOSPC")
+	}
+}
+
+func TestAfterNFailsByCallCount(t *testing.T) {
+	var buf bytes.Buffer
+	w := &AfterN{W: &buf, N: 2}
+	for i := 0; i < 2; i++ {
+		if _, err := w.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := w.Write([]byte("boom")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third write: %v, want ErrInjected", err)
+	}
+	if buf.String() != "okok" {
+		t.Errorf("delivered %q, want %q", buf.String(), "okok")
+	}
+	boom := errors.New("boom")
+	w2 := &AfterN{W: io.Discard, N: 0, Err: boom}
+	if _, err := w2.Write([]byte("x")); !errors.Is(err, boom) {
+		t.Errorf("AfterN custom error: %v", err)
+	}
+}
+
+func TestLatencyDelaysWrites(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Latency{W: &buf, D: time.Millisecond}
+	start := time.Now()
+	if _, err := w.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Errorf("write returned after %v, want >= 1ms", elapsed)
+	}
+	if buf.String() != "slow" {
+		t.Errorf("delivered %q", buf.String())
+	}
+}
+
+func TestInjectorFlipsMidStream(t *testing.T) {
+	inj := &Injector{}
+	var buf bytes.Buffer
+	w := inj.Wrap(&buf)
+
+	if _, err := w.Write([]byte("a")); err != nil {
+		t.Fatalf("clear injector failed a write: %v", err)
+	}
+	inj.Set(ErrNoSpace)
+	if _, err := w.Write([]byte("b")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("set injector: %v, want ENOSPC", err)
+	}
+	if err := inj.Err(); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("Err() = %v", err)
+	}
+	inj.Clear()
+	if _, err := w.Write([]byte("c")); err != nil {
+		t.Fatalf("cleared injector failed a write: %v", err)
+	}
+	if buf.String() != "ac" {
+		t.Errorf("delivered %q, want %q", buf.String(), "ac")
+	}
+}
+
+func TestInjectorConcurrentFlips(t *testing.T) {
+	inj := &Injector{}
+	w := inj.Wrap(io.Discard)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			inj.Set(ErrInjected)
+			inj.Clear()
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		w.Write([]byte("x")) // must not race; error is expected sometimes
+	}
+	<-done
 }

@@ -1,0 +1,295 @@
+// Package health is the runtime degradation state machine of the
+// serving stack. Instead of failing binary — every request an opaque
+// error once the disk fills or the WAL breaks — the process moves
+// through three explicit states:
+//
+//	healthy    every operation available
+//	degraded   writes still accepted, but the write path is suspect:
+//	           a probe failed, or the process is recovering from
+//	           read-only and has not yet re-earned full confidence
+//	read-only  the write path is disabled; snapshot reads and cache
+//	           hits keep serving, publishes answer health.ErrReadOnly
+//	           (mapped to 503 + Retry-After by the HTTP layer)
+//
+// Transitions are driven by observed fault signals, never by guesses:
+// a repository WAL/manifest/blob write error flips straight to
+// read-only; a background probe (tmp-file write + fsync in the data
+// directory) failing demotes healthy to degraded and degraded to
+// read-only; consecutive probe or write successes promote read-only to
+// degraded and then back to healthy. The hysteresis (RecoverAfter)
+// keeps a flapping disk from oscillating the service.
+package health
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/go-ccts/ccts/internal/metrics"
+)
+
+// State is one node of the degradation state machine. The numeric
+// values are stable — they are exported as the health_state gauge.
+type State int32
+
+const (
+	// Healthy means every operation is available.
+	Healthy State = 0
+	// Degraded means writes are accepted but the write path is suspect.
+	Degraded State = 1
+	// ReadOnly means the write path is disabled; reads keep serving.
+	ReadOnly State = 2
+)
+
+// String returns the machine-readable state name used in /healthz.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case ReadOnly:
+		return "read-only"
+	}
+	return fmt.Sprintf("health.State(%d)", int32(s))
+}
+
+// ErrReadOnly is the sentinel a write path returns while the tracker is
+// in read-only mode. The HTTP layer maps it to 503 with Retry-After.
+var ErrReadOnly = errors.New("health: write path disabled (read-only mode)")
+
+// IsDiskFault reports whether err is a storage-exhaustion or I/O-layer
+// failure — the class of errors that justifies flipping to read-only
+// rather than blaming the request.
+func IsDiskFault(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) ||
+		errors.Is(err, syscall.EROFS) ||
+		errors.Is(err, syscall.EDQUOT) ||
+		errors.Is(err, syscall.EIO)
+}
+
+// classify maps a fault to the machine-readable reason published in
+// /healthz and the structured 503 body.
+func classify(err error) string {
+	switch {
+	case errors.Is(err, syscall.ENOSPC), errors.Is(err, syscall.EDQUOT):
+		return "disk-full"
+	case errors.Is(err, syscall.EROFS):
+		return "read-only-filesystem"
+	default:
+		return "io-error"
+	}
+}
+
+// Options tunes a Tracker.
+type Options struct {
+	// RecoverAfter is the number of consecutive probe (or write)
+	// successes required while Degraded before the tracker returns to
+	// Healthy; 0 means 2. The first success after ReadOnly always lands
+	// in Degraded — recovery is never a single-sample decision.
+	RecoverAfter int
+	// OnChange, when non-nil, observes every state transition. It runs
+	// with the tracker's lock held: keep it cheap and non-reentrant.
+	OnChange func(from, to State, reason string)
+}
+
+// Tracker is the state machine. All methods are safe for concurrent
+// use. The zero value is not usable; create with NewTracker.
+type Tracker struct {
+	mu           sync.Mutex
+	state        State
+	reason       string
+	okStreak     int
+	recoverAfter int
+	onChange     func(from, to State, reason string)
+
+	stop chan struct{}
+	done chan struct{}
+
+	// Optional instruments; nil until Instrument is called.
+	mState       *metrics.Gauge
+	mTransitions *metrics.Counter
+	mFaults      *metrics.Counter
+}
+
+// NewTracker builds a Tracker in the Healthy state.
+func NewTracker(opts Options) *Tracker {
+	t := &Tracker{recoverAfter: opts.RecoverAfter, onChange: opts.OnChange}
+	if t.recoverAfter <= 0 {
+		t.recoverAfter = 2
+	}
+	return t
+}
+
+// Instrument registers the tracker's gauges and counters: health_state
+// (0 healthy, 1 degraded, 2 read-only), health_transitions_total and
+// health_faults_total.
+func (t *Tracker) Instrument(reg *metrics.Registry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mState = reg.Gauge("health_state", "Degradation state: 0 healthy, 1 degraded, 2 read-only.")
+	t.mTransitions = reg.Counter("health_transitions_total", "Health state machine transitions.")
+	t.mFaults = reg.Counter("health_faults_total", "Write-path faults reported to the health tracker.")
+	t.mState.Set(int64(t.state))
+}
+
+// State returns the current state.
+func (t *Tracker) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// Reason returns the machine-readable reason for the current
+// non-healthy state ("" while healthy).
+func (t *Tracker) Reason() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reason
+}
+
+// AllowWrites reports whether the write path is enabled.
+func (t *Tracker) AllowWrites() bool { return t.State() != ReadOnly }
+
+// transitionLocked moves to next and fires the observers; t.mu held.
+func (t *Tracker) transitionLocked(next State, reason string) {
+	if next == t.state {
+		t.reason = reason
+		return
+	}
+	from := t.state
+	t.state = next
+	t.reason = reason
+	t.okStreak = 0
+	if t.mState != nil {
+		t.mState.Set(int64(next))
+	}
+	if t.mTransitions != nil {
+		t.mTransitions.Inc()
+	}
+	if t.onChange != nil {
+		t.onChange(from, next, reason)
+	}
+}
+
+// ReportWriteFault records a real write-path failure (WAL append,
+// manifest checkpoint, blob write): the tracker flips straight to
+// ReadOnly from any state.
+func (t *Tracker) ReportWriteFault(err error) {
+	if err == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.mFaults != nil {
+		t.mFaults.Inc()
+	}
+	t.transitionLocked(ReadOnly, classify(err))
+}
+
+// ReportProbe records one background probe result. A failure demotes
+// one step (Healthy→Degraded, Degraded→ReadOnly); a success promotes
+// ReadOnly→Degraded immediately and Degraded→Healthy after
+// RecoverAfter consecutive successes.
+func (t *Tracker) ReportProbe(err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err != nil {
+		switch t.state {
+		case Healthy:
+			t.transitionLocked(Degraded, classify(err))
+		case Degraded:
+			t.transitionLocked(ReadOnly, classify(err))
+		default: // ReadOnly: stay, but restart the recovery streak
+			t.okStreak = 0
+			t.reason = classify(err)
+		}
+		return
+	}
+	switch t.state {
+	case ReadOnly:
+		t.transitionLocked(Degraded, "recovering")
+	case Degraded:
+		t.okStreak++
+		if t.okStreak >= t.recoverAfter {
+			t.transitionLocked(Healthy, "")
+		}
+	}
+}
+
+// ReportWriteOK records a successful durable write. While Degraded it
+// counts toward recovery exactly like a probe success, so real traffic
+// shortens the path back to Healthy.
+func (t *Tracker) ReportWriteOK() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != Degraded {
+		return
+	}
+	t.okStreak++
+	if t.okStreak >= t.recoverAfter {
+		t.transitionLocked(Healthy, "")
+	}
+}
+
+// DirProbe returns a probe over dir: write a small temp file, fsync it,
+// remove it. It exercises the same syscalls the repository's durable
+// writes use, so an exhausted or read-only volume fails the probe the
+// way it would fail a publish.
+func DirProbe(dir string) func() error {
+	return func() error {
+		f, err := os.CreateTemp(dir, ".health-probe*")
+		if err != nil {
+			return err
+		}
+		name := f.Name()
+		defer os.Remove(name)
+		if _, err := f.Write([]byte("probe")); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+}
+
+// Start runs probe every interval on a background goroutine and feeds
+// the result to ReportProbe. It returns a stop function that halts the
+// loop and waits for it to exit — call it during shutdown so the soak
+// tests' goroutine-leak checks hold in production code too. Start may
+// be called at most once per tracker.
+func (t *Tracker) Start(interval time.Duration, probe func() error) (stop func()) {
+	t.mu.Lock()
+	if t.stop != nil {
+		t.mu.Unlock()
+		panic("health: Start called twice")
+	}
+	t.stop = make(chan struct{})
+	t.done = make(chan struct{})
+	stopCh, doneCh := t.stop, t.done
+	t.mu.Unlock()
+
+	go func() {
+		defer close(doneCh)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-ticker.C:
+				t.ReportProbe(probe())
+			}
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-doneCh
+	}
+}

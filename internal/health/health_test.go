@@ -1,0 +1,220 @@
+package health
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/go-ccts/ccts/internal/faultio"
+	"github.com/go-ccts/ccts/internal/metrics"
+)
+
+func TestWriteFaultFlipsReadOnlyFromAnyState(t *testing.T) {
+	for _, start := range []State{Healthy, Degraded} {
+		tr := NewTracker(Options{})
+		if start == Degraded {
+			tr.ReportProbe(errors.New("warm-up fault"))
+		}
+		tr.ReportWriteFault(faultio.ErrNoSpace)
+		if got := tr.State(); got != ReadOnly {
+			t.Errorf("from %v: state = %v, want ReadOnly", start, got)
+		}
+		if tr.Reason() != "disk-full" {
+			t.Errorf("reason = %q, want disk-full", tr.Reason())
+		}
+		if tr.AllowWrites() {
+			t.Error("AllowWrites() true in ReadOnly")
+		}
+	}
+}
+
+func TestProbeLadderDownAndUp(t *testing.T) {
+	var trans []string
+	tr := NewTracker(Options{RecoverAfter: 2, OnChange: func(from, to State, reason string) {
+		trans = append(trans, from.String()+">"+to.String())
+	}})
+
+	// Down: healthy → degraded → read-only, one probe failure per step.
+	tr.ReportProbe(syscall.EROFS)
+	if tr.State() != Degraded || tr.Reason() != "read-only-filesystem" {
+		t.Fatalf("after first failure: %v %q", tr.State(), tr.Reason())
+	}
+	if !tr.AllowWrites() {
+		t.Error("Degraded must still allow writes")
+	}
+	tr.ReportProbe(syscall.EROFS)
+	if tr.State() != ReadOnly {
+		t.Fatalf("after second failure: %v", tr.State())
+	}
+
+	// A further failure while read-only keeps the state and resets the
+	// streak.
+	tr.ReportProbe(errors.New("still broken"))
+	if tr.State() != ReadOnly || tr.Reason() != "io-error" {
+		t.Fatalf("read-only refresh: %v %q", tr.State(), tr.Reason())
+	}
+
+	// Up: first success lands in degraded, not healthy.
+	tr.ReportProbe(nil)
+	if tr.State() != Degraded || tr.Reason() != "recovering" {
+		t.Fatalf("first success: %v %q", tr.State(), tr.Reason())
+	}
+	// One success is not enough under RecoverAfter=2.
+	tr.ReportProbe(nil)
+	if tr.State() != Degraded {
+		t.Fatalf("one degraded success: %v", tr.State())
+	}
+	tr.ReportProbe(nil)
+	if tr.State() != Healthy || tr.Reason() != "" {
+		t.Fatalf("recovered: %v %q", tr.State(), tr.Reason())
+	}
+
+	want := []string{
+		"healthy>degraded", "degraded>read-only",
+		"read-only>degraded", "degraded>healthy",
+	}
+	if strings.Join(trans, " ") != strings.Join(want, " ") {
+		t.Errorf("transitions = %v, want %v", trans, want)
+	}
+}
+
+func TestWriteOKCountsTowardRecovery(t *testing.T) {
+	tr := NewTracker(Options{RecoverAfter: 2})
+	tr.ReportWriteFault(faultio.ErrNoSpace)
+	tr.ReportProbe(nil) // → degraded
+	tr.ReportWriteOK()
+	tr.ReportWriteOK()
+	if tr.State() != Healthy {
+		t.Fatalf("state = %v after 2 good writes in degraded, want Healthy", tr.State())
+	}
+	// In healthy, write successes are no-ops.
+	tr.ReportWriteOK()
+	if tr.State() != Healthy {
+		t.Fatal("write OK changed a healthy tracker")
+	}
+}
+
+func TestFailureMidRecoveryRestartsStreak(t *testing.T) {
+	tr := NewTracker(Options{RecoverAfter: 2})
+	tr.ReportWriteFault(syscall.EIO)
+	tr.ReportProbe(nil) // degraded
+	tr.ReportProbe(nil) // 1 of 2
+	tr.ReportProbe(syscall.EIO)
+	if tr.State() != ReadOnly {
+		t.Fatalf("failure in degraded: %v, want ReadOnly", tr.State())
+	}
+	tr.ReportProbe(nil)
+	if tr.State() != Degraded {
+		t.Fatalf("state = %v", tr.State())
+	}
+	tr.ReportProbe(nil)
+	if tr.State() != Degraded {
+		t.Fatal("streak was not reset by the mid-recovery failure")
+	}
+	tr.ReportProbe(nil)
+	if tr.State() != Healthy {
+		t.Fatalf("state = %v, want Healthy", tr.State())
+	}
+}
+
+func TestInstrumentExportsStateAndCounts(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := NewTracker(Options{})
+	tr.Instrument(reg)
+
+	snap := reg.Snapshot()
+	if snap["health_state"] != int64(Healthy) {
+		t.Errorf("health_state = %d, want %d", snap["health_state"], Healthy)
+	}
+	tr.ReportWriteFault(faultio.ErrNoSpace)
+	snap = reg.Snapshot()
+	if snap["health_state"] != int64(ReadOnly) {
+		t.Errorf("health_state = %d, want %d", snap["health_state"], ReadOnly)
+	}
+	if snap["health_faults_total"] != 1 || snap["health_transitions_total"] != 1 {
+		t.Errorf("faults=%d transitions=%d, want 1/1", snap["health_faults_total"], snap["health_transitions_total"])
+	}
+}
+
+func TestIsDiskFault(t *testing.T) {
+	for _, err := range []error{syscall.ENOSPC, syscall.EROFS, syscall.EDQUOT, syscall.EIO, faultio.ErrNoSpace} {
+		if !IsDiskFault(err) {
+			t.Errorf("IsDiskFault(%v) = false", err)
+		}
+	}
+	if IsDiskFault(errors.New("model has no library")) {
+		t.Error("generic error classified as disk fault")
+	}
+	if IsDiskFault(nil) {
+		t.Error("nil classified as disk fault")
+	}
+}
+
+func TestDirProbe(t *testing.T) {
+	dir := t.TempDir()
+	probe := DirProbe(dir)
+	if err := probe(); err != nil {
+		t.Fatalf("probe over a writable dir: %v", err)
+	}
+	// No residue.
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			t.Errorf("probe left %s behind", path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A missing directory fails the probe.
+	if err := DirProbe(filepath.Join(dir, "gone"))(); err == nil {
+		t.Error("probe over a missing dir succeeded")
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartProbesAndStops(t *testing.T) {
+	inj := &faultio.Injector{}
+	tr := NewTracker(Options{RecoverAfter: 1})
+	tr.ReportWriteFault(faultio.ErrNoSpace)
+
+	stop := tr.Start(time.Millisecond, inj.Err)
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.State() != Healthy {
+		if time.Now().After(deadline) {
+			t.Fatal("probe loop never recovered the tracker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	inj.Set(faultio.ErrNoSpace)
+	for tr.State() != ReadOnly {
+		if time.Now().After(deadline) {
+			t.Fatal("probe loop never demoted the tracker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop() // must halt the goroutine; -race + goroutine checks elsewhere
+	state := tr.State()
+	time.Sleep(5 * time.Millisecond)
+	inj.Clear()
+	time.Sleep(5 * time.Millisecond)
+	if tr.State() != state {
+		t.Error("tracker changed state after stop")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{Healthy: "healthy", Degraded: "degraded", ReadOnly: "read-only"}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package repo
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"syscall"
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/faultio"
+	"github.com/go-ccts/ccts/internal/fixture"
+	"github.com/go-ccts/ccts/internal/health"
+)
+
+// TestReadOnlyModeRefusesWrites: with the tracker in read-only, Publish
+// and Delete answer health.ErrReadOnly before touching the WAL, while
+// snapshot reads keep serving.
+func TestReadOnlyModeRefusesWrites(t *testing.T) {
+	tr := health.NewTracker(health.Options{})
+	r := openRepo(t, t.TempDir(), Config{Health: tr})
+	req := buildRequest(t, fixture.MustBuildHoardingPermit())
+	v := mustPublish(t, r, req)
+
+	tr.ReportWriteFault(faultio.ErrNoSpace)
+
+	if _, err := r.Publish(req); !errors.Is(err, health.ErrReadOnly) {
+		t.Fatalf("Publish in read-only = %v, want health.ErrReadOnly", err)
+	}
+	if err := r.Delete(testSubject, v.Number); !errors.Is(err, health.ErrReadOnly) {
+		t.Fatalf("Delete in read-only = %v, want health.ErrReadOnly", err)
+	}
+
+	// Reads still serve byte-identical content.
+	for _, f := range req.Files {
+		data, err := r.VersionFile(testSubject, v.Number, f.Name)
+		if err != nil {
+			t.Fatalf("VersionFile(%s) in read-only: %v", f.Name, err)
+		}
+		if !bytes.Equal(data, f.Data) {
+			t.Errorf("file %s differs in read-only mode", f.Name)
+		}
+	}
+}
+
+// TestBlobFaultFlipsTrackerReadOnly: an injected ENOSPC on the blob
+// writer fails the publish, reports the fault, and disables writes.
+func TestBlobFaultFlipsTrackerReadOnly(t *testing.T) {
+	inj := &faultio.Injector{}
+	inj.Set(faultio.ErrNoSpace)
+	tr := health.NewTracker(health.Options{})
+	r := openRepo(t, t.TempDir(), Config{
+		Health:    tr,
+		FaultBlob: func(w io.Writer) io.Writer { return inj.Wrap(w) },
+	})
+
+	req := buildRequest(t, fixture.MustBuildHoardingPermit())
+	_, err := r.Publish(req)
+	if err == nil {
+		t.Fatal("Publish succeeded through an ENOSPC blob writer")
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Errorf("publish error %v does not classify as ENOSPC", err)
+	}
+	if got := tr.State(); got != health.ReadOnly {
+		t.Fatalf("tracker state = %v after blob fault, want ReadOnly", got)
+	}
+	if tr.Reason() != "disk-full" {
+		t.Errorf("reason = %q, want disk-full", tr.Reason())
+	}
+	// The very next publish is refused up front — no second disk hit.
+	if _, err := r.Publish(req); !errors.Is(err, health.ErrReadOnly) {
+		t.Fatalf("second Publish = %v, want health.ErrReadOnly", err)
+	}
+}
+
+// TestWALFaultFlipsTrackerReadOnly: same contract for the WAL seam.
+func TestWALFaultFlipsTrackerReadOnly(t *testing.T) {
+	inj := &faultio.Injector{}
+	tr := health.NewTracker(health.Options{})
+	r := openRepo(t, t.TempDir(), Config{
+		Health:   tr,
+		FaultWAL: func(w io.Writer) io.Writer { return inj.Wrap(w) },
+	})
+	req := buildRequest(t, fixture.MustBuildHoardingPermit())
+	mustPublish(t, r, req) // seam healthy: baseline publish works
+
+	inj.Set(faultio.ErrNoSpace)
+	f := fixture.MustBuildHoardingPermit()
+	additive(f)
+	if _, err := r.Publish(buildRequest(t, f)); err == nil {
+		t.Fatal("Publish succeeded through a failing WAL writer")
+	}
+	if tr.State() != health.ReadOnly {
+		t.Fatalf("tracker state = %v after WAL fault, want ReadOnly", tr.State())
+	}
+}
+
+// TestRecoveryReenablesPublish: once the fault clears and probes
+// succeed, the tracker climbs back and publishes work again; a
+// successful publish while degraded counts toward full recovery.
+func TestRecoveryReenablesPublish(t *testing.T) {
+	inj := &faultio.Injector{}
+	tr := health.NewTracker(health.Options{RecoverAfter: 1})
+	r := openRepo(t, t.TempDir(), Config{
+		Health:    tr,
+		FaultBlob: func(w io.Writer) io.Writer { return inj.Wrap(w) },
+	})
+	req := buildRequest(t, fixture.MustBuildHoardingPermit())
+
+	inj.Set(faultio.ErrNoSpace)
+	if _, err := r.Publish(req); err == nil {
+		t.Fatal("publish succeeded under injected fault")
+	}
+	if tr.State() != health.ReadOnly {
+		t.Fatalf("state = %v, want ReadOnly", tr.State())
+	}
+
+	// Fault clears; a probe success promotes read-only → degraded,
+	// where writes are allowed again.
+	inj.Clear()
+	tr.ReportProbe(nil)
+	if tr.State() != health.Degraded {
+		t.Fatalf("state = %v after probe success, want Degraded", tr.State())
+	}
+	v := mustPublish(t, r, req)
+
+	// The successful commit reported write-OK and finished recovery.
+	if tr.State() != health.Healthy {
+		t.Errorf("state = %v after degraded publish, want Healthy", tr.State())
+	}
+	// And the stored bytes are intact despite the earlier failed attempt.
+	for _, f := range req.Files {
+		data, err := r.VersionFile(testSubject, v.Number, f.Name)
+		if err != nil {
+			t.Fatalf("VersionFile(%s): %v", f.Name, err)
+		}
+		if !bytes.Equal(data, f.Data) {
+			t.Errorf("file %s differs after recovery", f.Name)
+		}
+	}
+}

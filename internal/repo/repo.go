@@ -41,6 +41,7 @@ import (
 	"github.com/go-ccts/ccts/internal/contentaddr"
 	"github.com/go-ccts/ccts/internal/core"
 	"github.com/go-ccts/ccts/internal/diff"
+	"github.com/go-ccts/ccts/internal/health"
 	"github.com/go-ccts/ccts/internal/limits"
 	"github.com/go-ccts/ccts/internal/metrics"
 	"github.com/go-ccts/ccts/internal/profile"
@@ -175,6 +176,19 @@ type Config struct {
 	// CheckpointEvery is the number of WAL records between manifest
 	// checkpoints; 0 means 64. Checkpoints compact the WAL.
 	CheckpointEvery int
+	// Health, when non-nil, couples the repository to the process's
+	// degradation state machine: every WAL, manifest and blob write
+	// fault is reported to it, successful commits feed its recovery
+	// hysteresis, and Publish/Delete refuse with health.ErrReadOnly
+	// while it is in read-only mode (reads are unaffected).
+	Health *health.Tracker
+	// FaultWAL, FaultManifest and FaultBlob interpose on the
+	// corresponding write streams of this repository instance. They are
+	// fault-injection seams for tests (chaos soaks flip them mid-run via
+	// faultio.Injector); leave nil in production.
+	FaultWAL      func(io.Writer) io.Writer
+	FaultManifest func(io.Writer) io.Writer
+	FaultBlob     func(io.Writer) io.Writer
 }
 
 // subjectState is the immutable per-subject snapshot; commits replace
@@ -267,6 +281,11 @@ type Repo struct {
 	defaultPolicy   Policy
 	lim             limits.Limits
 	checkpointEvery int
+	health          *health.Tracker
+
+	// Per-instance fault seams (Config.Fault*); the package-level
+	// wrap*Writer vars remain as the in-package test hooks.
+	fWAL, fManifest, fBlob func(io.Writer) io.Writer
 
 	// stateP is the lock-free read snapshot.
 	stateP atomic.Pointer[state]
@@ -317,6 +336,10 @@ func Open(dir string, cfg Config) (*Repo, error) {
 		defaultPolicy:   cfg.DefaultPolicy,
 		lim:             cfg.Limits,
 		checkpointEvery: cfg.CheckpointEvery,
+		health:          cfg.Health,
+		fWAL:            cfg.FaultWAL,
+		fManifest:       cfg.FaultManifest,
+		fBlob:           cfg.FaultBlob,
 		subLocks:        map[string]*sync.Mutex{},
 	}
 	if r.defaultPolicy == "" {
@@ -450,6 +473,31 @@ func (r *Repo) syncMetrics() {
 	r.mLogicalBytes.Set(st.LogicalBytes)
 }
 
+// reportFault feeds a write-path failure to the health tracker: the
+// repository flips the process to read-only mode rather than letting
+// every subsequent publish rediscover the broken disk.
+func (r *Repo) reportFault(err error) {
+	if r.health != nil && err != nil {
+		r.health.ReportWriteFault(err)
+	}
+}
+
+// reportWriteOK feeds a durable commit to the recovery hysteresis.
+func (r *Repo) reportWriteOK() {
+	if r.health != nil {
+		r.health.ReportWriteOK()
+	}
+}
+
+// writesAllowed guards the mutation entry points while degraded
+// operation is active.
+func (r *Repo) writesAllowed() error {
+	if r.health != nil && !r.health.AllowWrites() {
+		return fmt.Errorf("repo: %w (reason: %s)", health.ErrReadOnly, r.health.Reason())
+	}
+	return nil
+}
+
 // subjectLock returns the mutex serializing mutations of one subject.
 func (r *Repo) subjectLock(subject string) *sync.Mutex {
 	r.mu.Lock()
@@ -477,6 +525,9 @@ func (r *Repo) Publish(req PublishRequest) (*Version, error) {
 		if _, err := ParsePolicy(string(req.Policy)); err != nil {
 			return nil, err
 		}
+	}
+	if err := r.writesAllowed(); err != nil {
+		return nil, err
 	}
 	canon := contentaddr.Canonicalize(req.Input)
 
@@ -642,6 +693,9 @@ type CompatResult struct {
 // Delete tombstones one version: its metadata and number remain, reads
 // of it answer ErrDeleted, and GC may reclaim blobs only it referenced.
 func (r *Repo) Delete(subject string, number int) error {
+	if err := r.writesAllowed(); err != nil {
+		return err
+	}
 	lock := r.subjectLock(subject)
 	lock.Lock()
 	defer lock.Unlock()
@@ -688,8 +742,8 @@ func (r *Repo) commit(rec *walRecord) error {
 		return err
 	}
 	var w io.Writer = r.wal
-	if wrapWALWriter != nil {
-		w = wrapWALWriter(r.wal)
+	if wrap := r.walWrap(); wrap != nil {
+		w = wrap(r.wal)
 	}
 	if _, werr := w.Write(line); werr != nil {
 		if terr := r.wal.Truncate(r.walSize); terr != nil {
@@ -697,6 +751,7 @@ func (r *Repo) commit(rec *walRecord) error {
 		} else {
 			r.wal.Seek(r.walSize, 0)
 		}
+		r.reportFault(werr)
 		return fmt.Errorf("repo: appending WAL record: %w", werr)
 	}
 	if serr := r.wal.Sync(); serr != nil {
@@ -705,6 +760,7 @@ func (r *Repo) commit(rec *walRecord) error {
 		} else {
 			r.wal.Seek(r.walSize, 0)
 		}
+		r.reportFault(serr)
 		return fmt.Errorf("repo: syncing WAL: %w", serr)
 	}
 	r.walSeq = rec.Seq
@@ -718,6 +774,7 @@ func (r *Repo) commit(rec *walRecord) error {
 	}
 	r.stateP.Store(next)
 
+	r.reportWriteOK()
 	r.sinceCkp++
 	if r.sinceCkp >= r.checkpointEvery {
 		// Best-effort: a failed checkpoint leaves the records in the
@@ -727,6 +784,29 @@ func (r *Repo) commit(rec *walRecord) error {
 		}
 	}
 	return nil
+}
+
+// walWrap resolves the WAL fault seam: the per-instance Config seam
+// wins, then the package-level test hook.
+func (r *Repo) walWrap() func(io.Writer) io.Writer {
+	if r.fWAL != nil {
+		return r.fWAL
+	}
+	return wrapWALWriter
+}
+
+func (r *Repo) manifestWrap() func(io.Writer) io.Writer {
+	if r.fManifest != nil {
+		return r.fManifest
+	}
+	return wrapManifestWriter
+}
+
+func (r *Repo) blobWrap() func(io.Writer) io.Writer {
+	if r.fBlob != nil {
+		return r.fBlob
+	}
+	return wrapBlobWriter
 }
 
 // Checkpoint compacts the log: the current state is written as the
@@ -762,7 +842,8 @@ func (r *Repo) checkpointLocked() error {
 	if err != nil {
 		return fmt.Errorf("repo: encoding manifest: %w", err)
 	}
-	if err := atomicWrite(r.dir, filepath.Join(r.dir, manifestName), data, wrapManifestWriter); err != nil {
+	if err := atomicWrite(r.dir, filepath.Join(r.dir, manifestName), data, r.manifestWrap()); err != nil {
+		r.reportFault(err)
 		return err
 	}
 	// The manifest now covers every WAL record; empty the log. A crash
@@ -791,9 +872,11 @@ func (r *Repo) writeBlob(data []byte) (string, error) {
 	}
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
+		r.reportFault(err)
 		return "", fmt.Errorf("repo: creating blob directory: %w", err)
 	}
-	if err := atomicWrite(dir, path, data, wrapBlobWriter); err != nil {
+	if err := atomicWrite(dir, path, data, r.blobWrap()); err != nil {
+		r.reportFault(err)
 		return "", err
 	}
 	r.blobCount++

@@ -1,0 +1,169 @@
+// Package retry is a dependency-free exponential-backoff helper with
+// full jitter — the client half of the overload-control contract. The
+// server sheds load with 503 + Retry-After; a disciplined caller backs
+// off with randomized delays (so a thundering herd of identical clients
+// decorrelates), honors the server's Retry-After hint as a floor, and
+// gives up as soon as the context's deadline makes another attempt
+// pointless.
+//
+// The classification contract:
+//
+//   - a nil error ends the loop (success);
+//   - an error wrapped with Permanent is returned immediately, never
+//     retried (client bugs: 400, 404, 409, 422);
+//   - context.Canceled / DeadlineExceeded from the operation end the
+//     loop immediately (the caller's budget is spent);
+//   - any other error is considered transient and retried;
+//   - an error exposing RetryAfter() time.Duration (e.g. a parsed 503
+//     body) raises the next delay to at least that hint.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Policy tunes the backoff loop. The zero value is usable: 4 attempts,
+// 100ms base delay, 5s cap.
+type Policy struct {
+	// MaxAttempts is the total number of attempts (first try included);
+	// values < 1 mean 4.
+	MaxAttempts int
+	// BaseDelay scales the exponential schedule; 0 means 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps one sleep; 0 means 5s.
+	MaxDelay time.Duration
+	// OnRetry, when non-nil, observes every scheduled retry: the attempt
+	// that failed (1-based), its error, and the chosen delay. Metrics
+	// and logs hook in here.
+	OnRetry func(attempt int, err error, delay time.Duration)
+
+	// Rand replaces the jitter source; nil uses math/rand. Tests pin it
+	// to make delays deterministic.
+	Rand func() float64
+	// Sleep replaces the delay primitive; nil sleeps on a timer
+	// honoring ctx. Tests use it to run the loop without real time.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// permanentError marks an error the loop must not retry.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Do returns it without further attempts.
+// Permanent(nil) is nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err was marked with Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// afterHint is implemented by errors carrying a server-provided
+// Retry-After; the duration floors the next backoff delay.
+type afterHint interface{ RetryAfter() time.Duration }
+
+// Do runs op under the policy until it succeeds, fails permanently, or
+// the attempt/deadline budget is exhausted. The returned error is the
+// last attempt's (unwrapped from Permanent), annotated with the attempt
+// count when the budget ran out.
+func Do(ctx context.Context, p Policy, op func(ctx context.Context) error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 4
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	cap := p.MaxDelay
+	if cap <= 0 {
+		cap = 5 * time.Second
+	}
+	random := p.Rand
+	if random == nil {
+		random = rand.Float64
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+
+	var err error
+	for attempt := 1; ; attempt++ {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			if err != nil {
+				return fmt.Errorf("retry: %w (context done after %d attempt(s): %v)", err, attempt-1, ctxErr)
+			}
+			return ctxErr
+		}
+		err = op(ctx)
+		if err == nil {
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return pe.err
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		if attempt >= attempts {
+			return fmt.Errorf("retry: giving up after %d attempt(s): %w", attempt, err)
+		}
+
+		delay := backoff(base, cap, attempt, random)
+		var hint afterHint
+		if errors.As(err, &hint) {
+			if ra := hint.RetryAfter(); ra > delay {
+				delay = ra
+			}
+		}
+		// Don't start a sleep the deadline would interrupt: shed the
+		// remaining attempts now and report the real failure.
+		if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < delay {
+			return fmt.Errorf("retry: %w (deadline before next attempt, gave up after %d attempt(s))", err, attempt)
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err, delay)
+		}
+		if serr := sleep(ctx, delay); serr != nil {
+			return fmt.Errorf("retry: %w (context done during backoff after %d attempt(s))", err, attempt)
+		}
+	}
+}
+
+// backoff computes the full-jitter delay for one attempt: a uniform
+// sample from [0, min(cap, base*2^(attempt-1))]. Full jitter spreads a
+// synchronized client herd across the whole window instead of
+// re-colliding it at fixed offsets.
+func backoff(base, cap time.Duration, attempt int, random func() float64) time.Duration {
+	ceil := base << (attempt - 1)
+	if ceil > cap || ceil <= 0 { // <= 0: shift overflow
+		ceil = cap
+	}
+	return time.Duration(random() * float64(ceil))
+}
+
+// sleepCtx waits d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

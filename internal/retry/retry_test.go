@@ -1,0 +1,234 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeSleep records requested delays without waiting.
+type fakeSleep struct{ delays []time.Duration }
+
+func (f *fakeSleep) sleep(ctx context.Context, d time.Duration) error {
+	f.delays = append(f.delays, d)
+	return ctx.Err()
+}
+
+// fixedPolicy is deterministic: jitter pinned to 1.0 (the window
+// ceiling) and no real sleeping.
+func fixedPolicy(fs *fakeSleep) Policy {
+	return Policy{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    80 * time.Millisecond,
+		Rand:        func() float64 { return 1.0 },
+		Sleep:       fs.sleep,
+	}
+}
+
+func TestSucceedsAfterTransientFailures(t *testing.T) {
+	fs := &fakeSleep{}
+	calls := 0
+	err := Do(context.Background(), fixedPolicy(fs), func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want success", err)
+	}
+	if calls != 3 {
+		t.Errorf("op ran %d times, want 3", calls)
+	}
+	// Exponential ceilings with jitter pinned at 1.0: 10ms, 20ms.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(fs.delays) != len(want) || fs.delays[0] != want[0] || fs.delays[1] != want[1] {
+		t.Errorf("delays = %v, want %v", fs.delays, want)
+	}
+}
+
+func TestGivesUpAfterMaxAttempts(t *testing.T) {
+	fs := &fakeSleep{}
+	boom := errors.New("still down")
+	calls := 0
+	err := Do(context.Background(), fixedPolicy(fs), func(ctx context.Context) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do = %v, want wrapped boom", err)
+	}
+	if calls != 4 {
+		t.Errorf("op ran %d times, want 4", calls)
+	}
+	if !strings.Contains(err.Error(), "giving up after 4") {
+		t.Errorf("error does not report the attempt count: %v", err)
+	}
+}
+
+func TestPermanentStopsImmediately(t *testing.T) {
+	fs := &fakeSleep{}
+	bad := errors.New("400 bad request")
+	calls := 0
+	err := Do(context.Background(), fixedPolicy(fs), func(ctx context.Context) error {
+		calls++
+		return Permanent(bad)
+	})
+	if err != bad {
+		t.Fatalf("Do = %v, want the unwrapped permanent error", err)
+	}
+	if calls != 1 || len(fs.delays) != 0 {
+		t.Errorf("calls=%d delays=%v, want one attempt and no sleeps", calls, fs.delays)
+	}
+	if !IsPermanent(Permanent(bad)) {
+		t.Error("IsPermanent(Permanent(err)) = false")
+	}
+	if IsPermanent(bad) {
+		t.Error("IsPermanent(plain) = true")
+	}
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) != nil")
+	}
+}
+
+// hintedError carries a server Retry-After.
+type hintedError struct{ after time.Duration }
+
+func (e *hintedError) Error() string             { return "503 over capacity" }
+func (e *hintedError) RetryAfter() time.Duration { return e.after }
+
+func TestRetryAfterHintFloorsDelay(t *testing.T) {
+	fs := &fakeSleep{}
+	calls := 0
+	err := Do(context.Background(), fixedPolicy(fs), func(ctx context.Context) error {
+		calls++
+		if calls == 1 {
+			return &hintedError{after: 50 * time.Millisecond}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Computed ceiling is 10ms, hint is 50ms → the hint wins.
+	if len(fs.delays) != 1 || fs.delays[0] != 50*time.Millisecond {
+		t.Errorf("delays = %v, want [50ms]", fs.delays)
+	}
+
+	// A hint below the computed delay does not shorten it.
+	fs2 := &fakeSleep{}
+	calls = 0
+	p := fixedPolicy(fs2)
+	Do(context.Background(), p, func(ctx context.Context) error {
+		calls++
+		if calls == 1 {
+			return &hintedError{after: time.Millisecond}
+		}
+		return nil
+	})
+	if len(fs2.delays) != 1 || fs2.delays[0] != 10*time.Millisecond {
+		t.Errorf("delays = %v, want [10ms]", fs2.delays)
+	}
+}
+
+func TestDeadlineCutsRetriesShort(t *testing.T) {
+	fs := &fakeSleep{}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(5*time.Millisecond))
+	defer cancel()
+	boom := errors.New("down")
+	calls := 0
+	err := Do(ctx, fixedPolicy(fs), func(ctx context.Context) error {
+		calls++
+		return boom
+	})
+	// First delay would be 10ms > the 5ms budget: give up after one try.
+	if calls != 1 {
+		t.Errorf("op ran %d times, want 1", calls)
+	}
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "deadline before next attempt") {
+		t.Errorf("err = %v, want deadline-shed wrapping boom", err)
+	}
+}
+
+func TestContextErrorFromOpStops(t *testing.T) {
+	fs := &fakeSleep{}
+	calls := 0
+	err := Do(context.Background(), fixedPolicy(fs), func(ctx context.Context) error {
+		calls++
+		return context.DeadlineExceeded
+	})
+	if calls != 1 || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("calls=%d err=%v", calls, err)
+	}
+}
+
+func TestCanceledContextBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Do(ctx, Policy{}, func(ctx context.Context) error {
+		t.Fatal("op ran under a canceled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOnRetryObserves(t *testing.T) {
+	fs := &fakeSleep{}
+	var attempts []int
+	p := fixedPolicy(fs)
+	p.OnRetry = func(attempt int, err error, delay time.Duration) {
+		attempts = append(attempts, attempt)
+		if err == nil || delay <= 0 {
+			t.Errorf("OnRetry(%d, %v, %v)", attempt, err, delay)
+		}
+	}
+	calls := 0
+	Do(context.Background(), p, func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if len(attempts) != 2 || attempts[0] != 1 || attempts[1] != 2 {
+		t.Errorf("OnRetry attempts = %v, want [1 2]", attempts)
+	}
+}
+
+func TestJitterStaysInsideWindow(t *testing.T) {
+	// With the real jitter source, every delay must land in
+	// [0, min(cap, base*2^(n-1))].
+	p := Policy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}
+	var observed []time.Duration
+	p.OnRetry = func(attempt int, err error, delay time.Duration) { observed = append(observed, delay) }
+	p.Sleep = func(ctx context.Context, d time.Duration) error { return nil }
+	Do(context.Background(), p, func(ctx context.Context) error { return errors.New("x") })
+	ceilings := []time.Duration{10, 20, 40, 40, 40}
+	for i, d := range observed {
+		if d < 0 || d > ceilings[i]*time.Millisecond {
+			t.Errorf("attempt %d delay %v outside [0, %dms]", i+1, d, ceilings[i])
+		}
+	}
+	if len(observed) != 5 {
+		t.Errorf("%d retries, want 5", len(observed))
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	// Zero policy: 4 attempts. Use an instant sleep to keep the test fast.
+	calls := 0
+	p := Policy{Sleep: func(ctx context.Context, d time.Duration) error { return nil }}
+	Do(context.Background(), p, func(ctx context.Context) error {
+		calls++
+		return errors.New("x")
+	})
+	if calls != 4 {
+		t.Errorf("zero policy ran %d attempts, want 4", calls)
+	}
+}

@@ -1,0 +1,260 @@
+package server
+
+// Chaos soak: a disk fault (injected ENOSPC) strikes mid-publish under
+// concurrent load. The service must degrade to read-only instead of
+// failing binary — stored reads keep serving byte-identical content,
+// publishes answer 503 with Retry-After and a machine-readable reason,
+// /healthz reports the state — and must recover write mode on its own
+// once the fault clears, at which point a retrying client's publish
+// goes through. The whole run is goroutine-leak-clean under -race.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/go-ccts/ccts/internal/client"
+	"github.com/go-ccts/ccts/internal/faultio"
+	"github.com/go-ccts/ccts/internal/health"
+	"github.com/go-ccts/ccts/internal/metrics"
+	"github.com/go-ccts/ccts/internal/repo"
+	"github.com/go-ccts/ccts/internal/retry"
+)
+
+// chaosParams are the generation options every chaos publish uses.
+var chaosParams = client.PublishParams{Library: "EB005-HoardingPermit", Root: "HoardingPermit"}
+
+// cappedSleep keeps the soak fast: delays are honored in shape (the
+// Retry-After floor still reaches the policy) but slept at most 25ms.
+func cappedSleep(ctx context.Context, d time.Duration) error {
+	if d > 25*time.Millisecond {
+		d = 25 * time.Millisecond
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func TestChaosDiskFaultMidPublish(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	inj := &faultio.Injector{}
+	tracker := health.NewTracker(health.Options{RecoverAfter: 1})
+	rp, err := repo.Open(t.TempDir(), repo.Config{
+		Health:        tracker,
+		FaultWAL:      func(w io.Writer) io.Writer { return inj.Wrap(w) },
+		FaultManifest: func(w io.Writer) io.Writer { return inj.Wrap(w) },
+		FaultBlob:     func(w io.Writer) io.Writer { return inj.Wrap(w) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Repo: rp, Health: tracker, MaxInFlight: 8, MaxQueueWait: 2 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+
+	// The background probe sees exactly the error the writers see, so
+	// recovery is observed, never guessed.
+	stopProbe := tracker.Start(2*time.Millisecond, inj.Err)
+
+	ctx := context.Background()
+	cmx := metrics.NewRegistry()
+	retrying := client.New(ts.URL, client.Options{
+		Metrics: cmx,
+		Retry:   retry.Policy{MaxAttempts: 100, BaseDelay: 2 * time.Millisecond, MaxDelay: 10 * time.Millisecond, Sleep: cappedSleep},
+	})
+	oneShot := client.New(ts.URL, client.Options{Retry: retry.Policy{MaxAttempts: 1}})
+
+	// Baseline: one stored version whose bytes every later read must match.
+	base := sampleXMI(t)
+	if _, err := retrying.Publish(ctx, "chaos-base", base, chaosParams); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := retrying.Zip(ctx, "chaos-base", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent load: writers publish (successes and structured 503s
+	// both acceptable once the fault hits), readers continuously verify
+	// the stored bytes.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	okPublishErr := func(err error) bool {
+		if err == nil {
+			return true
+		}
+		var ae *client.APIError
+		return errors.As(err, &ae) && ae.Status == http.StatusServiceUnavailable
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			subject := fmt.Sprintf("chaos-writer-%d", id)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := oneShot.Publish(ctx, subject, base, chaosParams); !okPublishErr(err) {
+					t.Errorf("writer %d: unexpected publish failure: %v", id, err)
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(i)
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				data, err := oneShot.Zip(ctx, "chaos-base", 0)
+				if err != nil {
+					t.Errorf("reader %d: stored read failed during chaos: %v", id, err)
+					return
+				}
+				if !bytes.Equal(data, baseline) {
+					t.Errorf("reader %d: stored bytes changed", id)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(i)
+	}
+
+	// Let the load run healthy, then pull the disk out.
+	time.Sleep(30 * time.Millisecond)
+	inj.Set(faultio.ErrNoSpace)
+	waitFor(t, func() bool { return tracker.State() == health.ReadOnly })
+
+	// /healthz reports the degradation with the machine-readable reason.
+	var doc struct {
+		Status string `json:"status"`
+		Health struct {
+			State  string `json:"state"`
+			Reason string `json:"reason"`
+		} `json:"health"`
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "read-only" || doc.Health.State != "read-only" || doc.Health.Reason != "disk-full" {
+		t.Errorf("healthz during fault = %+v, want read-only/disk-full", doc)
+	}
+	if got := s.mx.Snapshot()["health_state"]; got != int64(health.ReadOnly) {
+		t.Errorf("health_state gauge = %d, want %d", got, health.ReadOnly)
+	}
+
+	// A publish without retries gets the structured refusal up front.
+	_, err = oneShot.Publish(ctx, "chaos-direct", base, chaosParams)
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("publish during fault = %v, want a 503 APIError", err)
+	}
+	if ae.Code != "read_only" && ae.Code != "storage" {
+		t.Errorf("503 code = %q, want read_only or storage", ae.Code)
+	}
+	if ae.RetryAfter() <= 0 {
+		t.Error("503 during fault carries no Retry-After")
+	}
+
+	// Stored reads stay byte-identical through the fault.
+	data, err := retrying.Zip(ctx, "chaos-base", 0)
+	if err != nil || !bytes.Equal(data, baseline) {
+		t.Errorf("read during fault: err=%v identical=%t", err, bytes.Equal(data, baseline))
+	}
+
+	// A retrying publish launched while the disk is still broken must
+	// ride its backoff through the fault and land once the disk heals.
+	recovered := make(chan error, 1)
+	go func() {
+		pctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		defer cancel()
+		_, err := retrying.Publish(pctx, "chaos-recovered", base, chaosParams)
+		recovered <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let it burn at least one 503
+	inj.Clear()
+	if err := <-recovered; err != nil {
+		t.Fatalf("retrying publish after fault cleared: %v", err)
+	}
+	waitFor(t, func() bool { return tracker.State() == health.Healthy })
+
+	snap := cmx.Snapshot()
+	if snap["retry_attempts_total"] < 2 || snap["retry_success_total"] < 1 {
+		t.Errorf("client retry metrics = %v, want >=2 attempts and >=1 success", snap)
+	}
+	if s.mx.Snapshot()["health_faults_total"] < 1 {
+		t.Error("health_faults_total never incremented")
+	}
+
+	// Healthy again end to end: healthz says ok, a plain publish works.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Status, doc.Health.State = "", ""
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "ok" || doc.Health.State != "healthy" {
+		t.Errorf("healthz after recovery = %+v, want ok/healthy", doc)
+	}
+	if _, err := oneShot.Publish(ctx, "chaos-after", base, chaosParams); err != nil {
+		t.Errorf("publish after recovery: %v", err)
+	}
+
+	// Tear everything down and verify nothing leaked.
+	close(stop)
+	wg.Wait()
+	stopProbe()
+	ts.Close()
+	if err := rp.Close(); err != nil {
+		t.Errorf("closing repository: %v", err)
+	}
+	http.DefaultClient.CloseIdleConnections()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines: %d before, %d after chaos run\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

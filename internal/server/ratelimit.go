@@ -1,0 +1,97 @@
+package server
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket: each client key accrues
+// rate tokens per second up to burst, and one request spends one token.
+// A denied request learns how long until the next token so the 429 can
+// carry an honest Retry-After. The zero rate disables limiting.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // seam for tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the per-client table; beyond it, full (= idle long
+// enough to have refilled) buckets are evicted before admitting a new
+// key. A hostile client cycling keys costs one map entry per key but
+// cannot grow the table without bound.
+const maxBuckets = 16384
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = math.Max(1, rate)
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   b,
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allow spends one token for key. When the bucket is empty it reports
+// false plus the wait until one token will be available.
+func (l *rateLimiter) allow(key string) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= maxBuckets {
+			l.evictFullLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// evictFullLocked drops buckets that have refilled to burst — clients
+// idle long enough that forgetting them loses nothing.
+func (l *rateLimiter) evictFullLocked(now time.Time) {
+	for k, b := range l.buckets {
+		if math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate) >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// clientKey identifies the caller for rate limiting: the X-API-Key
+// header when present, else the remote address without the port.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return "key:" + k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return "addr:" + r.RemoteAddr
+	}
+	return "addr:" + host
+}

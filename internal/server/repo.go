@@ -138,7 +138,11 @@ func (s *Server) handleRepoPublish(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, aerr)
 		return
 	}
-	ctx, cancel := s.requestContext(r)
+	ctx, cancel, aerr := s.requestContext(r)
+	if aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
 	defer cancel()
 
 	// The cold path yields the imported model as a by-product; on a
@@ -319,8 +323,14 @@ func (s *Server) handleRepoCompat(w http.ResponseWriter, r *http.Request) {
 	}
 	// The dry run imports up to two models; take an admission slot like
 	// any other compute-bound request.
-	if !s.admit() {
-		s.writeError(w, mapError(errSaturated))
+	ctx, cancel, aerr := s.requestContext(r)
+	if aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+	defer cancel()
+	if err := s.admit(ctx); err != nil {
+		s.writeError(w, mapError(err))
 		return
 	}
 	defer s.release()

@@ -29,10 +29,14 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	ccts "github.com/go-ccts/ccts"
 	"github.com/go-ccts/ccts/internal/gen"
+	"github.com/go-ccts/ccts/internal/health"
 	"github.com/go-ccts/ccts/internal/limits"
 	"github.com/go-ccts/ccts/internal/metrics"
 	"github.com/go-ccts/ccts/internal/registry"
@@ -68,26 +72,49 @@ type Config struct {
 	// Metrics receives the server's instruments; nil creates a private
 	// registry (exposed on /metrics either way).
 	Metrics *metrics.Registry
+	// MaxQueueWait is how long a request may queue for an admission slot
+	// before being shed with 503. 0 keeps the historical behavior: a full
+	// semaphore rejects immediately. Queue waits are additionally capped
+	// by the request's remaining deadline budget — shedding now beats
+	// timing out after queueing.
+	MaxQueueWait time.Duration
+	// RatePerClient, when > 0, enables per-client token-bucket rate
+	// limiting over the /v1/ endpoints: each client (X-API-Key header,
+	// else remote address) accrues this many requests per second up to
+	// RateBurst; beyond that, requests answer 429 with Retry-After.
+	RatePerClient float64
+	// RateBurst is the token-bucket capacity; values < 1 default to
+	// max(1, RatePerClient).
+	RateBurst int
+	// Health, when non-nil, is the degradation state machine published
+	// in /healthz and consulted by the error mapping. The server
+	// instruments it but does not own its probe loop.
+	Health *health.Tracker
 }
 
 // Server is the HTTP serving layer. Create with New; the zero value is
 // not usable.
 type Server struct {
-	cfg   Config
-	lim   limits.Limits
-	cache *schemacache.Cache
-	reg   *registry.Guarded
-	repo  *repo.Repo
-	mx    *metrics.Registry
-	sem   chan struct{}
-	mux   *http.ServeMux
+	cfg      Config
+	lim      limits.Limits
+	cache    *schemacache.Cache
+	reg      *registry.Guarded
+	repo     *repo.Repo
+	mx       *metrics.Registry
+	sem      chan struct{}
+	mux      *http.ServeMux
+	health   *health.Tracker
+	limiter  *rateLimiter
+	draining atomic.Bool
 
-	requests  *metrics.Counter
-	saturated *metrics.Counter
-	panics    *metrics.Counter
-	errors4xx *metrics.Counter
-	errors5xx *metrics.Counter
-	inflight  *metrics.Gauge
+	requests    *metrics.Counter
+	saturated   *metrics.Counter
+	shed        *metrics.Counter
+	ratelimited *metrics.Counter
+	panics      *metrics.Counter
+	errors4xx   *metrics.Counter
+	errors5xx   *metrics.Counter
+	inflight    *metrics.Gauge
 }
 
 // New builds a Server from cfg, applying the documented defaults.
@@ -109,25 +136,32 @@ func New(cfg Config) *Server {
 		mx = metrics.NewRegistry()
 	}
 	s := &Server{
-		cfg:   cfg,
-		lim:   lim,
-		cache: schemacache.New(cacheBytes),
-		reg:   cfg.Registry,
-		repo:  cfg.Repo,
-		mx:    mx,
-		sem:   make(chan struct{}, maxInFlight),
-		mux:   http.NewServeMux(),
+		cfg:     cfg,
+		lim:     lim,
+		cache:   schemacache.New(cacheBytes),
+		reg:     cfg.Registry,
+		repo:    cfg.Repo,
+		mx:      mx,
+		sem:     make(chan struct{}, maxInFlight),
+		mux:     http.NewServeMux(),
+		health:  cfg.Health,
+		limiter: newRateLimiter(cfg.RatePerClient, cfg.RateBurst),
 
-		requests:  mx.Counter("ccserved_requests_total", "HTTP requests received."),
-		saturated: mx.Counter("ccserved_saturated_total", "Requests rejected with 503 because the admission semaphore was full."),
-		panics:    mx.Counter("ccserved_panics_total", "Request handlers recovered from a panic."),
-		errors4xx: mx.Counter("ccserved_errors_4xx_total", "Responses with a 4xx status."),
-		errors5xx: mx.Counter("ccserved_errors_5xx_total", "Responses with a 5xx status."),
-		inflight:  mx.Gauge("ccserved_inflight", "Requests currently holding an admission slot."),
+		requests:    mx.Counter("ccserved_requests_total", "HTTP requests received."),
+		saturated:   mx.Counter("ccserved_saturated_total", "Requests rejected with 503 because the admission semaphore was full."),
+		shed:        mx.Counter("ccserved_shed_total", "Requests shed with 503 after queueing for an admission slot."),
+		ratelimited: mx.Counter("ccserved_ratelimited_total", "Requests rejected with 429 by the per-client rate limiter."),
+		panics:      mx.Counter("ccserved_panics_total", "Request handlers recovered from a panic."),
+		errors4xx:   mx.Counter("ccserved_errors_4xx_total", "Responses with a 4xx status."),
+		errors5xx:   mx.Counter("ccserved_errors_5xx_total", "Responses with a 5xx status."),
+		inflight:    mx.Gauge("ccserved_inflight", "Requests currently holding an admission slot."),
 	}
 	s.cache.Instrument(mx)
 	if s.repo != nil {
 		s.repo.Instrument(mx)
+	}
+	if s.health != nil {
+		s.health.Instrument(mx)
 	}
 	s.mux.HandleFunc("/v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("/v1/validate", s.handleValidate)
@@ -161,6 +195,18 @@ func (s *Server) Handler() http.Handler {
 				fmt.Fprintf(debugWriter, "ccserved: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
 			}
 		}()
+		if s.limiter != nil && strings.HasPrefix(r.URL.Path, "/v1/") {
+			if ok, wait := s.limiter.allow(clientKey(r)); !ok {
+				s.ratelimited.Inc()
+				s.writeError(w, &apiError{
+					Status:     http.StatusTooManyRequests,
+					Code:       "rate_limited",
+					Message:    "client request rate exceeds the configured budget; retry after the indicated delay",
+					RetryAfter: wait,
+				})
+				return
+			}
+		}
 		s.mux.ServeHTTP(w, r)
 	})
 }
@@ -175,24 +221,80 @@ func (s *Server) Cache() *schemacache.Cache { return s.cache }
 var debugWriter io.Writer = os.Stderr
 
 // requestContext derives the per-request work context: the client's
-// context bounded by the configured request timeout.
-func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
-	if s.cfg.RequestTimeout > 0 {
-		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+// context bounded by the tightest of the configured request timeout and
+// the deadline the client propagated via the X-Request-Timeout (a Go
+// duration) or X-Request-Deadline (RFC 3339) header. A malformed header
+// is the client's defect and answers 400.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, *apiError) {
+	now := time.Now()
+	var deadline time.Time
+	tighten := func(cand time.Time) {
+		if deadline.IsZero() || cand.Before(deadline) {
+			deadline = cand
+		}
 	}
-	return r.Context(), func() {}
+	if s.cfg.RequestTimeout > 0 {
+		tighten(now.Add(s.cfg.RequestTimeout))
+	}
+	if h := r.Header.Get("X-Request-Timeout"); h != "" {
+		d, err := time.ParseDuration(h)
+		if err != nil || d <= 0 {
+			return nil, nil, &apiError{Status: http.StatusBadRequest, Code: "deadline", Message: fmt.Sprintf("X-Request-Timeout must be a positive Go duration, got %q", h)}
+		}
+		tighten(now.Add(d))
+	}
+	if h := r.Header.Get("X-Request-Deadline"); h != "" {
+		t, err := time.Parse(time.RFC3339, h)
+		if err != nil {
+			return nil, nil, &apiError{Status: http.StatusBadRequest, Code: "deadline", Message: fmt.Sprintf("X-Request-Deadline must be an RFC 3339 timestamp, got %q", h)}
+		}
+		tighten(t)
+	}
+	if deadline.IsZero() {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithDeadline(r.Context(), deadline)
+	return ctx, cancel, nil
 }
 
-// admit claims an admission slot without blocking; it reports false
-// when the semaphore is saturated. release undoes a successful admit.
-func (s *Server) admit() bool {
+// admit claims an admission slot. With MaxQueueWait configured, a
+// request may queue up to min(MaxQueueWait, its remaining deadline
+// budget) for a slot and is shed with errShed when the wait expires —
+// a fast, honest 503 instead of a late 504. MaxQueueWait zero keeps
+// the historical semantics: a full semaphore answers errSaturated
+// immediately. release undoes a successful admit.
+func (s *Server) admit(ctx context.Context) error {
 	select {
 	case s.sem <- struct{}{}:
 		s.inflight.Inc()
-		return true
+		return nil
 	default:
+	}
+	wait := s.cfg.MaxQueueWait
+	if wait <= 0 {
 		s.saturated.Inc()
-		return false
+		return errSaturated
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if budget := time.Until(dl); budget < wait {
+			wait = budget
+		}
+	}
+	if wait <= 0 {
+		s.shed.Inc()
+		return errShed
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Inc()
+		return nil
+	case <-timer.C:
+		s.shed.Inc()
+		return errShed
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -201,8 +303,18 @@ func (s *Server) release() {
 	<-s.sem
 }
 
+// BeginDrain marks the server as draining: /healthz starts answering
+// 503 so load balancers stop routing new work, while in-flight and
+// late-arriving requests still complete during the shutdown grace
+// period.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
 // errSaturated marks a rejected admission; mapped to 503.
 var errSaturated = errors.New("server: admission semaphore saturated")
+
+// errShed marks a request shed after queueing for admission; mapped to
+// 503 with Retry-After.
+var errShed = errors.New("server: request shed after queueing for admission")
 
 // apiError is the structured error envelope every failure path answers
 // with: {"error": ..., "code": ..., "findings": [...]} plus the HTTP
@@ -212,6 +324,9 @@ type apiError struct {
 	Code    string
 	Message string
 	Report  *validate.Report
+	// RetryAfter, when > 0, is the client back-off hint for 503/429
+	// responses; zero falls back to 1s on those statuses.
+	RetryAfter time.Duration
 }
 
 func (e *apiError) Error() string { return e.Message }
@@ -257,17 +372,23 @@ func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
 		body.Findings = toJSONFindings(e.Report.Findings)
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if e.Status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+	if e.Status == http.StatusServiceUnavailable || e.Status == http.StatusTooManyRequests {
+		secs := int(e.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 	w.WriteHeader(e.Status)
 	json.NewEncoder(w).Encode(body)
 }
 
 // mapError converts a pipeline failure into the documented status
-// mapping: 503 for saturation, 504 for a request-budget timeout, 400
-// for model/input defects (including limit violations, which are a
-// property of the submitted document), 500 for isolated panics.
+// mapping: 503 for saturation, queue-wait shedding, read-only mode and
+// storage faults (each with its own machine-readable code and a
+// Retry-After), 504 for a request-budget timeout, 400 for model/input
+// defects (including limit violations, which are a property of the
+// submitted document), 500 for isolated panics.
 func mapError(err error) *apiError {
 	var ae *apiError
 	switch {
@@ -275,6 +396,12 @@ func mapError(err error) *apiError {
 		return ae
 	case errors.Is(err, errSaturated):
 		return &apiError{Status: http.StatusServiceUnavailable, Code: "saturated", Message: "server is at its in-flight generation limit; retry"}
+	case errors.Is(err, errShed):
+		return &apiError{Status: http.StatusServiceUnavailable, Code: "shed", Message: "request shed: no admission slot freed within the queue-wait budget; retry"}
+	case errors.Is(err, health.ErrReadOnly):
+		return &apiError{Status: http.StatusServiceUnavailable, Code: "read_only", Message: err.Error(), RetryAfter: 5 * time.Second}
+	case health.IsDiskFault(err):
+		return &apiError{Status: http.StatusServiceUnavailable, Code: "storage", Message: err.Error(), RetryAfter: 5 * time.Second}
 	case errors.Is(err, context.DeadlineExceeded):
 		return &apiError{Status: http.StatusGatewayTimeout, Code: "timeout", Message: "request exceeded the server's time budget"}
 	case errors.Is(err, context.Canceled):
@@ -313,21 +440,47 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, *apiE
 	return body, nil
 }
 
-// handleHealthz answers a liveness snapshot.
+// handleHealthz answers a liveness snapshot on GET and HEAD. While the
+// server drains toward shutdown it answers 503 so load balancers stop
+// routing new work; a degraded or read-only health state is reported in
+// the body (status + health section) but stays 200 — reads still serve,
+// and pulling the instance would turn a partial outage into a full one.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		s.writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Code: "method", Message: "use GET"})
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		s.writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Code: "method", Message: "use GET or HEAD"})
+		return
+	}
+	status, code := "ok", http.StatusOK
+	if s.health != nil {
+		if st := s.health.State(); st != health.Healthy {
+			status = st.String()
+		}
+	}
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	if r.Method == http.MethodHead {
+		if code != http.StatusOK {
+			s.errors5xx.Inc()
+		}
+		w.WriteHeader(code)
 		return
 	}
 	st := s.cache.Stats()
 	doc := map[string]any{
-		"status":   "ok",
+		"status":   status,
 		"inflight": s.inflight.Value(),
 		"capacity": cap(s.sem),
 		"cache": map[string]any{
 			"hits": st.Hits, "misses": st.Misses, "coalesced": st.Coalesced,
 			"evictions": st.Evictions, "entries": st.Entries, "bytes": st.Bytes,
 		},
+	}
+	if s.health != nil {
+		doc["health"] = map[string]any{
+			"state":  s.health.State().String(),
+			"reason": s.health.Reason(),
+		}
 	}
 	if s.repo != nil {
 		rs := s.repo.Stats()
@@ -338,7 +491,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"publishes":  rs.Publishes, "rejections": rs.Rejections, "deletes": rs.Deletes,
 		}
 	}
+	if code != http.StatusOK {
+		s.errors5xx.Inc()
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(doc)
 }
 
