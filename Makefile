@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-serve bench-repo verify fuzz-smoke chaos-smoke
+.PHONY: build test bench bench-serve bench-repo bench-diff verify fuzz-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,18 @@ bench-repo:
 	$(GO) test ./internal/repo -run='^$$' -bench='BenchmarkRepo' -benchmem \
 		| tee /dev/stderr | $(GO) run ./internal/tools/benchjson -o BENCH_repo.json
 
+# bench-diff reruns the serving and repository benchmark suites and
+# diffs them against the committed BENCH_*.json baselines, failing on a
+# >10% ns/op regression. Benchmark noise varies by machine, so verify
+# treats this as advisory; run it directly when touching the hot paths
+# and refresh the baselines (make bench-serve bench-repo) on intended
+# changes.
+bench-diff:
+	$(GO) test ./internal/server -run='^$$' -bench='BenchmarkServe' -benchmem \
+		| $(GO) run ./internal/tools/benchjson -baseline BENCH_serve.json
+	$(GO) test ./internal/repo -run='^$$' -bench='BenchmarkRepo' -benchmem \
+		| $(GO) run ./internal/tools/benchjson -baseline BENCH_repo.json
+
 # fuzz-smoke runs every fuzz target briefly against its seed corpus plus
 # whatever the engine mutates in FUZZTIME. It is a smoke test of the
 # ingestion hardening (resource limits, DTD rejection, truncation), not
@@ -37,6 +49,7 @@ fuzz-smoke:
 	$(GO) test ./internal/xmi -run='^$$' -fuzz=FuzzImport -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/xsd -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/ocl -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/gen -run='^$$' -fuzz=FuzzProfileJSON -fuzztime=$(FUZZTIME)
 
 # chaos-smoke replays the disk-fault soak on its own: ENOSPC injected
 # mid-publish under concurrent load must flip the service read-only
@@ -50,13 +63,17 @@ chaos-smoke:
 # verify is the full pre-merge gate: static checks, the entire test
 # suite under the race detector (the parallel emit phase must be
 # data-race-free at any Parallelism setting), a dedicated -race pass
-# over the serving, resilience and repository stack (singleflight,
-# admission gating, shedding, rate limiting, drain, health state
-# machine, client retry, concurrent publishes against the WAL), the
-# chaos smoke pass and the fuzz smoke pass.
+# over the serving, resilience, repository and generation-backend stack
+# (singleflight, admission gating, shedding, rate limiting, drain,
+# health state machine, client retry, concurrent publishes against the
+# WAL, parallel emission through every backend), the chaos smoke pass,
+# the fuzz smoke pass, and an advisory benchmark diff against the
+# committed baselines (failures are reported but do not gate the merge
+# — benchmark noise is machine-dependent).
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -race -count=1 ./internal/server ./internal/schemacache ./internal/registry ./internal/repo ./internal/health ./internal/retry ./internal/client ./internal/faultio ./cmd/ccrepo
+	$(GO) test -race -count=1 ./internal/server ./internal/schemacache ./internal/registry ./internal/repo ./internal/health ./internal/retry ./internal/client ./internal/faultio ./cmd/ccrepo ./internal/gen ./internal/jsonschema ./internal/protogen ./internal/backends
 	$(MAKE) chaos-smoke
 	$(MAKE) fuzz-smoke
+	-$(MAKE) bench-diff

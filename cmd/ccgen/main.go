@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	ccgen -model model.xmi -library EB005-HoardingPermit -root HoardingPermit -out ./schemas [-annotate] [-style shared|composite] [-parallel N] [-timeout 30s]
+//	ccgen -model model.xmi -library EB005-HoardingPermit -root HoardingPermit -out ./schemas [-target xsd|jsonschema|proto|rng|rdfs|go] [-profile profile.json] [-annotate] [-style shared|composite] [-parallel N] [-timeout 30s]
 package main
 
 import (
@@ -51,6 +51,8 @@ func run(args []string) error {
 		skipCheck = fs.Bool("skip-validation", false, "generate even if the model has validation errors")
 		parallel  = fs.Int("parallel", 1, "emit-phase worker count (capped at GOMAXPROCS); output is identical at any setting")
 		timeout   = fs.Duration("timeout", 0, "abort the run after this duration (0 disables the limit)")
+		target    = fs.String("target", "xsd", "generation target: xsd, jsonschema, proto, rng, rdfs or go")
+		profile   = fs.String("profile", "", "generation profile JSON file (datatype/namespace/import overrides, root preselection)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +101,16 @@ func run(args []string) error {
 	}
 
 	opts := ccts.GenerateOptions{Annotate: *annotate, Parallelism: *parallel, Index: index}
+	if *profile != "" {
+		data, err := os.ReadFile(*profile)
+		if err != nil {
+			return err
+		}
+		opts.Profile, err = ccts.ParseGenProfile(data)
+		if err != nil {
+			return err
+		}
+	}
 	switch *style {
 	case "shared":
 		opts.Style = ccts.GlobalShared
@@ -111,24 +123,24 @@ func run(args []string) error {
 		opts.Status = func(msg string) { fmt.Fprintln(os.Stderr, "..", msg) }
 	}
 
-	var res *ccts.GenerateResult
+	var output *ccts.GenOutput
 	if lib.Kind == ccts.KindDOCLibrary {
-		if *root == "" {
+		if opts.Profile.RootOr(*root) == "" {
 			var roots []string
 			for _, abie := range lib.ABIEs {
 				roots = append(roots, abie.Name)
 			}
-			return fmt.Errorf("DOCLibrary %q requires -root; available: %v", lib.Name, roots)
+			return fmt.Errorf("DOCLibrary %q requires -root (or a profile root); available: %v", lib.Name, roots)
 		}
-		res, err = ccts.GenerateDocumentContext(ctx, lib, *root, opts)
+		output, err = ccts.GenerateTargetDocumentContext(ctx, lib, *root, *target, opts)
 	} else {
-		res, err = ccts.GenerateContext(ctx, lib, opts)
+		output, err = ccts.GenerateTargetContext(ctx, lib, *target, opts)
 	}
 	if err != nil {
 		return err
 	}
 
-	paths, err := ccts.WriteSchemas(res, *out)
+	paths, err := ccts.WriteOutput(output, *out)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,12 @@
 // GET /v1/registry/search, the /v1/repo family (when -repo is set),
 // GET|HEAD /healthz, GET /metrics.
 //
+// /v1/generate accepts target=xsd|jsonschema|proto|rng|rdfs|go to pick
+// the generation backend and profile=<JSON> for per-run overrides
+// (datatype mappings, namespace rewrites, import locations, root
+// preselection); each (model, target, profile) combination is its own
+// cache entry, and responses carry the backend's Content-Type.
+//
 // Overload and degradation control: requests queue up to
 // -max-queue-wait for an admission slot before a 503 shed, -rate
 // enables per-client token-bucket limiting (429 + Retry-After), and

@@ -1,0 +1,50 @@
+package backends
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	names := Targets()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Targets() not sorted: %v", names)
+	}
+	want := []string{"go", "jsonschema", "proto", "rdfs", "rng", "xsd"}
+	if len(names) != len(want) {
+		t.Fatalf("Targets() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Targets() = %v, want %v", names, want)
+		}
+	}
+	for _, name := range names {
+		b, ok := For(name)
+		if !ok {
+			t.Fatalf("For(%q) not found", name)
+		}
+		if b.Target() != name {
+			t.Errorf("backend registered as %q reports Target() = %q", name, b.Target())
+		}
+		if b.ContentType() == "" {
+			t.Errorf("backend %q has no Content-Type", name)
+		}
+	}
+}
+
+func TestForUnknown(t *testing.T) {
+	if _, ok := For("wsdl"); ok {
+		t.Fatal("For accepted an unknown target")
+	}
+	err := ErrUnknown("wsdl")
+	if err == nil || !strings.Contains(err.Error(), "wsdl") {
+		t.Fatalf("ErrUnknown should name the target: %v", err)
+	}
+	for _, name := range Targets() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("ErrUnknown should list valid target %q: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package fixture
+
+import (
+	"github.com/go-ccts/ccts/internal/catalog"
+	"github.com/go-ccts/ccts/internal/core"
+	"github.com/go-ccts/ccts/internal/uml"
+)
+
+// PurchaseOrder holds the B2B purchase-order model of the examples: one
+// shared core-component library (Party, LineItem, Order) and two
+// business contexts — an EU seller whose orders carry VAT numbers and a
+// currency code restricted to an EU enumeration, and a US buyer whose
+// line items carry hazard codes. Both document libraries derive from
+// the same ACCs by restriction.
+type PurchaseOrder struct {
+	Model   *core.Model
+	Catalog *catalog.Catalog
+
+	CCLib     *core.Library // TradeComponents (CCLibrary)
+	EUEnumLib *core.Library // EUEnumerations
+	EUQDTLib  *core.Library // EUDataTypes
+	EUBIELib  *core.Library // EUAggregates
+	EUDocLib  *core.Library // EUOrder (DOCLibrary, root EU_Order)
+	USBIELib  *core.Library // USAggregates
+	USDocLib  *core.Library // USOrder (DOCLibrary, root US_Order)
+}
+
+// BuildPurchaseOrder constructs the purchase-order model shared by the
+// multi-target golden tests and the examples/purchaseorder program.
+func BuildPurchaseOrder() (*PurchaseOrder, error) {
+	f := &PurchaseOrder{}
+	f.Model = core.NewModel("TradeModel")
+	biz := f.Model.AddBusinessLibrary("Trade")
+	cat, err := catalog.Install(biz)
+	if err != nil {
+		return nil, err
+	}
+	f.Catalog = cat
+
+	f.CCLib = biz.AddLibrary(core.KindCCLibrary, "TradeComponents", "urn:trade:cc")
+	f.CCLib.Version = "1.0"
+
+	party, err := f.CCLib.AddACC("Party")
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range []struct {
+		name string
+		cdt  string
+		card core.Cardinality
+	}{
+		{"Name", catalog.CDTName, card1},
+		{"Identifier", catalog.CDTIdentifier, card01},
+		{"TaxRegistration", catalog.CDTIdentifier, card01},
+	} {
+		if _, err := party.AddBCC(b.name, cat.CDT(b.cdt), b.card); err != nil {
+			return nil, err
+		}
+	}
+
+	lineItem, err := f.CCLib.AddACC("LineItem")
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range []struct {
+		name string
+		cdt  string
+		card core.Cardinality
+	}{
+		{"Description", catalog.CDTText, card1},
+		{"Quantity", catalog.CDTQuantity, card1},
+		{"Price", catalog.CDTAmount, card1},
+		{"HazardCode", catalog.CDTCode, card01},
+	} {
+		if _, err := lineItem.AddBCC(b.name, cat.CDT(b.cdt), b.card); err != nil {
+			return nil, err
+		}
+	}
+
+	order, err := f.CCLib.AddACC("Order")
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range []struct {
+		name string
+		cdt  string
+		card core.Cardinality
+	}{
+		{"Number", catalog.CDTIdentifier, card1},
+		{"IssueDate", catalog.CDTDate, card1},
+		{"Currency", catalog.CDTCode, card01},
+		{"Total", catalog.CDTAmount, card01},
+	} {
+		if _, err := order.AddBCC(b.name, cat.CDT(b.cdt), b.card); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := order.AddASCC("Buyer", party, card1, uml.AggregationComposite); err != nil {
+		return nil, err
+	}
+	if _, err := order.AddASCC("Seller", party, card1, uml.AggregationComposite); err != nil {
+		return nil, err
+	}
+	if _, err := order.AddASCC("Included", lineItem, uml.OneOrMore, uml.AggregationComposite); err != nil {
+		return nil, err
+	}
+
+	// EU context: mandatory VAT registration, currency restricted to an
+	// EU enumeration through a qualified data type.
+	f.EUEnumLib = biz.AddLibrary(core.KindENUMLibrary, "EUEnumerations", "urn:trade:eu:enum")
+	f.EUEnumLib.Version = "1.0"
+	euCurrency, err := f.EUEnumLib.AddENUM("EUCurrency_Code")
+	if err != nil {
+		return nil, err
+	}
+	euCurrency.AddLiteral("EUR", "Euro").
+		AddLiteral("SEK", "Swedish krona").
+		AddLiteral("DKK", "Danish krone")
+
+	f.EUQDTLib = biz.AddLibrary(core.KindQDTLibrary, "EUDataTypes", "urn:trade:eu:qdt")
+	f.EUQDTLib.Version = "1.0"
+	euCurrencyType, err := core.DeriveQDT(f.EUQDTLib, cat.CDT(catalog.CDTCode), core.QDTRestriction{
+		Name: "EUCurrencyType", ContentEnum: euCurrency,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	f.EUBIELib, f.EUDocLib, err = buildOrderContext(biz, "EU", "urn:trade:eu", order, party, lineItem, orderContextSpec{
+		partyPicks: []core.BBIEPick{
+			{BCC: "Name"},
+			{BCC: "TaxRegistration", Rename: "VATNumber"},
+		},
+		orderPicks: []core.BBIEPick{
+			{BCC: "Number"}, {BCC: "IssueDate"},
+			{BCC: "Currency", Type: euCurrencyType},
+		},
+		linePicks: []core.BBIEPick{{BCC: "Description"}, {BCC: "Quantity"}, {BCC: "Price"}},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// US context: no VAT, hazard codes on line items.
+	f.USBIELib, f.USDocLib, err = buildOrderContext(biz, "US", "urn:trade:us", order, party, lineItem, orderContextSpec{
+		partyPicks: []core.BBIEPick{{BCC: "Name"}, {BCC: "Identifier"}},
+		orderPicks: []core.BBIEPick{{BCC: "Number"}, {BCC: "IssueDate"}, {BCC: "Total"}},
+		linePicks: []core.BBIEPick{
+			{BCC: "Description"}, {BCC: "Quantity"}, {BCC: "Price"}, {BCC: "HazardCode"},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+type orderContextSpec struct {
+	partyPicks []core.BBIEPick
+	orderPicks []core.BBIEPick
+	linePicks  []core.BBIEPick
+}
+
+// buildOrderContext derives the BIEs of one business context and
+// assembles its order document library.
+func buildOrderContext(biz *core.BusinessLibrary, qualifier, urnBase string,
+	order, party, lineItem *core.ACC, spec orderContextSpec) (*core.Library, *core.Library, error) {
+
+	bieLib := biz.AddLibrary(core.KindBIELibrary, qualifier+"Aggregates", urnBase+":bie")
+	bieLib.Version = "1.0"
+	docLib := biz.AddLibrary(core.KindDOCLibrary, qualifier+"Order", urnBase+":order")
+	docLib.Version = "1.0"
+
+	partyBIE, err := core.DeriveABIE(bieLib, party, core.Restriction{
+		Qualifier: qualifier, BBIEs: spec.partyPicks,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	lineBIE, err := core.DeriveABIE(bieLib, lineItem, core.Restriction{
+		Qualifier: qualifier, BBIEs: spec.linePicks,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := core.DeriveABIE(docLib, order, core.Restriction{
+		Qualifier: qualifier,
+		BBIEs:     spec.orderPicks,
+		ASBIEs: []core.ASBIEPick{
+			{Role: "Buyer", Target: partyBIE},
+			{Role: "Seller", Target: partyBIE},
+			{Role: "Included", Target: lineBIE},
+		},
+	}); err != nil {
+		return nil, nil, err
+	}
+	return bieLib, docLib, nil
+}

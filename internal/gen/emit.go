@@ -47,7 +47,7 @@ func (e *OpError) Error() string {
 }
 
 // opLabel names an operation for OpError and status messages.
-func opLabel(op emitOp) string {
+func opLabel(op Op) string {
 	switch {
 	case op.abie != nil:
 		return fmt.Sprintf("ABIE %q", op.abie.Name)
@@ -68,7 +68,7 @@ var testEmitFault func(lib *core.Library, op string)
 // safeOp executes one operation with panic isolation; a panicking
 // operation becomes a structured OpError instead of crashing the
 // process or wedging the pool.
-func (p *Plan) safeOp(u *planUnit, j int) (out opOut, err error) {
+func (p *Plan) safeOp(u *Unit, j int) (out opOut, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &OpError{
@@ -99,11 +99,23 @@ func (p *Plan) safeOp(u *planUnit, j int) (out opOut, err error) {
 // cancelled Options.Context stops workers claiming further operations,
 // drains the pool and returns the wrapped context error.
 func (p *Plan) Execute() (*Result, error) {
+	outs, err := executeGrid(p, p.safeOp)
+	if err != nil {
+		return nil, err
+	}
+	return p.merge(outs)
+}
+
+// executeGrid runs every operation of the plan through run — already
+// panic-isolated — sequentially or on the bounded worker pool, and
+// returns the per-unit result grid in plan order. It is the shared
+// engine under Execute (native XSD) and ExecuteBackend.
+func executeGrid[T any](p *Plan, run func(u *Unit, j int) (T, error)) ([][]T, error) {
 	ctx := p.opts.ctx()
-	outs := make([][]opOut, len(p.units))
+	outs := make([][]T, len(p.units))
 	errs := make([][]error, len(p.units))
 	for i, u := range p.units {
-		outs[i] = make([]opOut, len(u.ops))
+		outs[i] = make([]T, len(u.ops))
 		errs[i] = make([]error, len(u.ops))
 	}
 	workers := p.opts.Parallelism
@@ -122,14 +134,14 @@ func (p *Plan) Execute() (*Result, error) {
 					active.Dec()
 					return nil, fmt.Errorf("gen: emit cancelled: %w", ctx.Err())
 				}
-				outs[i][j], errs[i][j] = p.safeOp(u, j)
+				outs[i][j], errs[i][j] = run(u, j)
 				opsDone.Inc()
 			}
 			p.sink.emitf("emitted %d definition(s) for %s %s", len(u.ops), u.lib.Kind, u.lib.Name)
 		}
 		active.Dec()
 	} else {
-		p.executeParallel(ctx, outs, errs, workers)
+		executeParallel(p, ctx, outs, errs, workers, run)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("gen: emit cancelled: %w", err)
@@ -137,7 +149,7 @@ func (p *Plan) Execute() (*Result, error) {
 	if err := joinOpErrors(errs); err != nil {
 		return nil, err
 	}
-	return p.merge(outs)
+	return outs, nil
 }
 
 // joinOpErrors aggregates the per-operation error grid in plan order so
@@ -171,7 +183,7 @@ func (p *Plan) poolInstruments() (*metrics.Counter, *metrics.Gauge) {
 // completion through the serialized status sink. Workers observe the
 // context between operations, so cancellation drains the pool without
 // leaking goroutines or deadlocking the chunk counter.
-func (p *Plan) executeParallel(ctx context.Context, outs [][]opOut, errs [][]error, workers int) {
+func executeParallel[T any](p *Plan, ctx context.Context, outs [][]T, errs [][]error, workers int, run func(u *Unit, j int) (T, error)) {
 	flat := make([]opRef, 0, p.totalOps)
 	remaining := make([]atomic.Int64, len(p.units))
 	for i, u := range p.units {
@@ -217,7 +229,7 @@ func (p *Plan) executeParallel(ctx context.Context, outs [][]opOut, errs [][]err
 						return
 					}
 					u := p.units[ref.unit]
-					outs[ref.unit][ref.op], errs[ref.unit][ref.op] = p.safeOp(u, ref.op)
+					outs[ref.unit][ref.op], errs[ref.unit][ref.op] = run(u, ref.op)
 					opsDone.Inc()
 					if remaining[ref.unit].Add(-1) == 0 {
 						p.sink.emitf("emitted %d definition(s) for %s %s", len(u.ops), u.lib.Kind, u.lib.Name)
@@ -235,7 +247,7 @@ func (p *Plan) executeParallel(ctx context.Context, outs [][]opOut, errs [][]err
 func (p *Plan) merge(outs [][]opOut) (*Result, error) {
 	res := &Result{Schemas: map[string]*xsd.Schema{}, Index: p.index}
 	for i, u := range p.units {
-		s := xsd.NewSchema(u.lib.BaseURN)
+		s := xsd.NewSchema(p.Namespace(u.lib))
 		s.Version = u.lib.Version
 		for _, d := range u.decls {
 			if err := s.DeclareNamespace(d.Prefix, d.URI); err != nil {
@@ -282,7 +294,7 @@ func (p *Plan) merge(outs [][]opOut) (*Result, error) {
 // runOp executes one emission operation. Operations are infallible —
 // every error was caught while planning — and read only the immutable
 // plan and index, so they are safe to run concurrently.
-func (p *Plan) runOp(u *planUnit, op emitOp) opOut {
+func (p *Plan) runOp(u *Unit, op Op) opOut {
 	switch {
 	case op.abie != nil:
 		return opOut{ct: p.emitABIE(u, op.abie)}
@@ -297,7 +309,7 @@ func (p *Plan) runOp(u *planUnit, op emitOp) opOut {
 
 // emitABIE writes the complexType for an ABIE: the BBIE elements first,
 // then the ASBIEs as inline elements or refs to the unit's globals.
-func (p *Plan) emitABIE(u *planUnit, abie *core.ABIE) *xsd.ComplexType {
+func (p *Plan) emitABIE(u *Unit, abie *core.ABIE) *xsd.ComplexType {
 	ix := p.index
 	ct := &xsd.ComplexType{Name: ix.ABIETypeName(abie)}
 	if p.opts.Annotate {
@@ -342,7 +354,11 @@ func (p *Plan) emitABIE(u *planUnit, abie *core.ABIE) *xsd.ComplexType {
 // extending the XSD built-in of the content component's primitive, with
 // the supplementary components as attributes.
 func (p *Plan) emitCDT(cdt *core.CDT) *xsd.ComplexType {
-	ext := &xsd.Extension{Base: ndr.ContentBuiltin(cdt)}
+	base := ndr.ContentBuiltin(cdt)
+	if override, ok := p.Datatype(cdt.Name); ok {
+		base = override
+	}
+	ext := &xsd.Extension{Base: base}
 	for i := range cdt.Sups {
 		sup := &cdt.Sups[i]
 		ext.Attributes = append(ext.Attributes, &xsd.Attribute{
@@ -391,6 +407,9 @@ func (p *Plan) emitQDT(qdt *core.QDT) *xsd.ComplexType {
 		} else {
 			base = ndr.XSDBuiltin(t)
 		}
+	}
+	if override, ok := p.Datatype(qdt.Name); ok {
+		base = override
 	}
 	ext := &xsd.Extension{Base: base}
 	for i := range qdt.Sups {

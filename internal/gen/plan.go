@@ -22,7 +22,7 @@ type Plan struct {
 	opts  Options
 	index *core.ModelIndex
 	sink  *statusSink
-	units []*planUnit
+	units []*Unit
 	// prefixes snapshots the namespace prefix of every library the plan
 	// touches (allocation order matters: the allocator numbered them
 	// during the walk).
@@ -47,8 +47,8 @@ func (p *Plan) Libraries() []*core.Library {
 	return libs
 }
 
-// planUnit is the emission work for one library: one schema document.
-type planUnit struct {
+// Unit is the emission work for one library: one schema document.
+type Unit struct {
 	lib  *core.Library
 	file string
 	// decls are the xmlns declarations in first-use order (own prefix,
@@ -58,15 +58,19 @@ type planUnit struct {
 	imports []xsd.Import
 	// ops are the type-emission operations in legacy walk order (DFS
 	// preorder over ABIEs; declaration order for data types).
-	ops []emitOp
+	ops []Op
 	// globals are the ASBIEs declared as global elements, in the order
 	// the walk first reached them.
 	globals []*core.ASBIE
+	// importLibs are the imported libraries in first-use order — the
+	// backend-neutral counterpart of imports, used by non-XSD backends
+	// to derive their own import statements.
+	importLibs []*core.Library
 }
 
-// emitOp is one independent emission operation; exactly one field is
+// Op is one independent emission operation; exactly one field is
 // set. ABIE/CDT/QDT ops produce a complexType, ENUM ops a simpleType.
-type emitOp struct {
+type Op struct {
 	abie *core.ABIE
 	cdt  *core.CDT
 	qdt  *core.QDT
@@ -81,15 +85,15 @@ type planner struct {
 	sink     *statusSink
 	prefixes *ndr.PrefixAllocator
 	plan     *Plan
-	units    map[*core.Library]*planUnit
+	units    map[*core.Library]*Unit
 	files    map[string]bool
 	done     map[*core.Library]bool
 	emitted  map[*core.ABIE]bool
 	// declared/imported/globalSeen dedupe per-unit declarations the way
 	// Schema.DeclareNamespace and the import/global checks used to.
-	declared   map[*planUnit]map[string]string
-	imported   map[*planUnit]map[string]bool
-	globalSeen map[*planUnit]map[string]bool
+	declared   map[*Unit]map[string]string
+	imported   map[*Unit]map[string]bool
+	globalSeen map[*Unit]map[string]bool
 }
 
 func newPlanner(lib *core.Library, opts Options) *planner {
@@ -98,13 +102,13 @@ func newPlanner(lib *core.Library, opts Options) *planner {
 		index:      resolveIndex(opts, lib),
 		sink:       &statusSink{fn: opts.Status},
 		prefixes:   ndr.NewPrefixAllocator(),
-		units:      map[*core.Library]*planUnit{},
+		units:      map[*core.Library]*Unit{},
 		files:      map[string]bool{},
 		done:       map[*core.Library]bool{},
 		emitted:    map[*core.ABIE]bool{},
-		declared:   map[*planUnit]map[string]string{},
-		imported:   map[*planUnit]map[string]bool{},
-		globalSeen: map[*planUnit]map[string]bool{},
+		declared:   map[*Unit]map[string]string{},
+		imported:   map[*Unit]map[string]bool{},
+		globalSeen: map[*Unit]map[string]bool{},
 	}
 	pl.plan = &Plan{
 		opts:     opts,
@@ -180,16 +184,16 @@ func (pl *planner) finish() *Plan {
 
 // unitFor returns (creating on first use) the plan unit of a library
 // and registers it in emission order, mirroring the former schemaFor.
-func (pl *planner) unitFor(lib *core.Library) (*planUnit, error) {
+func (pl *planner) unitFor(lib *core.Library) (*Unit, error) {
 	if u, ok := pl.units[lib]; ok {
 		return u, nil
 	}
 	if lib.BaseURN == "" {
 		return nil, fmt.Errorf("gen: library %q has no baseURN tagged value; cannot determine target namespace", lib.Name)
 	}
-	u := &planUnit{lib: lib, file: pl.index.SchemaFile(lib)}
+	u := &Unit{lib: lib, file: pl.index.SchemaFile(lib)}
 	pl.units[lib] = u
-	pl.declare(u, pl.prefixes.Prefix(lib), lib.BaseURN)
+	pl.declare(u, pl.prefixes.Prefix(lib), pl.opts.Profile.Namespace(lib))
 	if pl.opts.Annotate {
 		pl.declare(u, "ccts", xsd.CCTSDocumentationNamespace)
 	}
@@ -205,7 +209,7 @@ func (pl *planner) unitFor(lib *core.Library) (*planUnit, error) {
 // would: redeclarations of the same binding are dropped here, while a
 // conflicting redeclaration is left in place for the merge phase to
 // reject with the exact DeclareNamespace error.
-func (pl *planner) declare(u *planUnit, prefix, uri string) {
+func (pl *planner) declare(u *Unit, prefix, uri string) {
 	seen := pl.declared[u]
 	if seen == nil {
 		seen = map[string]string{}
@@ -252,7 +256,7 @@ func (pl *planner) ensureLibrary(lib *core.Library) error {
 		}
 	case core.KindCDTLibrary:
 		for _, cdt := range lib.CDTs {
-			u.ops = append(u.ops, emitOp{cdt: cdt})
+			u.ops = append(u.ops, Op{cdt: cdt})
 		}
 	case core.KindQDTLibrary:
 		for _, qdt := range lib.QDTs {
@@ -262,7 +266,7 @@ func (pl *planner) ensureLibrary(lib *core.Library) error {
 		}
 	case core.KindENUMLibrary:
 		for _, e := range lib.ENUMs {
-			u.ops = append(u.ops, emitOp{enum: e})
+			u.ops = append(u.ops, Op{enum: e})
 		}
 	default:
 		return fmt.Errorf("gen: cannot generate %s %q as an import", lib.Kind, lib.Name)
@@ -275,7 +279,7 @@ func (pl *planner) ensureLibrary(lib *core.Library) error {
 // The prefix is allocated before the target==usingLib shortcut — the
 // allocation order is what numbers the auto prefixes (bie2 in Figure
 // 6), so it must match the walk exactly.
-func (pl *planner) importLibrary(u *planUnit, usingLib, target *core.Library) error {
+func (pl *planner) importLibrary(u *Unit, usingLib, target *core.Library) error {
 	prefix := pl.prefixes.Prefix(target)
 	if target == usingLib {
 		return nil
@@ -283,18 +287,21 @@ func (pl *planner) importLibrary(u *planUnit, usingLib, target *core.Library) er
 	if err := pl.ensureLibrary(target); err != nil {
 		return err
 	}
-	pl.declare(u, prefix, target.BaseURN)
+	ns := pl.opts.Profile.Namespace(target)
+	pl.declare(u, prefix, ns)
 	if pl.imported[u] == nil {
 		pl.imported[u] = map[string]bool{}
 	}
-	if pl.imported[u][target.BaseURN] {
+	if pl.imported[u][ns] {
 		return nil
 	}
-	pl.imported[u][target.BaseURN] = true
-	u.imports = append(u.imports, xsd.Import{
-		Namespace:      target.BaseURN,
-		SchemaLocation: ndr.SchemaLocation(pl.opts.SchemaLocationPrefix, target),
-	})
+	pl.imported[u][ns] = true
+	loc := ndr.SchemaLocation(pl.opts.SchemaLocationPrefix, target)
+	if override, ok := pl.opts.Profile.Import(ns); ok {
+		loc = override
+	}
+	u.imports = append(u.imports, xsd.Import{Namespace: ns, SchemaLocation: loc})
+	u.importLibs = append(u.importLibs, target)
 	return nil
 }
 
@@ -311,7 +318,7 @@ func globalStyle(style ASBIEStyle, kind uml.AggregationKind) bool {
 // the library owning it, then recurses into the ASBIE targets ("the
 // Add-In starts at the selected root element and pursues every outgoing
 // aggregation and composition connector").
-func (pl *planner) planABIETree(u *planUnit, lib *core.Library, abie *core.ABIE) error {
+func (pl *planner) planABIETree(u *Unit, lib *core.Library, abie *core.ABIE) error {
 	if err := pl.ctxErr(); err != nil {
 		return err
 	}
@@ -324,7 +331,7 @@ func (pl *planner) planABIETree(u *planUnit, lib *core.Library, abie *core.ABIE)
 		return pl.importLibrary(u, lib, abie.Library())
 	}
 	pl.emitted[abie] = true
-	u.ops = append(u.ops, emitOp{abie: abie})
+	u.ops = append(u.ops, Op{abie: abie})
 
 	// BBIE data types first (Figure 6: "first the elements for the BBIEs
 	// are defined") — resolving each type plans and imports its library.
@@ -348,7 +355,7 @@ func (pl *planner) planABIETree(u *planUnit, lib *core.Library, abie *core.ABIE)
 	return nil
 }
 
-func (pl *planner) planASBIE(u *planUnit, lib *core.Library, asbie *core.ASBIE) error {
+func (pl *planner) planASBIE(u *Unit, lib *core.Library, asbie *core.ASBIE) error {
 	target := asbie.Target
 	targetLib := target.Library()
 	if err := pl.importLibrary(u, lib, targetLib); err != nil {
@@ -379,7 +386,7 @@ func (pl *planner) planASBIE(u *planUnit, lib *core.Library, asbie *core.ASBIE) 
 // planQDT resolves a QDT's enumeration imports and records its op; the
 // unsupported-content error is caught here so the emit op is
 // infallible.
-func (pl *planner) planQDT(u *planUnit, lib *core.Library, qdt *core.QDT) error {
+func (pl *planner) planQDT(u *Unit, lib *core.Library, qdt *core.QDT) error {
 	switch t := qdt.Content.Type.(type) {
 	case *core.ENUM:
 		if err := pl.importLibrary(u, lib, t.Library()); err != nil {
@@ -398,6 +405,6 @@ func (pl *planner) planQDT(u *planUnit, lib *core.Library, qdt *core.QDT) error 
 			}
 		}
 	}
-	u.ops = append(u.ops, emitOp{qdt: qdt})
+	u.ops = append(u.ops, Op{qdt: qdt})
 	return nil
 }

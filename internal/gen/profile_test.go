@@ -1,0 +1,148 @@
+package gen
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/core"
+)
+
+func TestParseProfile(t *testing.T) {
+	p, err := ParseProfile([]byte(`{
+		"name": "acme", "version": 2, "root": "Order",
+		"datatypes": {"Amount": "xsd:decimal"},
+		"namespaces": {"urn:a": "urn:b"},
+		"imports": {"urn:b": "b.xsd"}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "acme" || p.Version != 2 || p.Root != "Order" {
+		t.Errorf("scalar fields not decoded: %+v", p)
+	}
+	if p.Datatypes["Amount"] != "xsd:decimal" || p.Namespaces["urn:a"] != "urn:b" || p.Imports["urn:b"] != "b.xsd" {
+		t.Errorf("map fields not decoded: %+v", p)
+	}
+	if p.IsZero() {
+		t.Error("populated profile reported IsZero")
+	}
+}
+
+func TestParseProfileRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":    `{"name": "x", "bogus": true}`,
+		"trailing content": `{"name": "x"} {"name": "y"}`,
+		"negative version": `{"version": -1}`,
+		"not an object":    `[1, 2]`,
+		"empty input":      ``,
+	}
+	for name, doc := range cases {
+		if _, err := ParseProfile([]byte(doc)); err == nil {
+			t.Errorf("%s: ParseProfile accepted %q", name, doc)
+		}
+	}
+	big := []byte(`{"name": "` + strings.Repeat("a", maxProfileBytes) + `"}`)
+	if _, err := ParseProfile(big); err == nil {
+		t.Error("oversized profile accepted")
+	}
+}
+
+func TestProfileFingerprint(t *testing.T) {
+	var nilProfile *Profile
+	if got := nilProfile.Fingerprint(); got != "" {
+		t.Errorf("nil profile fingerprint = %q, want empty", got)
+	}
+	if got := (&Profile{}).Fingerprint(); got != "" {
+		t.Errorf("zero profile fingerprint = %q, want empty", got)
+	}
+
+	a := &Profile{Name: "p", Version: 1, Datatypes: map[string]string{"A": "x", "B": "y"}}
+	b := &Profile{Name: "p", Version: 1, Datatypes: map[string]string{"B": "y", "A": "x"}}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint depends on map insertion order")
+	}
+
+	// Every field change must change the fingerprint.
+	variants := []*Profile{
+		{Name: "q", Version: 1, Datatypes: map[string]string{"A": "x", "B": "y"}},
+		{Name: "p", Version: 2, Datatypes: map[string]string{"A": "x", "B": "y"}},
+		{Name: "p", Version: 1, Datatypes: map[string]string{"A": "x"}},
+		{Name: "p", Version: 1, Datatypes: map[string]string{"A": "x", "B": "z"}},
+		{Name: "p", Version: 1, Datatypes: map[string]string{"A": "x", "B": "y"}, Root: "R"},
+		{Name: "p", Version: 1, Datatypes: map[string]string{"A": "x", "B": "y"}, Namespaces: map[string]string{"u": "v"}},
+		{Name: "p", Version: 1, Datatypes: map[string]string{"A": "x", "B": "y"}, Imports: map[string]string{"u": "l"}},
+	}
+	seen := map[string]bool{a.Fingerprint(): true}
+	for i, v := range variants {
+		fp := v.Fingerprint()
+		if seen[fp] {
+			t.Errorf("variant %d collides with a prior fingerprint: %q", i, fp)
+		}
+		seen[fp] = true
+	}
+}
+
+func TestProfileNilSafety(t *testing.T) {
+	var p *Profile
+	if _, ok := p.Datatype("Amount"); ok {
+		t.Error("nil profile returned a datatype override")
+	}
+	if _, ok := p.Import("urn:x"); ok {
+		t.Error("nil profile returned an import override")
+	}
+	lib := &core.Library{BaseURN: "urn:x"}
+	if got := p.Namespace(lib); got != "urn:x" {
+		t.Errorf("nil profile Namespace = %q, want the modeled URN", got)
+	}
+	if got := p.RootOr("R"); got != "R" {
+		t.Errorf("RootOr(explicit) = %q, want explicit to win", got)
+	}
+	if got := p.RootOr(""); got != "" {
+		t.Errorf("nil profile RootOr(\"\") = %q, want empty", got)
+	}
+	q := &Profile{Root: "Fallback"}
+	if got := q.RootOr(""); got != "Fallback" {
+		t.Errorf("RootOr(\"\") = %q, want profile root", got)
+	}
+	if got := q.RootOr("Explicit"); got != "Explicit" {
+		t.Errorf("RootOr = %q, explicit root must win over the profile", got)
+	}
+}
+
+// FuzzProfileJSON feeds arbitrary bytes through ParseProfile and checks
+// the parse/fingerprint invariants: no panic, accepted documents
+// re-encode and re-parse to an equal fingerprint, and rejected
+// documents return an error rather than a half-applied profile.
+func FuzzProfileJSON(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"p","version":3}`))
+	f.Add([]byte(`{"datatypes":{"Amount":"xsd:decimal"},"root":"Order"}`))
+	f.Add([]byte(`{"namespaces":{"urn:a":"urn:b"},"imports":{"urn:b":"b.xsd"}}`))
+	f.Add([]byte(`{"version":-1}`))
+	f.Add([]byte(`{"unknown":1}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParseProfile(data)
+		if err != nil {
+			return
+		}
+		// Accepted profiles must survive a marshal/parse round trip with
+		// an identical fingerprint — the cache key must not depend on how
+		// the document was originally formatted.
+		out, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("accepted profile does not re-marshal: %v", err)
+		}
+		q, err := ParseProfile(out)
+		if err != nil {
+			t.Fatalf("re-marshaled profile rejected: %v\ninput: %q\nre-marshaled: %s", err, data, out)
+		}
+		if p.Fingerprint() != q.Fingerprint() {
+			t.Fatalf("fingerprint changed across round trip:\n %q\n %q", p.Fingerprint(), q.Fingerprint())
+		}
+		if p.IsZero() != q.IsZero() {
+			t.Fatalf("IsZero changed across round trip")
+		}
+	})
+}

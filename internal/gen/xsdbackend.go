@@ -1,0 +1,47 @@
+package gen
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// XSDBackend is the paper's native target expressed as a Backend: each
+// per-op fragment is the opOut node the classic emit phase produces,
+// and Assemble reuses merge plus the deterministic writer, so the
+// serialized bytes are exactly those of Execute + Schema.Write.
+type XSDBackend struct{}
+
+// Target implements Backend.
+func (XSDBackend) Target() string { return "xsd" }
+
+// ContentType implements Backend.
+func (XSDBackend) ContentType() string { return "application/xml" }
+
+// EmitOp implements Backend.
+func (XSDBackend) EmitOp(p *Plan, u *Unit, op Op) (Fragment, error) {
+	return p.runOp(u, op), nil
+}
+
+// Assemble implements Backend.
+func (XSDBackend) Assemble(p *Plan, frags [][]Fragment) (*Output, error) {
+	outs := make([][]opOut, len(frags))
+	for i, unit := range frags {
+		outs[i] = make([]opOut, len(unit))
+		for j, f := range unit {
+			outs[i][j] = f.(opOut)
+		}
+	}
+	res, err := p.merge(outs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{RootElement: res.RootElement}
+	for _, name := range res.Order {
+		var buf bytes.Buffer
+		if err := res.Schemas[name].Write(&buf); err != nil {
+			return nil, fmt.Errorf("gen: serializing %s: %w", name, err)
+		}
+		out.Files = append(out.Files, OutFile{Name: name, Data: buf.Bytes()})
+	}
+	return out, nil
+}

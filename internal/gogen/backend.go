@@ -1,0 +1,48 @@
+package gogen
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/go-ccts/ccts/internal/gen"
+)
+
+// Backend adapts the Go binding generator to the gen.Backend
+// interface. Go type names come from a stateful collision-avoiding
+// allocator whose output depends on emission order, so EmitOp returns
+// placeholder fragments and Assemble performs the whole (deterministic,
+// sequential) walk — parallel and sequential runs are trivially
+// byte-identical.
+type Backend struct{}
+
+// Target implements gen.Backend.
+func (Backend) Target() string { return "go" }
+
+// ContentType implements gen.Backend; generated Go source is text.
+func (Backend) ContentType() string { return "text/plain; charset=utf-8" }
+
+// EmitOp implements gen.Backend.
+func (Backend) EmitOp(*gen.Plan, *gen.Unit, gen.Op) (gen.Fragment, error) { return nil, nil }
+
+// Assemble implements gen.Backend: one self-contained Go file for the
+// document rooted at the plan's root ABIE.
+func (Backend) Assemble(p *gen.Plan, _ [][]gen.Fragment) (*gen.Output, error) {
+	units := p.Units()
+	if len(units) == 0 {
+		return nil, fmt.Errorf("gogen: empty plan")
+	}
+	root := p.Root()
+	if root == nil {
+		return nil, fmt.Errorf("gogen: the go target requires a DOCLibrary document run with a root element")
+	}
+	lib := units[0].Library()
+	code, err := GenerateDocument(lib, root.Name, Options{})
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(units[0].File(), ".xsd") + ".go"
+	return &gen.Output{
+		Files:       []gen.OutFile{{Name: name, Data: []byte(code)}},
+		RootElement: p.Index().ABIEElementName(root),
+	}, nil
+}

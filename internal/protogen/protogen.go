@@ -1,0 +1,321 @@
+// Package protogen is the Protocol Buffers (proto3) backend of the
+// generation pipeline: the Resolve/Plan phases that drive the XSD
+// generator feed a gen.Backend that renders one .proto file per
+// planned library unit, with the package name derived from the
+// library's (effective) namespace. ABIEs become messages, data types
+// become value messages (the content component as field 1, the
+// supplementary components following), enumerations become proto
+// enums with an UNSPECIFIED zero value.
+//
+// Field numbers are a pure function of plan/model order — BBIEs first,
+// then ASBIEs, numbered from 1 in declaration order — so regenerating
+// an unchanged model yields identical numbering; appending components
+// to the end of an ABIE is wire-compatible, reordering or inserting is
+// not (the caveat every schema-first proto workflow shares).
+package protogen
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/go-ccts/ccts/internal/core"
+	"github.com/go-ccts/ccts/internal/gen"
+	"github.com/go-ccts/ccts/internal/ndr"
+)
+
+// ContentType is the media type of generated files; .proto sources
+// have no registered type, so they ship as plain text.
+const ContentType = "text/plain; charset=utf-8"
+
+// Backend implements gen.Backend for proto3. EmitOp is pure — each
+// operation derives its message/enum block from the immutable plan —
+// so the pool parallelizes it; Assemble concatenates blocks in plan
+// order under a deterministic per-unit header.
+type Backend struct{}
+
+// Target implements gen.Backend.
+func (Backend) Target() string { return "proto" }
+
+// ContentType implements gen.Backend.
+func (Backend) ContentType() string { return ContentType }
+
+// FileName derives a unit's .proto name from its XSD file name.
+func FileName(u *gen.Unit) string {
+	return strings.TrimSuffix(u.File(), ".xsd") + ".proto"
+}
+
+// PackageName sanitizes a namespace URN/URI into a proto package name:
+// segments split on URN/URL separators, lowered, non-identifier runes
+// replaced, empty or digit-led segments prefixed.
+func PackageName(ns string) string {
+	segs := strings.FieldsFunc(ns, func(r rune) bool {
+		return r == ':' || r == '/' || r == '.' || r == '#'
+	})
+	if len(segs) == 0 {
+		return "ccts"
+	}
+	out := make([]string, 0, len(segs))
+	for _, seg := range segs {
+		var b strings.Builder
+		for _, r := range strings.ToLower(seg) {
+			switch {
+			case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+				b.WriteRune(r)
+			default:
+				b.WriteRune('_')
+			}
+		}
+		s := b.String()
+		if s == "" || (s[0] >= '0' && s[0] <= '9') {
+			s = "p" + s
+		}
+		out = append(out, s)
+	}
+	return strings.Join(out, ".")
+}
+
+// EmitOp implements gen.Backend.
+func (Backend) EmitOp(p *gen.Plan, u *gen.Unit, op gen.Op) (gen.Fragment, error) {
+	switch {
+	case op.ABIE() != nil:
+		return emitABIE(p, u, op.ABIE()), nil
+	case op.CDT() != nil:
+		cdt := op.CDT()
+		base := scalarOf(p, cdt.Name, ndr.ContentBuiltin(cdt))
+		return valueMessage(p, u, p.Index().DataTypeName(cdt), cdt.Definition, base, cdt.Sups), nil
+	case op.QDT() != nil:
+		return emitQDT(p, u, op.QDT()), nil
+	default:
+		return emitENUM(p, op.ENUM()), nil
+	}
+}
+
+// Assemble implements gen.Backend.
+func (Backend) Assemble(p *gen.Plan, frags [][]gen.Fragment) (*gen.Output, error) {
+	out := &gen.Output{}
+	for i, u := range p.Units() {
+		var b strings.Builder
+		b.WriteString("syntax = \"proto3\";\n\n")
+		fmt.Fprintf(&b, "// Generated from %s %s (%s).\n", u.Library().Kind, u.Library().Name, p.Namespace(u.Library()))
+		fmt.Fprintf(&b, "package %s;\n", PackageName(p.Namespace(u.Library())))
+		for _, imp := range u.ImportedLibraries() {
+			loc := importPath(p, imp)
+			fmt.Fprintf(&b, "\nimport %q;", loc)
+		}
+		if len(u.ImportedLibraries()) > 0 {
+			b.WriteString("\n")
+		}
+		for _, f := range frags[i] {
+			b.WriteString("\n")
+			b.WriteString(f.(string))
+		}
+		if i == 0 && p.Root() != nil {
+			out.RootElement = p.Index().ABIETypeName(p.Root())
+		}
+		out.Files = append(out.Files, gen.OutFile{Name: FileName(u), Data: []byte(b.String())})
+	}
+	return out, nil
+}
+
+// importPath resolves the import statement's path for an imported
+// library, honouring the profile's per-namespace override.
+func importPath(p *gen.Plan, lib *core.Library) string {
+	if override, ok := p.Profile().Import(p.Namespace(lib)); ok {
+		return override
+	}
+	for _, u := range p.Units() {
+		if u.Library() == lib {
+			return FileName(u)
+		}
+	}
+	return ""
+}
+
+// typeRef names a message/enum from the perspective of a unit:
+// same-package types are bare, foreign ones package-qualified.
+func typeRef(p *gen.Plan, from *gen.Unit, lib *core.Library, name string) string {
+	if lib == from.Library() {
+		return name
+	}
+	return PackageName(p.Namespace(lib)) + "." + name
+}
+
+// fieldDecl renders one field with its plan-order number.
+func fieldDecl(b *strings.Builder, typ, name string, card core.Cardinality, number int) {
+	label := ""
+	if card.Upper == core.Unbounded || card.Upper > 1 {
+		label = "repeated "
+	} else if card.Lower == 0 {
+		label = "optional "
+	}
+	fmt.Fprintf(b, "  %s%s %s = %d;\n", label, typ, fieldName(name), number)
+}
+
+// emitABIE renders an ABIE message: BBIE fields first, then ASBIEs,
+// numbered from 1 in declaration order.
+func emitABIE(p *gen.Plan, u *gen.Unit, abie *core.ABIE) string {
+	ix := p.Index()
+	var b strings.Builder
+	comment(&b, p, abie.Definition)
+	fmt.Fprintf(&b, "message %s {\n", ix.ABIETypeName(abie))
+	num := 0
+	for _, bbie := range abie.BBIEs {
+		num++
+		ref := typeRef(p, u, bbie.Type.DataTypeLibrary(), ix.DataTypeName(bbie.Type))
+		fieldDecl(&b, ref, ix.BBIEElementName(bbie), bbie.Card, num)
+	}
+	for _, asbie := range abie.ASBIEs {
+		num++
+		ref := typeRef(p, u, asbie.Target.Library(), ix.ABIETypeName(asbie.Target))
+		fieldDecl(&b, ref, ix.ASBIEElementName(asbie), asbie.Card, num)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// emitQDT renders a qualified data type message.
+func emitQDT(p *gen.Plan, u *gen.Unit, qdt *core.QDT) string {
+	var base string
+	switch t := qdt.Content.Type.(type) {
+	case *core.ENUM:
+		base = typeRef(p, u, t.Library(), p.Index().ENUMTypeName(t))
+	case *core.PRIM:
+		if qdt.BasedOn != nil {
+			base = scalar(ndr.ContentBuiltin(qdt.BasedOn))
+		} else {
+			base = scalar(ndr.XSDBuiltin(t))
+		}
+	}
+	if override, ok := p.Datatype(qdt.Name); ok {
+		base = scalar(override)
+	}
+	return valueMessage(p, u, p.Index().DataTypeName(qdt), qdt.Definition, base, qdt.Sups)
+}
+
+// valueMessage renders the proto counterpart of XSD simpleContent: the
+// content component as field 1 named "value", supplementary components
+// as the following fields.
+func valueMessage(p *gen.Plan, u *gen.Unit, name, definition, contentType string, sups []core.SupplementaryComponent) string {
+	ix := p.Index()
+	var b strings.Builder
+	comment(&b, p, definition)
+	fmt.Fprintf(&b, "message %s {\n", name)
+	fmt.Fprintf(&b, "  %s value = 1;\n", contentType)
+	for i := range sups {
+		sup := &sups[i]
+		typ := ""
+		if en, ok := sup.Type.(*core.ENUM); ok {
+			typ = typeRef(p, u, en.Library(), ix.ENUMTypeName(en))
+		} else if prim, ok := sup.Type.(*core.PRIM); ok {
+			typ = scalar(ndr.XSDBuiltin(prim))
+		} else {
+			typ = "string"
+		}
+		fieldDecl(&b, typ, ix.SupAttributeName(sup), sup.Card, i+2)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// emitENUM renders a proto enum. proto3 requires a zero value; CCTS
+// code lists have no natural one, so an UNSPECIFIED sentinel leads and
+// the modeled literals number from 1 in declaration order.
+func emitENUM(p *gen.Plan, e *core.ENUM) string {
+	name := p.Index().ENUMTypeName(e)
+	prefix := constCase(name)
+	var b strings.Builder
+	comment(&b, p, e.Definition)
+	fmt.Fprintf(&b, "enum %s {\n", name)
+	fmt.Fprintf(&b, "  %s_UNSPECIFIED = 0;\n", prefix)
+	for i, l := range e.Literals {
+		fmt.Fprintf(&b, "  %s_%s = %d;\n", prefix, constCase(l.Name), i+1)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// comment renders a leading comment when annotations are on.
+func comment(b *strings.Builder, p *gen.Plan, text string) {
+	if !p.Annotate() || text == "" {
+		return
+	}
+	for _, line := range strings.Split(text, "\n") {
+		fmt.Fprintf(b, "// %s\n", line)
+	}
+}
+
+// fieldName lowers a CamelCase element name to snake_case.
+func fieldName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			if i > 0 {
+				prev := name[i-1]
+				// Break at lower/digit→upper boundaries and at the end of
+				// an acronym run ("VATNumber" -> vat_number).
+				acronymEnd := prev >= 'A' && prev <= 'Z' &&
+					i+1 < len(name) && name[i+1] >= 'a' && name[i+1] <= 'z'
+				if prev >= 'a' && prev <= 'z' || prev >= '0' && prev <= '9' || acronymEnd {
+					b.WriteByte('_')
+				}
+			}
+			b.WriteRune(r - 'A' + 'a')
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	s := b.String()
+	if s == "" {
+		return "field"
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		s = "f" + s
+	}
+	return s
+}
+
+// constCase uppercases a name into SCREAMING_SNAKE for enum values.
+func constCase(name string) string {
+	return strings.ToUpper(fieldName(name))
+}
+
+// scalarOf resolves a datatype's scalar type, honouring the profile
+// override for the named CDT/QDT.
+func scalarOf(p *gen.Plan, typeName, xsdBuiltin string) string {
+	if override, ok := p.Datatype(typeName); ok {
+		return scalar(override)
+	}
+	return scalar(xsdBuiltin)
+}
+
+// scalar maps an XSD built-in name to a proto3 scalar. xsd:decimal
+// maps to string: proto3 has no arbitrary-precision numeric type and
+// monetary amounts must not round-trip through floating point.
+// Profile overrides may give a bare proto type, which passes through.
+func scalar(name string) string {
+	switch name {
+	case "xsd:string", "xsd:token", "xsd:normalizedString", "xsd:anyURI",
+		"xsd:decimal", "xsd:date", "xsd:time", "xsd:dateTime", "xsd:duration":
+		return "string"
+	case "xsd:double":
+		return "double"
+	case "xsd:float":
+		return "float"
+	case "xsd:integer", "xsd:long":
+		return "int64"
+	case "xsd:int", "xsd:short":
+		return "int32"
+	case "xsd:boolean":
+		return "bool"
+	case "xsd:base64Binary":
+		return "bytes"
+	default:
+		if !strings.HasPrefix(name, "xsd:") && name != "" {
+			return name
+		}
+		return "string"
+	}
+}

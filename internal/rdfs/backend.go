@@ -1,0 +1,49 @@
+package rdfs
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/go-ccts/ccts/internal/gen"
+)
+
+// Backend adapts the RDF Schema generator to the gen.Backend
+// interface. The vocabulary is a whole-model document (RDF has no
+// per-library modularity here), so EmitOp returns placeholder
+// fragments and Assemble renders the model in its deterministic
+// declaration order — parallel and sequential runs are trivially
+// byte-identical.
+type Backend struct{}
+
+// Target implements gen.Backend.
+func (Backend) Target() string { return "rdfs" }
+
+// ContentType implements gen.Backend.
+func (Backend) ContentType() string { return "application/rdf+xml" }
+
+// EmitOp implements gen.Backend.
+func (Backend) EmitOp(*gen.Plan, *gen.Unit, gen.Op) (gen.Fragment, error) { return nil, nil }
+
+// Assemble implements gen.Backend: one vocabulary document named after
+// the requested library.
+func (Backend) Assemble(p *gen.Plan, _ [][]gen.Fragment) (*gen.Output, error) {
+	units := p.Units()
+	if len(units) == 0 {
+		return nil, fmt.Errorf("rdfs: empty plan")
+	}
+	lib := units[0].Library()
+	m := lib.Model()
+	if m == nil {
+		return nil, fmt.Errorf("rdfs: library %q is not part of a model", lib.Name)
+	}
+	doc, err := Generate(m)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(units[0].File(), ".xsd") + ".rdf"
+	out := &gen.Output{Files: []gen.OutFile{{Name: name, Data: []byte(doc)}}}
+	if root := p.Root(); root != nil {
+		out.RootElement = p.Index().ABIEElementName(root)
+	}
+	return out, nil
+}

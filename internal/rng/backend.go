@@ -1,0 +1,50 @@
+package rng
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/go-ccts/ccts/internal/gen"
+	"github.com/go-ccts/ccts/internal/ndr"
+)
+
+// Backend adapts the RELAX NG generator to the gen.Backend interface.
+// The grammar's define names come from a stateful prefix allocator
+// whose numbering depends on walk order, so EmitOp returns placeholder
+// fragments and Assemble performs the whole (deterministic, sequential)
+// walk — parallel and sequential runs are trivially byte-identical.
+type Backend struct{}
+
+// Target implements gen.Backend.
+func (Backend) Target() string { return "rng" }
+
+// ContentType implements gen.Backend; RELAX NG XML syntax is XML.
+func (Backend) ContentType() string { return "application/xml" }
+
+// EmitOp implements gen.Backend.
+func (Backend) EmitOp(*gen.Plan, *gen.Unit, gen.Op) (gen.Fragment, error) { return nil, nil }
+
+// Assemble implements gen.Backend: one self-contained grammar file
+// named after the requested library.
+func (Backend) Assemble(p *gen.Plan, _ [][]gen.Fragment) (*gen.Output, error) {
+	units := p.Units()
+	if len(units) == 0 {
+		return nil, fmt.Errorf("rng: empty plan")
+	}
+	lib := units[0].Library()
+	var g *Grammar
+	var err error
+	out := &gen.Output{}
+	if root := p.Root(); root != nil {
+		g, err = GenerateDocument(lib, root.Name)
+		out.RootElement = ndr.XMLName(root.Name)
+	} else {
+		g, err = Generate(lib)
+	}
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(units[0].File(), ".xsd") + ".rng"
+	out.Files = []gen.OutFile{{Name: name, Data: []byte(g.String())}}
+	return out, nil
+}

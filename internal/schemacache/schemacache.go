@@ -40,11 +40,15 @@ type Value struct {
 	// Diagnostics is the serialized diagnostics report (JSON) for the
 	// run: non-blocking validation findings the cold path produced.
 	Diagnostics []byte
+	// ContentType is the media type of Files, recorded by the producing
+	// backend so multi-target responses label parts correctly. Empty
+	// means the historical default, application/xml.
+	ContentType string
 }
 
 // size is the byte cost the value charges against the cache budget.
 func (v *Value) size() int64 {
-	n := int64(len(v.Diagnostics)) + int64(len(v.RootElement))
+	n := int64(len(v.Diagnostics)) + int64(len(v.RootElement)) + int64(len(v.ContentType))
 	for _, f := range v.Files {
 		n += int64(len(f.Name)) + int64(len(f.Data))
 	}

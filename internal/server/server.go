@@ -35,6 +35,7 @@ import (
 	"time"
 
 	ccts "github.com/go-ccts/ccts"
+	"github.com/go-ccts/ccts/internal/backends"
 	"github.com/go-ccts/ccts/internal/gen"
 	"github.com/go-ccts/ccts/internal/health"
 	"github.com/go-ccts/ccts/internal/limits"
@@ -115,6 +116,12 @@ type Server struct {
 	errors4xx   *metrics.Counter
 	errors5xx   *metrics.Counter
 	inflight    *metrics.Gauge
+
+	// Per-target generation counters, pre-registered for every backend
+	// so the request path never formats metric names or takes the
+	// registry's registration lock.
+	genRequests map[string]*metrics.Counter                      // target -> requests
+	genOutcomes map[string][schemacache.Coalesced + 1]*metrics.Counter // target -> outcome-indexed counters
 }
 
 // New builds a Server from cfg, applying the documented defaults.
@@ -155,6 +162,20 @@ func New(cfg Config) *Server {
 		errors4xx:   mx.Counter("ccserved_errors_4xx_total", "Responses with a 4xx status."),
 		errors5xx:   mx.Counter("ccserved_errors_5xx_total", "Responses with a 5xx status."),
 		inflight:    mx.Gauge("ccserved_inflight", "Requests currently holding an admission slot."),
+	}
+	s.genRequests = make(map[string]*metrics.Counter)
+	s.genOutcomes = make(map[string][schemacache.Coalesced + 1]*metrics.Counter)
+	for _, target := range backends.Targets() {
+		s.genRequests[target] = mx.Counter(
+			fmt.Sprintf("gen_%s_requests_total", target),
+			fmt.Sprintf("Generation requests for the %s target.", target))
+		var byOutcome [schemacache.Coalesced + 1]*metrics.Counter
+		for _, o := range []schemacache.Outcome{schemacache.Miss, schemacache.Hit, schemacache.Coalesced} {
+			byOutcome[o] = mx.Counter(
+				fmt.Sprintf("gen_%s_cache_%s_total", target, o),
+				fmt.Sprintf("Generation cache outcomes (%s) for the %s target.", o, target))
+		}
+		s.genOutcomes[target] = byOutcome
 	}
 	s.cache.Instrument(mx)
 	if s.repo != nil {

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGenerateTargetJSONSchema exercises /v1/generate?target=jsonschema
+// end to end: every .json part must be a valid draft 2020-12 document,
+// and two independent servers must produce byte-identical responses.
+func TestGenerateTargetJSONSchema(t *testing.T) {
+	body := sampleXMI(t)
+	first := postGenerate(t, New(Config{}).Handler(), body, docQuery+"&target=jsonschema")
+	if first.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", first.Code, first.Body.String())
+	}
+	files := readZip(t, first.Body.Bytes())
+	jsonCount := 0
+	for name, data := range files {
+		if !strings.HasSuffix(name, ".json") {
+			t.Errorf("unexpected non-json file %q in jsonschema response", name)
+			continue
+		}
+		if name == "diagnostics.json" {
+			continue
+		}
+		jsonCount++
+		var doc map[string]any
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", name, err)
+		}
+		if doc["$schema"] != "https://json-schema.org/draft/2020-12/schema" {
+			t.Errorf("%s: $schema = %v", name, doc["$schema"])
+		}
+	}
+	if jsonCount == 0 {
+		t.Fatal("no schema documents in the response")
+	}
+
+	second := postGenerate(t, New(Config{}).Handler(), body, docQuery+"&target=jsonschema")
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Error("jsonschema output differs across fresh servers; generation is not deterministic")
+	}
+}
+
+// TestGenerateTargetProto mirrors the JSON Schema test for proto3.
+func TestGenerateTargetProto(t *testing.T) {
+	body := sampleXMI(t)
+	first := postGenerate(t, New(Config{}).Handler(), body, docQuery+"&target=proto")
+	if first.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", first.Code, first.Body.String())
+	}
+	files := readZip(t, first.Body.Bytes())
+	protoCount := 0
+	for name, data := range files {
+		if !strings.HasSuffix(name, ".proto") {
+			continue
+		}
+		protoCount++
+		if !bytes.HasPrefix(data, []byte(`syntax = "proto3";`)) {
+			t.Errorf("%s: missing proto3 syntax declaration", name)
+		}
+	}
+	if protoCount == 0 {
+		t.Fatalf("no .proto files in the response (got %v)", keys(files))
+	}
+
+	second := postGenerate(t, New(Config{}).Handler(), body, docQuery+"&target=proto")
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Error("proto output differs across fresh servers; generation is not deterministic")
+	}
+}
+
+// TestGenerateTargetCacheNoBleed is the cache-keying contract for
+// multi-target serving: the same model requested under different
+// targets (or different profiles) must each run a generation and must
+// never serve bytes produced for another target.
+func TestGenerateTargetCacheNoBleed(t *testing.T) {
+	var gens atomic.Int64
+	installHooks(t, nil, func() { gens.Add(1) })
+
+	s := New(Config{})
+	body := sampleXMI(t)
+
+	responses := map[string][]byte{}
+	for i, target := range []string{"xsd", "jsonschema", "proto"} {
+		rec := postGenerate(t, s.Handler(), body, docQuery+"&target="+target)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status = %d: %s", target, rec.Code, rec.Body.String())
+		}
+		if got := rec.Header().Get("X-Ccserved-Cache"); got != "miss" {
+			t.Errorf("%s: cache header = %q, want miss", target, got)
+		}
+		if gens.Load() != int64(i+1) {
+			t.Fatalf("%s: gens = %d, want %d — target did not key the cache", target, gens.Load(), i+1)
+		}
+		responses[target] = rec.Body.Bytes()
+	}
+	for _, a := range []string{"xsd", "jsonschema"} {
+		for _, b := range []string{"jsonschema", "proto"} {
+			if a != b && bytes.Equal(responses[a], responses[b]) {
+				t.Errorf("targets %s and %s returned identical bytes", a, b)
+			}
+		}
+	}
+
+	// Re-requesting each target is a hit with byte-identical output.
+	for _, target := range []string{"xsd", "jsonschema", "proto"} {
+		rec := postGenerate(t, s.Handler(), body, docQuery+"&target="+target)
+		if got := rec.Header().Get("X-Ccserved-Cache"); got != "hit" {
+			t.Errorf("%s: repeat cache header = %q, want hit", target, got)
+		}
+		if !bytes.Equal(rec.Body.Bytes(), responses[target]) {
+			t.Errorf("%s: cache hit bytes differ from the original response", target)
+		}
+	}
+	if gens.Load() != 3 {
+		t.Errorf("repeat requests ran generations: gens = %d, want 3", gens.Load())
+	}
+
+	// A profile is part of the key even for the same target...
+	prof := url.QueryEscape(`{"name":"acme","datatypes":{"Text":"xsd:token"}}`)
+	rec := postGenerate(t, s.Handler(), body, docQuery+"&target=xsd&profile="+prof)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("profile request: status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if gens.Load() != 4 {
+		t.Errorf("profiled request did not miss: gens = %d, want 4", gens.Load())
+	}
+	// ...and the same profile with reordered JSON keys is the same key.
+	reordered := url.QueryEscape(`{"datatypes":{"Text":"xsd:token"},"name":"acme"}`)
+	rec = postGenerate(t, s.Handler(), body, docQuery+"&target=xsd&profile="+reordered)
+	if got := rec.Header().Get("X-Ccserved-Cache"); got != "hit" {
+		t.Errorf("reordered profile document missed the cache (header %q)", got)
+	}
+}
+
+func TestGenerateUnknownTarget400(t *testing.T) {
+	s := New(Config{})
+	rec := postGenerate(t, s.Handler(), sampleXMI(t), docQuery+"&target=wsdl")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "wsdl") {
+		t.Errorf("error should name the unknown target: %s", rec.Body.String())
+	}
+}
+
+func TestGenerateBadProfile400(t *testing.T) {
+	s := New(Config{})
+	for name, doc := range map[string]string{
+		"unknown field": `{"bogus":1}`,
+		"not json":      `{{{`,
+		"bad version":   `{"version":-3}`,
+	} {
+		rec := postGenerate(t, s.Handler(), sampleXMI(t), docQuery+"&profile="+url.QueryEscape(doc))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400: %s", name, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// TestGenerateMultipartContentTypes checks each multipart part carries
+// the backend's media type, not a hardwired application/xml.
+func TestGenerateMultipartContentTypes(t *testing.T) {
+	cases := map[string]string{
+		"xsd":        "application/xml",
+		"jsonschema": "application/schema+json",
+		"proto":      "text/plain; charset=utf-8",
+	}
+	s := New(Config{})
+	body := sampleXMI(t)
+	for target, wantCT := range cases {
+		rec := postGenerate(t, s.Handler(), body, docQuery+"&format=multipart&target="+target)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status = %d: %s", target, rec.Code, rec.Body.String())
+		}
+		mediaType, params, err := mime.ParseMediaType(rec.Header().Get("Content-Type"))
+		if err != nil || !strings.HasPrefix(mediaType, "multipart/") {
+			t.Fatalf("%s: response Content-Type %q: %v", target, rec.Header().Get("Content-Type"), err)
+		}
+		mr := multipart.NewReader(rec.Body, params["boundary"])
+		checked := 0
+		for {
+			part, err := mr.NextPart()
+			if err != nil {
+				break
+			}
+			if part.FileName() == "diagnostics.json" {
+				continue
+			}
+			if got := part.Header.Get("Content-Type"); got != wantCT {
+				t.Errorf("%s: part %s Content-Type = %q, want %q", target, part.FileName(), got, wantCT)
+			}
+			checked++
+		}
+		if checked == 0 {
+			t.Errorf("%s: multipart response held no schema parts", target)
+		}
+	}
+}
+
+// TestGenerateTargetMetrics checks the per-target counters appear on
+// /metrics after traffic.
+func TestGenerateTargetMetrics(t *testing.T) {
+	s := New(Config{})
+	body := sampleXMI(t)
+	postGenerate(t, s.Handler(), body, docQuery+"&target=proto")
+	postGenerate(t, s.Handler(), body, docQuery+"&target=proto")
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	text := rec.Body.String()
+	for _, want := range []string{
+		"gen_proto_requests_total 2",
+		"gen_proto_cache_miss_total 1",
+		"gen_proto_cache_hit_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}

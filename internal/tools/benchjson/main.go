@@ -3,9 +3,15 @@
 // bench-serve`) leave a machine-readable record next to the repo's
 // other BENCH_* artifacts.
 //
+// With -baseline it instead compares the fresh run against a committed
+// BENCH_*.json document and exits non-zero when any benchmark's ns/op
+// regressed by more than -max-regress percent — `make bench-diff` uses
+// this as an advisory perf gate.
+//
 // Usage:
 //
 //	go test -bench=. -benchmem ./pkg | go run ./internal/tools/benchjson -o BENCH.json
+//	go test -bench=. -benchmem ./pkg | go run ./internal/tools/benchjson -baseline BENCH.json
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -40,12 +47,25 @@ type Doc struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "committed BENCH_*.json to compare against; exits non-zero on regression")
+	maxRegress := flag.Float64("max-regress", 10, "allowed ns/op regression over the baseline, in percent")
 	flag.Parse()
 
 	doc, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		regressed, err := compare(os.Stdout, *baseline, doc, *maxRegress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(2)
+		}
+		return
 	}
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -125,6 +145,63 @@ func parseLine(line string) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// compare diffs a fresh run against a committed baseline document.
+// Every benchmark present in both is compared on ns/op; a slowdown
+// beyond maxRegress percent is a regression. Benchmarks that appear on
+// only one side are reported but never fail the comparison — renames
+// and new benchmarks should not block, they should prompt a baseline
+// refresh. Returns whether any benchmark regressed.
+func compare(w io.Writer, baselinePath string, fresh *Doc, maxRegress float64) (bool, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	var base Doc
+	if err := json.Unmarshal(data, &base); err != nil {
+		return false, fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	baseByName := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseByName[r.Name] = r
+	}
+	if len(fresh.Benchmarks) == 0 {
+		return false, fmt.Errorf("no benchmark lines on stdin; pipe `go test -bench` output in")
+	}
+
+	regressed := false
+	for _, r := range fresh.Benchmarks {
+		old, ok := baseByName[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "NEW   %-40s %12.0f ns/op (not in %s)\n", r.Name, r.NsPerOp, baselinePath)
+			continue
+		}
+		delete(baseByName, r.Name)
+		if old.NsPerOp <= 0 {
+			continue
+		}
+		deltaPct := (r.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+		status := "ok   "
+		if deltaPct > maxRegress {
+			status = "SLOW "
+			regressed = true
+		}
+		fmt.Fprintf(w, "%s %-40s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+			status, r.Name, old.NsPerOp, r.NsPerOp, deltaPct)
+	}
+	gone := make([]string, 0, len(baseByName))
+	for name := range baseByName {
+		gone = append(gone, name)
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(w, "GONE  %-40s (in %s but not in this run)\n", name, baselinePath)
+	}
+	if regressed {
+		fmt.Fprintf(w, "benchjson: ns/op regression beyond %.0f%% against %s\n", maxRegress, baselinePath)
+	}
+	return regressed, nil
 }
 
 // lastDash returns the GOMAXPROCS suffix of a benchmark name ("8" in

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -49,6 +52,78 @@ func TestParseRejectsMalformedLine(t *testing.T) {
 	if _, err := parse(strings.NewReader("BenchmarkBroken notanumber ns/op\n")); err == nil {
 		t.Error("malformed line accepted")
 	}
+}
+
+func TestCompare(t *testing.T) {
+	baseline := `{"benchmarks": [
+		{"name": "BenchmarkA", "runs": 100, "ns_per_op": 1000},
+		{"name": "BenchmarkB", "runs": 100, "ns_per_op": 2000},
+		{"name": "BenchmarkGone", "runs": 100, "ns_per_op": 500}
+	]}`
+	path := filepath.Join(t.TempDir(), "BENCH_base.json")
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(t *testing.T, fresh *Doc, maxRegress float64) (bool, string) {
+		t.Helper()
+		var buf strings.Builder
+		regressed, err := compare(&buf, path, fresh, maxRegress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return regressed, buf.String()
+	}
+
+	t.Run("within threshold", func(t *testing.T) {
+		regressed, out := run(t, &Doc{Benchmarks: []Result{
+			{Name: "BenchmarkA", NsPerOp: 1050}, // +5%
+			{Name: "BenchmarkB", NsPerOp: 1500}, // faster
+		}}, 10)
+		if regressed {
+			t.Errorf("5%% slowdown flagged as regression:\n%s", out)
+		}
+		if !strings.Contains(out, "GONE  BenchmarkGone") {
+			t.Errorf("missing-benchmark note absent:\n%s", out)
+		}
+	})
+
+	t.Run("regression", func(t *testing.T) {
+		regressed, out := run(t, &Doc{Benchmarks: []Result{
+			{Name: "BenchmarkA", NsPerOp: 1200}, // +20%
+			{Name: "BenchmarkB", NsPerOp: 2000},
+		}}, 10)
+		if !regressed {
+			t.Errorf("20%% slowdown not flagged:\n%s", out)
+		}
+		if !strings.Contains(out, "SLOW  BenchmarkA") {
+			t.Errorf("regressed benchmark not marked SLOW:\n%s", out)
+		}
+	})
+
+	t.Run("new benchmark never fails", func(t *testing.T) {
+		regressed, out := run(t, &Doc{Benchmarks: []Result{
+			{Name: "BenchmarkNew", NsPerOp: 9999},
+		}}, 10)
+		if regressed {
+			t.Errorf("benchmark absent from the baseline failed the diff:\n%s", out)
+		}
+		if !strings.Contains(out, "NEW   BenchmarkNew") {
+			t.Errorf("new benchmark not reported:\n%s", out)
+		}
+	})
+
+	t.Run("empty run errors", func(t *testing.T) {
+		if _, err := compare(io.Discard, path, &Doc{}, 10); err == nil {
+			t.Error("empty fresh run accepted")
+		}
+	})
+
+	t.Run("missing baseline errors", func(t *testing.T) {
+		if _, err := compare(io.Discard, filepath.Join(t.TempDir(), "nope.json"), &Doc{Benchmarks: []Result{{Name: "x"}}}, 10); err == nil {
+			t.Error("missing baseline file accepted")
+		}
+	})
 }
 
 func TestLastDash(t *testing.T) {

@@ -1,0 +1,246 @@
+package ccts_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	ccts "github.com/go-ccts/ccts"
+	"github.com/go-ccts/ccts/internal/fixture"
+)
+
+func buildPurchaseOrder(t *testing.T) *fixture.PurchaseOrder {
+	t.Helper()
+	f, err := fixture.BuildPurchaseOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestGoldenPurchaseOrderTargets pins the purchaseorder example's EU
+// order document across the three wire-format targets byte-for-byte.
+// Run with -update after an intentional backend change.
+func TestGoldenPurchaseOrderTargets(t *testing.T) {
+	f := buildPurchaseOrder(t)
+	for _, target := range []string{"xsd", "jsonschema", "proto"} {
+		t.Run(target, func(t *testing.T) {
+			out, err := ccts.GenerateTargetDocument(f.EUDocLib, "EU_Order", target, ccts.GenerateOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.RootElement == "" {
+				t.Error("RootElement is empty for a document run")
+			}
+			if len(out.Files) == 0 {
+				t.Fatal("no files generated")
+			}
+			for _, file := range out.Files {
+				compareGolden(t, filepath.Join("testdata", "golden", "purchaseorder", target, file.Name), string(file.Data))
+			}
+		})
+	}
+}
+
+// TestTargetParallelDeterminism requires byte-identical output between
+// sequential and parallel emission for every registered backend — the
+// pipeline contract extends to all targets, not just XSD.
+func TestTargetParallelDeterminism(t *testing.T) {
+	f := buildPurchaseOrder(t)
+	index := ccts.ResolveModel(f.Model)
+	for _, target := range ccts.Targets() {
+		t.Run(target, func(t *testing.T) {
+			baseline, err := ccts.GenerateTargetDocument(f.EUDocLib, "EU_Order", target,
+				ccts.GenerateOptions{Index: index})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for run := 0; run < 3; run++ {
+				res, err := ccts.GenerateTargetDocument(f.EUDocLib, "EU_Order", target,
+					ccts.GenerateOptions{Index: index, Parallelism: 8})
+				if err != nil {
+					t.Fatalf("run %d: %v", run, err)
+				}
+				if len(res.Files) != len(baseline.Files) {
+					t.Fatalf("run %d: got %d files, want %d", run, len(res.Files), len(baseline.Files))
+				}
+				for i, file := range res.Files {
+					if file.Name != baseline.Files[i].Name {
+						t.Fatalf("run %d: Files[%d] = %q, want %q", run, i, file.Name, baseline.Files[i].Name)
+					}
+					if !bytes.Equal(file.Data, baseline.Files[i].Data) {
+						t.Errorf("run %d: %s differs between parallel and sequential emission", run, file.Name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTargetXSDMatchesClassicPath pins that the "xsd" backend emits the
+// exact bytes of the classic Generate + Schema.Write path.
+func TestTargetXSDMatchesClassicPath(t *testing.T) {
+	f := buildPurchaseOrder(t)
+	res, err := ccts.GenerateDocument(f.USDocLib, "US_Order", ccts.GenerateOptions{Annotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ccts.GenerateTargetDocument(f.USDocLib, "US_Order", "xsd", ccts.GenerateOptions{Annotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Files) != len(res.Order) {
+		t.Fatalf("got %d files, want %d", len(out.Files), len(res.Order))
+	}
+	for i, file := range out.Files {
+		if file.Name != res.Order[i] {
+			t.Fatalf("Files[%d] = %q, want %q", i, file.Name, res.Order[i])
+		}
+		if string(file.Data) != res.Schemas[file.Name].String() {
+			t.Errorf("%s: backend bytes differ from classic serialization", file.Name)
+		}
+	}
+	if out.RootElement != res.RootElement {
+		t.Errorf("RootElement = %q, want %q", out.RootElement, res.RootElement)
+	}
+}
+
+// TestGenerateTargetUnknown rejects unregistered targets.
+func TestGenerateTargetUnknown(t *testing.T) {
+	f := buildPurchaseOrder(t)
+	if _, err := ccts.GenerateTargetDocument(f.EUDocLib, "EU_Order", "wsdl", ccts.GenerateOptions{}); err == nil {
+		t.Fatal("expected an error for an unknown target")
+	} else if !strings.Contains(err.Error(), "wsdl") {
+		t.Errorf("error should name the unknown target: %v", err)
+	}
+}
+
+// TestGenProfileIdentity pins the profile zero-value contract: a nil
+// profile and an empty profile produce bytes identical to each other
+// for every target.
+func TestGenProfileIdentity(t *testing.T) {
+	f := buildPurchaseOrder(t)
+	for _, target := range ccts.Targets() {
+		without, err := ccts.GenerateTargetDocument(f.EUDocLib, "EU_Order", target, ccts.GenerateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		with, err := ccts.GenerateTargetDocument(f.EUDocLib, "EU_Order", target,
+			ccts.GenerateOptions{Profile: &ccts.GenProfile{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range without.Files {
+			if !bytes.Equal(without.Files[i].Data, with.Files[i].Data) {
+				t.Errorf("%s/%s: zero profile changed output bytes", target, without.Files[i].Name)
+			}
+		}
+	}
+}
+
+// TestGenProfileOverrides exercises the three override axes across
+// backends: datatype mapping, namespace rewrite and root preselection.
+func TestGenProfileOverrides(t *testing.T) {
+	f := buildPurchaseOrder(t)
+
+	t.Run("datatype", func(t *testing.T) {
+		prof := &ccts.GenProfile{Name: "strict-amounts", Version: 1,
+			Datatypes: map[string]string{"Amount": "xsd:decimal"}}
+		out, err := ccts.GenerateTargetDocument(f.USDocLib, "US_Order", "xsd",
+			ccts.GenerateOptions{Profile: prof})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := joinFiles(out)
+		if !strings.Contains(all, `base="xsd:decimal"`) {
+			t.Error("datatype override xsd:decimal not applied to AmountType")
+		}
+
+		jout, err := ccts.GenerateTargetDocument(f.USDocLib, "US_Order", "jsonschema",
+			ccts.GenerateOptions{Profile: &ccts.GenProfile{Datatypes: map[string]string{"Amount": "number"}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var found bool
+		for _, file := range jout.Files {
+			var doc map[string]any
+			if err := json.Unmarshal(file.Data, &doc); err != nil {
+				t.Fatalf("%s: invalid JSON: %v", file.Name, err)
+			}
+			if strings.Contains(string(file.Data), `"AmountType"`) {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("jsonschema output lost the AmountType definition")
+		}
+	})
+
+	t.Run("namespace", func(t *testing.T) {
+		prof := &ccts.GenProfile{Namespaces: map[string]string{
+			"urn:trade:us:order": "urn:acme:orders:v2",
+		}}
+		out, err := ccts.GenerateTargetDocument(f.USDocLib, "US_Order", "xsd",
+			ccts.GenerateOptions{Profile: prof})
+		if err != nil {
+			t.Fatal(err)
+		}
+		primary := string(out.Files[0].Data)
+		if !strings.Contains(primary, "urn:acme:orders:v2") {
+			t.Error("namespace override missing from the document schema")
+		}
+		if strings.Contains(primary, `targetNamespace="urn:trade:us:order"`) {
+			t.Error("modeled namespace still used as targetNamespace despite override")
+		}
+	})
+
+	t.Run("root", func(t *testing.T) {
+		prof := &ccts.GenProfile{Root: "US_Order"}
+		out, err := ccts.GenerateTargetDocument(f.USDocLib, "", "xsd",
+			ccts.GenerateOptions{Profile: prof})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.RootElement == "" {
+			t.Error("profile root preselection did not select a root element")
+		}
+	})
+}
+
+// TestWriteOutput round-trips a multi-target result through the atomic
+// file writer.
+func TestWriteOutput(t *testing.T) {
+	f := buildPurchaseOrder(t)
+	out, err := ccts.GenerateTargetDocument(f.EUDocLib, "EU_Order", "proto", ccts.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	paths, err := ccts.WriteOutput(out, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(out.Files) {
+		t.Fatalf("wrote %d files, want %d", len(paths), len(out.Files))
+	}
+	for i, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, out.Files[i].Data) {
+			t.Errorf("%s: written bytes differ from generated bytes", p)
+		}
+	}
+}
+
+func joinFiles(out *ccts.GenOutput) string {
+	var b strings.Builder
+	for _, f := range out.Files {
+		b.Write(f.Data)
+	}
+	return b.String()
+}
