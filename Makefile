@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-serve bench-repo bench-diff verify fuzz-smoke chaos-smoke
+.PHONY: build test bench bench-serve bench-repo bench-repl bench-diff verify fuzz-smoke chaos-smoke repl-smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,15 @@ bench-repo:
 	$(GO) test ./internal/repo -run='^$$' -bench='BenchmarkRepo' -benchmem \
 		| tee /dev/stderr | $(GO) run ./internal/tools/benchjson -o BENCH_repo.json
 
+# bench-repl measures read parity between a primary and a WAL-shipped
+# follower: both serve stored schema files from their own
+# content-addressed store, so the primary/follower ns/op gap is the
+# acceptance metric for the read fan-out (replication must live
+# entirely off the read path).
+bench-repl:
+	$(GO) test ./internal/repl -run='^$$' -bench='BenchmarkRepl' -benchmem \
+		| tee /dev/stderr | $(GO) run ./internal/tools/benchjson -o BENCH_repl.json
+
 # bench-diff reruns the serving and repository benchmark suites and
 # diffs them against the committed BENCH_*.json baselines, failing on a
 # >10% ns/op regression. Benchmark noise varies by machine, so verify
@@ -40,6 +49,8 @@ bench-diff:
 		| $(GO) run ./internal/tools/benchjson -baseline BENCH_serve.json
 	$(GO) test ./internal/repo -run='^$$' -bench='BenchmarkRepo' -benchmem \
 		| $(GO) run ./internal/tools/benchjson -baseline BENCH_repo.json
+	$(GO) test ./internal/repl -run='^$$' -bench='BenchmarkRepl' -benchmem \
+		| $(GO) run ./internal/tools/benchjson -baseline BENCH_repl.json
 
 # fuzz-smoke runs every fuzz target briefly against its seed corpus plus
 # whatever the engine mutates in FUZZTIME. It is a smoke test of the
@@ -50,6 +61,7 @@ fuzz-smoke:
 	$(GO) test ./internal/xsd -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/ocl -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/gen -run='^$$' -fuzz=FuzzProfileJSON -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/repo -run='^$$' -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME)
 
 # chaos-smoke replays the disk-fault soak on its own: ENOSPC injected
 # mid-publish under concurrent load must flip the service read-only
@@ -59,6 +71,15 @@ fuzz-smoke:
 # degradation path is also proven data-race free.
 chaos-smoke:
 	$(GO) test ./internal/server -race -count=1 -run 'TestChaos' -timeout 120s
+
+# repl-smoke replays the replication chaos suite under -race: the
+# primary's service killed mid-publish burst and revived at the same
+# address, the stream torn mid-frame by a proxy, a follower restart
+# resuming from its applied seq, and auto-promotion under concurrent
+# reads — follower reads byte-identical throughout, zero snapshot
+# re-bootstraps on transport failures, zero goroutine leaks.
+repl-smoke:
+	$(GO) test ./internal/repl -race -count=1 -timeout 180s
 
 # verify is the full pre-merge gate: static checks, the entire test
 # suite under the race detector (the parallel emit phase must be
@@ -73,7 +94,8 @@ chaos-smoke:
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -race -count=1 ./internal/server ./internal/schemacache ./internal/registry ./internal/repo ./internal/health ./internal/retry ./internal/client ./internal/faultio ./cmd/ccrepo ./internal/gen ./internal/jsonschema ./internal/protogen ./internal/backends
+	$(GO) test -race -count=1 ./internal/server ./internal/schemacache ./internal/registry ./internal/repo ./internal/repl ./internal/health ./internal/retry ./internal/client ./internal/faultio ./cmd/ccrepo ./internal/gen ./internal/jsonschema ./internal/protogen ./internal/backends
 	$(MAKE) chaos-smoke
+	$(MAKE) repl-smoke
 	$(MAKE) fuzz-smoke
 	-$(MAKE) bench-diff

@@ -8,6 +8,13 @@ package main
 // read-only succeeds once capacity or the disk comes back. Exit codes:
 // 2 for a policy rejection (same as local mode), 3 when the service is
 // unreachable (connection refused, DNS failure) after the retry budget.
+//
+// -follow adds read replicas: list, get and check fan out across the
+// replicas first and fall back to the -server primary last, failing
+// over on connection errors and 5xx/429 answers. A conclusive 4xx
+// (unknown subject, bad parameters) ends the fan-out immediately —
+// every instance serves the same bytes, so the verdict cannot change.
+// Writes (publish) always go straight to -server.
 
 import (
 	"archive/zip"
@@ -18,18 +25,22 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/go-ccts/ccts/internal/client"
+	"github.com/go-ccts/ccts/internal/repo"
 	"github.com/go-ccts/ccts/internal/retry"
 )
 
 // remoteOptions are the global remote-mode knobs.
 type remoteOptions struct {
 	server  string
+	follow  string
 	retries int
 	timeout time.Duration
 	apiKey  string
@@ -37,14 +48,15 @@ type remoteOptions struct {
 
 func (o *remoteOptions) register(fs *flag.FlagSet) {
 	fs.StringVar(&o.server, "server", "", "ccserved base URL; when set, commands run against the service instead of a local -dir")
+	fs.StringVar(&o.follow, "follow", "", "comma-separated read-replica URLs; list/get/check try them before -server, writes still go to -server")
 	fs.IntVar(&o.retries, "retries", 4, "total attempts per remote request (first try included)")
 	fs.DurationVar(&o.timeout, "timeout", 0, "overall budget per remote command (0 = none); propagated to the server")
 	fs.StringVar(&o.apiKey, "api-key", "", "X-API-Key header for the server's per-client rate limiter")
 }
 
-// newClient builds the remote client and the command context.
-func (o *remoteOptions) newClient() (*client.Client, context.Context, context.CancelFunc) {
-	c := client.New(o.server, client.Options{
+// client builds one remote client for base.
+func (o *remoteOptions) client(base string) *client.Client {
+	return client.New(base, client.Options{
 		APIKey: o.apiKey,
 		Retry: retry.Policy{
 			MaxAttempts: o.retries,
@@ -53,26 +65,91 @@ func (o *remoteOptions) newClient() (*client.Client, context.Context, context.Ca
 			},
 		},
 	})
+}
+
+// newClients builds the primary client, the read fan-out and the
+// command context. The fan-out tries each -follow replica in order and
+// the primary last; with no -follow it is just the primary.
+func (o *remoteOptions) newClients() (*client.Client, *readFanout, context.Context, context.CancelFunc) {
+	primary := o.client(o.server)
+	f := &readFanout{}
+	if o.follow != "" {
+		for _, base := range strings.Split(o.follow, ",") {
+			base = strings.TrimSpace(base)
+			if base == "" {
+				continue
+			}
+			f.add(base, o.client(base))
+		}
+	}
+	f.add(o.server, primary)
 	if o.timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
-		return c, ctx, cancel
+		return primary, f, ctx, cancel
 	}
-	return c, context.Background(), func() {}
+	return primary, f, context.Background(), func() {}
+}
+
+// readFanout routes a read across replicas first, primary last.
+type readFanout struct {
+	names   []string
+	clients []*client.Client
+}
+
+func (f *readFanout) add(name string, c *client.Client) {
+	f.names = append(f.names, name)
+	f.clients = append(f.clients, c)
+}
+
+// failsOver reports whether the next endpoint could answer where this
+// one did not: transport failures and overload/fault statuses. A
+// permanent 4xx is the same verdict everywhere — replicas serve
+// byte-identical state — so it ends the fan-out.
+func failsOver(err error) bool {
+	if client.IsConnectError(err) {
+		return true
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		return ae.Status == http.StatusTooManyRequests || ae.Status >= 500
+	}
+	return false
+}
+
+// fanDo runs op against each endpoint in order until one succeeds or a
+// conclusive failure ends the chain.
+func fanDo[T any](ctx context.Context, f *readFanout, op func(context.Context, *client.Client) (T, error)) (T, error) {
+	var zero T
+	var last error
+	for i, c := range f.clients {
+		res, err := op(ctx, c)
+		if err == nil {
+			return res, nil
+		}
+		last = err
+		if ctx.Err() != nil || !failsOver(err) {
+			return zero, err
+		}
+		if i < len(f.clients)-1 {
+			fmt.Fprintf(os.Stderr, "ccrepo: %s failed (%v); trying %s\n", f.names[i], err, f.names[i+1])
+		}
+	}
+	return zero, last
 }
 
 // runRemote dispatches one subcommand against the service.
 func runRemote(o *remoteOptions, rest []string, out io.Writer) error {
-	c, ctx, cancel := o.newClient()
+	primary, fan, ctx, cancel := o.newClients()
 	defer cancel()
 	switch rest[0] {
 	case "publish":
-		return remotePublish(ctx, c, rest[1:], out)
+		return remotePublish(ctx, primary, rest[1:], out)
 	case "check":
-		return remoteCheck(ctx, c, rest[1:], out)
+		return remoteCheck(ctx, fan, rest[1:], out)
 	case "list":
-		return remoteList(ctx, c, rest[1:], out)
+		return remoteList(ctx, fan, rest[1:], out)
 	case "get":
-		return remoteGet(ctx, c, rest[1:], out)
+		return remoteGet(ctx, fan, rest[1:], out)
 	case "gc":
 		return errors.New("gc runs against the repository directory; use -dir on the host that owns it, not -server")
 	default:
@@ -117,7 +194,7 @@ func remotePublish(ctx context.Context, c *client.Client, args []string, out io.
 	return nil
 }
 
-func remoteCheck(ctx context.Context, c *client.Client, args []string, out io.Writer) error {
+func remoteCheck(ctx context.Context, fan *readFanout, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ccrepo check", flag.ContinueOnError)
 	var p pipelineFlags
 	p.register(fs)
@@ -131,7 +208,9 @@ func remoteCheck(ctx context.Context, c *client.Client, args []string, out io.Wr
 	if err != nil {
 		return err
 	}
-	res, err := c.Check(ctx, p.subject, input)
+	res, err := fanDo(ctx, fan, func(ctx context.Context, c *client.Client) (*client.CheckResult, error) {
+		return c.Check(ctx, p.subject, input)
+	})
 	if err != nil {
 		return err
 	}
@@ -144,12 +223,14 @@ func remoteCheck(ctx context.Context, c *client.Client, args []string, out io.Wr
 	return nil
 }
 
-func remoteList(ctx context.Context, c *client.Client, args []string, out io.Writer) error {
+func remoteList(ctx context.Context, fan *readFanout, args []string, out io.Writer) error {
 	if len(args) > 1 {
 		return errors.New("usage: ccrepo -server URL list [SUBJECT]")
 	}
 	if len(args) == 0 {
-		subs, err := c.Subjects(ctx)
+		subs, err := fanDo(ctx, fan, func(ctx context.Context, c *client.Client) ([]client.Subject, error) {
+			return c.Subjects(ctx)
+		})
 		if err != nil {
 			return err
 		}
@@ -159,7 +240,9 @@ func remoteList(ctx context.Context, c *client.Client, args []string, out io.Wri
 		fmt.Fprintf(out, "%d subject(s)\n", len(subs))
 		return nil
 	}
-	vl, err := c.Versions(ctx, args[0])
+	vl, err := fanDo(ctx, fan, func(ctx context.Context, c *client.Client) (*client.VersionList, error) {
+		return c.Versions(ctx, args[0])
+	})
 	if err != nil {
 		return err
 	}
@@ -173,7 +256,7 @@ func remoteList(ctx context.Context, c *client.Client, args []string, out io.Wri
 	return nil
 }
 
-func remoteGet(ctx context.Context, c *client.Client, args []string, out io.Writer) error {
+func remoteGet(ctx context.Context, fan *readFanout, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ccrepo get", flag.ContinueOnError)
 	subject := fs.String("subject", "", "subject to read")
 	version := fs.String("version", "latest", "version number or 'latest'")
@@ -195,7 +278,9 @@ func remoteGet(ctx context.Context, c *client.Client, args []string, out io.Writ
 	}
 
 	if *file != "" {
-		data, err := c.File(ctx, *subject, number, *file)
+		data, err := fanDo(ctx, fan, func(ctx context.Context, c *client.Client) ([]byte, error) {
+			return c.File(ctx, *subject, number, *file)
+		})
 		if err != nil {
 			return err
 		}
@@ -205,7 +290,9 @@ func remoteGet(ctx context.Context, c *client.Client, args []string, out io.Writ
 	if *outDir != "" {
 		// The zip is the one response that carries the whole set plus
 		// diagnostics.json in a single round-trip.
-		data, err := c.Zip(ctx, *subject, number)
+		data, err := fanDo(ctx, fan, func(ctx context.Context, c *client.Client) ([]byte, error) {
+			return c.Zip(ctx, *subject, number)
+		})
 		if err != nil {
 			return err
 		}
@@ -238,7 +325,9 @@ func remoteGet(ctx context.Context, c *client.Client, args []string, out io.Writ
 		fmt.Fprintf(out, "wrote %d file(s) to %s\n", n, *outDir)
 		return nil
 	}
-	v, err := c.Version(ctx, *subject, number)
+	v, err := fanDo(ctx, fan, func(ctx context.Context, c *client.Client) (*repo.Version, error) {
+		return c.Version(ctx, *subject, number)
+	})
 	if err != nil {
 		return err
 	}

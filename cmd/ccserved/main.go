@@ -46,6 +46,7 @@ import (
 	"github.com/go-ccts/ccts/internal/health"
 	"github.com/go-ccts/ccts/internal/limits"
 	"github.com/go-ccts/ccts/internal/registry"
+	"github.com/go-ccts/ccts/internal/repl"
 	"github.com/go-ccts/ccts/internal/repo"
 	"github.com/go-ccts/ccts/internal/server"
 )
@@ -75,6 +76,15 @@ type config struct {
 	// probeInterval paces the health tracker's background disk probe
 	// (only started when a repository is configured).
 	probeInterval time.Duration
+	// replicaOf, when set, runs this instance as a read replica of the
+	// primary at that URL: it bootstraps from the primary's snapshot,
+	// tails its WAL stream, and serves /v1/repo reads byte-identically
+	// while writes answer 503 read_only with a hint to the primary.
+	replicaOf string
+	// autoPromote flips a replica into a writable primary after
+	// promoteMisses consecutive failed probes of the primary.
+	autoPromote   bool
+	promoteMisses int
 }
 
 // parseFlags maps the command line onto a server configuration.
@@ -95,6 +105,9 @@ func parseFlags(args []string) (*config, error) {
 		rate         = fs.Float64("rate", 0, "per-client request rate over /v1/ in requests/second (0 disables rate limiting)")
 		rateBurst    = fs.Int("rate-burst", 0, "per-client token-bucket burst; 0 = max(1, -rate)")
 		probeEvery   = fs.Duration("probe-interval", 2*time.Second, "background disk-probe interval for the health state machine (requires -repo)")
+		replicaOf    = fs.String("replica-of", "", "run as a read replica of the primary ccserved at this URL (requires -repo)")
+		autoPromote  = fs.Bool("auto-promote", false, "promote this replica to a writable primary when its probe of the primary trips (requires -replica-of)")
+		promoteMiss  = fs.Int("promote-misses", 3, "consecutive failed primary probes before auto-promotion arms")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -131,6 +144,15 @@ func parseFlags(args []string) (*config, error) {
 		return nil, err
 	}
 	cfg.repoPolicy = policy
+	cfg.replicaOf = *replicaOf
+	cfg.autoPromote = *autoPromote
+	cfg.promoteMisses = *promoteMiss
+	if cfg.replicaOf != "" && cfg.repoDir == "" {
+		return nil, fmt.Errorf("-replica-of requires -repo (the replica's local repository directory)")
+	}
+	if cfg.autoPromote && cfg.replicaOf == "" {
+		return nil, fmt.Errorf("-auto-promote requires -replica-of")
+	}
 	return cfg, nil
 }
 
@@ -171,6 +193,22 @@ func run(args []string) error {
 		if cfg.probeInterval > 0 {
 			stopProbe := tracker.Start(cfg.probeInterval, health.DirProbe(cfg.repoDir))
 			defer stopProbe()
+		}
+		// Every repository-backed instance serves the replication stream
+		// — followers included, so replicas can chain and a promoted
+		// follower is immediately a full primary for the others.
+		cfg.server.ReplSource = repl.NewSource(rp, repl.SourceOptions{})
+		if cfg.replicaOf != "" {
+			follower := repl.NewFollower(rp, cfg.replicaOf, repl.FollowerOptions{
+				AutoPromote:   cfg.autoPromote,
+				PromoteMisses: cfg.promoteMisses,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "ccserved: "+format+"\n", args...)
+				},
+			})
+			follower.Start()
+			defer follower.Stop()
+			cfg.server.Follower = follower
 		}
 	}
 

@@ -40,6 +40,10 @@ type APIError struct {
 	Code    string // machine-readable code from the error envelope
 	Message string
 	Body    []byte // raw response body (for codes the client does not model)
+	// Primary, on a 503 read_only from a read replica, names the
+	// writable primary the write should go to (from the envelope's
+	// "primary" field or the Location header).
+	Primary string
 
 	retryAfter time.Duration
 }
@@ -195,12 +199,17 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		}
 		ae := &APIError{Status: resp.StatusCode, Body: data}
 		var envelope struct {
-			Error string `json:"error"`
-			Code  string `json:"code"`
+			Error   string `json:"error"`
+			Code    string `json:"code"`
+			Primary string `json:"primary"`
 		}
 		if json.Unmarshal(data, &envelope) == nil {
 			ae.Code = envelope.Code
 			ae.Message = envelope.Error
+			ae.Primary = envelope.Primary
+		}
+		if ae.Primary == "" {
+			ae.Primary = resp.Header.Get("Location")
 		}
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
 			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {

@@ -192,3 +192,50 @@ func TestRetryAfterHintUsedAsFloor(t *testing.T) {
 		t.Errorf("sleeps = %v, want the server's 7s Retry-After", sleeps)
 	}
 }
+
+// TestReadOnlyReplicaSurfacesPrimaryAndRetryAfter: a replica's 503
+// read_only answer must reach the caller with the primary hint (from
+// the envelope, or the Location header when the envelope lacks it) and
+// its Retry-After must floor the backoff delay.
+func TestReadOnlyReplicaSurfacesPrimaryAndRetryAfter(t *testing.T) {
+	const primaryURL = "http://primary.example:8080"
+	useLocation := false
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		if useLocation {
+			w.Header().Set("Location", primaryURL)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"this instance is a read replica; write to the primary","code":"read_only"}`))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"this instance is a read replica; write to the primary","code":"read_only","primary":"` + primaryURL + `"}`))
+	}))
+	defer srv.Close()
+
+	var sleeps []time.Duration
+	p := retry.Policy{
+		MaxAttempts: 2,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    time.Millisecond,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			sleeps = append(sleeps, d)
+			return nil
+		},
+	}
+	for _, fromLocation := range []bool{false, true} {
+		useLocation, sleeps = fromLocation, nil
+		c := New(srv.URL, Options{Retry: p})
+		_, err := c.Publish(context.Background(), "s", []byte("<xmi/>"), PublishParams{Library: "L"})
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable || ae.Code != "read_only" {
+			t.Fatalf("fromLocation=%t: err = %v, want 503 read_only APIError", fromLocation, err)
+		}
+		if ae.Primary != primaryURL {
+			t.Errorf("fromLocation=%t: Primary = %q, want %q", fromLocation, ae.Primary, primaryURL)
+		}
+		if len(sleeps) != 1 || sleeps[0] != 2*time.Second {
+			t.Errorf("fromLocation=%t: sleeps = %v, want the 2s Retry-After floor", fromLocation, sleeps)
+		}
+	}
+}

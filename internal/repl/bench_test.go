@@ -1,0 +1,70 @@
+package repl
+
+// BenchmarkRepl measures read parity: a follower serves stored schema
+// files from its own content-addressed store, so a read on the replica
+// must cost the same as a read on the primary — replication lives
+// entirely off the read path. The primary/follower gap is the
+// acceptance metric for the read fan-out (ccrepo -follow).
+
+import (
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/repo"
+)
+
+// benchPair builds a primary with one published version and a follower
+// replicated to the same seq by direct frame application (no HTTP — the
+// benchmark targets the storage read path, not the transport).
+func benchPair(b *testing.B) (primary, follower *repo.Repo, file string) {
+	b.Helper()
+	primary = openRepo(b, b.TempDir(), repo.Config{})
+	pub := newPublisher(b)
+	v := pub.publish(primary)
+
+	follower = openRepo(b, b.TempDir(), repo.Config{})
+	frames, _, err := primary.WALTail(0, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, line := range frames {
+		fr, err := repo.DecodeFrame(line)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, sha := range fr.Blobs {
+			data, err := primary.Blob(sha)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := follower.PutBlob(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := follower.ApplyFrame(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return primary, follower, v.Files[0].Name
+}
+
+func BenchmarkReplPrimaryRead(b *testing.B) {
+	primary, _, file := benchPair(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := primary.VersionFile(testSubject, 1, file); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplFollowerRead(b *testing.B) {
+	_, follower, file := benchPair(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := follower.VersionFile(testSubject, 1, file); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package repl
+
+// Chaos soak for replication: the primary's HTTP service is killed
+// mid-publish burst and revived, a proxy tears the stream mid-frame, a
+// follower restarts, and a primary death triggers auto-promotion under
+// concurrent reads. Through all of it follower reads must stay
+// byte-identical to what the primary committed, transport failures must
+// never cost a snapshot re-bootstrap, and every run must be
+// goroutine-leak-clean under -race.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/go-ccts/ccts/internal/repo"
+)
+
+func TestChaosPrimaryKilledMidPublish(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	primary := openRepo(t, t.TempDir(), repo.Config{})
+	pub := newPublisher(t)
+	src := NewSource(primary, SourceOptions{Window: 150 * time.Millisecond})
+	mux := replMux(src, nil)
+
+	ln := listen(t, "127.0.0.1:0")
+	addr := ln.Addr().String()
+	stop := serveOn(ln, mux)
+
+	follower := openRepo(t, t.TempDir(), repo.Config{})
+	f := testFollower(t, follower, "http://"+addr, FollowerOptions{})
+	f.Start()
+
+	pub.publish(primary)
+	pub.publish(primary)
+	waitFor(t, "initial sync", func() bool { return f.AppliedSeq() == primary.WALSeq() })
+	syncedSeq := f.AppliedSeq()
+
+	// Kill the primary's service in the middle of a publish burst: some
+	// of these commits land before the kill, the rest while the follower
+	// has nothing to dial.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range 6 {
+			pub.publish(primary)
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	time.Sleep(12 * time.Millisecond)
+	stop()
+	<-done
+
+	// The follower keeps serving everything it had applied — reads never
+	// depend on the primary being reachable.
+	if got := follower.WALSeq(); got < syncedSeq {
+		t.Fatalf("follower WAL rewound to %d after primary death (had %d)", got, syncedSeq)
+	}
+	v, err := follower.Version(testSubject, int(syncedSeq))
+	if err != nil || len(v.Files) == 0 {
+		t.Fatalf("follower lost version %d after primary death: %v", syncedSeq, err)
+	}
+	if _, err := follower.VersionFile(testSubject, v.Number, v.Files[0].Name); err != nil {
+		t.Fatalf("follower read during primary outage: %v", err)
+	}
+
+	// Revive the primary at the same address: the follower's reconnect
+	// loop finds it and catches up from its applied seq — no snapshot,
+	// because the tail retained everything it missed.
+	ln = listen(t, addr)
+	stop = serveOn(ln, mux)
+	waitFor(t, "catch-up after revival", func() bool { return f.AppliedSeq() == primary.WALSeq() })
+	assertIdentical(t, primary, follower)
+	if got := f.Resyncs(); got != 0 {
+		t.Errorf("resyncs = %d, want 0 (an outage is a reconnect, not divergence)", got)
+	}
+
+	f.Stop()
+	stop()
+	if err := follower.Close(); err != nil {
+		t.Errorf("closing follower repo: %v", err)
+	}
+	if err := primary.Close(); err != nil {
+		t.Errorf("closing primary repo: %v", err)
+	}
+	checkGoroutines(t, before)
+}
+
+func TestChaosTornStreamMidFrame(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	primary := openRepo(t, t.TempDir(), repo.Config{})
+	pub := newPublisher(t)
+	for range 3 {
+		pub.publish(primary)
+	}
+
+	src := NewSource(primary, SourceOptions{Window: 100 * time.Millisecond})
+	upstream := httptest.NewServer(replMux(src, nil))
+	defer upstream.Close()
+	upstreamURL, err := url.Parse(upstream.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The proxy relays everything, except that the first WAL response
+	// carrying frames is cut mid-line: one complete frame goes through,
+	// then the connection dies halfway into the next. That is the wire
+	// image of a primary crashing mid-write.
+	pass := httputil.NewSingleHostReverseProxy(upstreamURL)
+	pass.FlushInterval = -1
+	var tears atomic.Int64
+	tears.Store(1)
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/repl/wal") || tears.Load() <= 0 {
+			pass.ServeHTTP(w, r)
+			return
+		}
+		resp, err := http.Get(upstream.URL + r.URL.Path + "?" + r.URL.RawQuery)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if len(data) == 0 || tears.Add(-1) < 0 {
+			pass.ServeHTTP(w, r) // nothing to tear yet; try again next poll
+			return
+		}
+		cut := len(data) / 2
+		if idx := bytes.IndexByte(data, '\n'); idx >= 0 && idx+1 < len(data) {
+			// Deliver the first frame whole, tear inside the second.
+			cut = idx + 1 + (len(data)-idx-1)/2
+		}
+		w.Header().Set(SeqHeader, resp.Header.Get(SeqHeader))
+		w.WriteHeader(http.StatusOK)
+		w.Write(data[:cut])
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		panic(http.ErrAbortHandler) // abort the connection without a terminal chunk
+	}))
+	defer proxy.Close()
+
+	follower := openRepo(t, t.TempDir(), repo.Config{})
+	f := testFollower(t, follower, proxy.URL, FollowerOptions{})
+	f.Start()
+
+	waitFor(t, "catch-up through torn stream", func() bool { return f.AppliedSeq() == primary.WALSeq() })
+	if tears.Load() != 0 {
+		t.Fatal("the tearing branch never fired; the test proved nothing")
+	}
+	assertIdentical(t, primary, follower)
+
+	// The torn partial must read as a connection cut, not divergence: the
+	// follower reconnects from its applied seq and never re-bootstraps,
+	// and every frame is applied exactly once.
+	if got := f.Resyncs(); got != 0 {
+		t.Errorf("resyncs = %d, want 0 (a torn frame is a reconnect, not divergence)", got)
+	}
+	if got := f.frames.Load(); got != primary.WALSeq() {
+		t.Errorf("frames applied = %d, want %d (each exactly once)", got, primary.WALSeq())
+	}
+
+	f.Stop()
+	proxy.Close()
+	upstream.Close()
+	if err := follower.Close(); err != nil {
+		t.Errorf("closing follower repo: %v", err)
+	}
+	if err := primary.Close(); err != nil {
+		t.Errorf("closing primary repo: %v", err)
+	}
+	checkGoroutines(t, before)
+}
+
+func TestChaosFollowerRestartResumes(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	primary := openRepo(t, t.TempDir(), repo.Config{})
+	pub := newPublisher(t)
+	src := NewSource(primary, SourceOptions{Window: 150 * time.Millisecond})
+	ts := httptest.NewServer(replMux(src, nil))
+	defer ts.Close()
+
+	dir := t.TempDir()
+	follower := openRepo(t, dir, repo.Config{})
+	f := testFollower(t, follower, ts.URL, FollowerOptions{})
+	f.Start()
+
+	pub.publish(primary)
+	pub.publish(primary)
+	waitFor(t, "first life sync", func() bool { return f.AppliedSeq() == primary.WALSeq() })
+
+	// Stop the follower process: stream down, repository closed.
+	f.Stop()
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The primary moves on while the follower is down.
+	pub.publish(primary)
+	pub.publish(primary)
+
+	// Restart: the reopened repository's WAL seq is the resume point —
+	// the stream continues from it, no snapshot install.
+	follower2 := openRepo(t, dir, repo.Config{})
+	if got := follower2.WALSeq(); got != 2 {
+		t.Fatalf("reopened follower at seq %d, want 2", got)
+	}
+	f2 := testFollower(t, follower2, ts.URL, FollowerOptions{})
+	f2.Start()
+	waitFor(t, "resume after restart", func() bool { return f2.AppliedSeq() == primary.WALSeq() })
+	assertIdentical(t, primary, follower2)
+	if got := f2.Resyncs(); got != 0 {
+		t.Errorf("resyncs = %d, want 0 (restart resumes from the applied seq)", got)
+	}
+
+	f2.Stop()
+	ts.Close()
+	if err := follower2.Close(); err != nil {
+		t.Errorf("closing follower repo: %v", err)
+	}
+	if err := primary.Close(); err != nil {
+		t.Errorf("closing primary repo: %v", err)
+	}
+	checkGoroutines(t, before)
+}
+
+func TestChaosPromotionUnderConcurrentReads(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	primary := openRepo(t, t.TempDir(), repo.Config{})
+	pub := newPublisher(t)
+	for range 3 {
+		pub.publish(primary)
+	}
+	src := NewSource(primary, SourceOptions{Window: 150 * time.Millisecond})
+	healthy := &atomic.Bool{}
+	healthy.Store(true)
+	ln := listen(t, "127.0.0.1:0")
+	stopPrimary := serveOn(ln, replMux(src, healthy))
+
+	follower := openRepo(t, t.TempDir(), repo.Config{})
+	f := testFollower(t, follower, "http://"+ln.Addr().String(), FollowerOptions{
+		AutoPromote:   true,
+		PromoteMisses: 2,
+	})
+	f.Start()
+	waitFor(t, "sync before failover", func() bool { return f.AppliedSeq() == primary.WALSeq() })
+
+	// Baseline bytes every read during and after the failover must match.
+	v, err := follower.Version(testSubject, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := follower.VersionFile(testSubject, 3, v.Files[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stopReads := make(chan struct{})
+	var wg sync.WaitGroup
+	for range 4 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopReads:
+					return
+				default:
+				}
+				data, err := follower.VersionFile(testSubject, 3, v.Files[0].Name)
+				if err != nil {
+					t.Errorf("read during failover: %v", err)
+					return
+				}
+				if !bytes.Equal(data, baseline) {
+					t.Error("read during failover returned different bytes")
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	// Kill the primary outright. The probe misses twice and the follower
+	// promotes itself — while the readers keep hammering it.
+	stopPrimary()
+	waitFor(t, "auto-promotion", func() bool { return f.Promoted() })
+
+	// Promoted: the instance takes writes of its own now (the next
+	// compatible revision of the same lineage), and the reads never
+	// noticed the transition.
+	if v := pub.publish(follower); v.Number != 4 {
+		t.Fatalf("first write after promotion landed as version %d, want 4", v.Number)
+	}
+
+	close(stopReads)
+	wg.Wait()
+	f.Stop()
+	if err := follower.Close(); err != nil {
+		t.Errorf("closing follower repo: %v", err)
+	}
+	if err := primary.Close(); err != nil {
+		t.Errorf("closing primary repo: %v", err)
+	}
+	checkGoroutines(t, before)
+}

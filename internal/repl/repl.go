@@ -1,0 +1,133 @@
+// Package repl replicates the schema repository by WAL shipping: a
+// primary streams committed, CRC-framed WAL lines to followers over a
+// long-poll HTTP endpoint, and each follower appends them to its own
+// repository through the exact state-transition path local commits use
+// — so follower reads are byte-identical to the primary's.
+//
+// The wire format IS the WAL format (internal/repo's
+// "crc32hex payload\n" lines, contiguous sequence numbers): there is no
+// second serialization to drift out of sync with the log. A follower
+// joins (or rejoins after falling behind the primary's retained tail)
+// by installing a snapshot — the manifest checkpoint plus the blobs it
+// references — and resumes the stream from the snapshot's WALSeq.
+// Divergence (a sequence gap, a CRC failure on a complete line, or a
+// frame the local state cannot absorb) is never papered over: the
+// follower discards its state and re-bootstraps.
+//
+// Failover rides internal/health: the follower probes the primary's
+// /healthz, consecutive misses demote the upstream tracker, and an
+// operator (or -auto-promote) flips the follower into a writable
+// primary — refused while the follower knows it is behind.
+package repl
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/go-ccts/ccts/internal/repo"
+)
+
+// SourceOptions tunes the primary's streaming side.
+type SourceOptions struct {
+	// Window bounds one long-poll: a stream with no new frames for this
+	// long is closed so the follower re-requests (and the server sheds
+	// idle connections predictably); 0 means 25s.
+	Window time.Duration
+	// Batch caps the frames fetched per tail read; 0 means 256.
+	Batch int
+}
+
+// Source adapts a repository into the primary half of the replication
+// protocol. All methods are safe for concurrent use; any number of
+// followers may stream at once.
+type Source struct {
+	repo   *repo.Repo
+	window time.Duration
+	batch  int
+}
+
+// NewSource wraps r for streaming.
+func NewSource(r *repo.Repo, opts SourceOptions) *Source {
+	s := &Source{repo: r, window: opts.Window, batch: opts.Batch}
+	if s.window <= 0 {
+		s.window = 25 * time.Second
+	}
+	if s.batch <= 0 {
+		s.batch = 256
+	}
+	return s
+}
+
+// WALSeq returns the primary's current committed sequence number.
+func (s *Source) WALSeq() int64 { return s.repo.WALSeq() }
+
+// Snapshot returns the bootstrap payload: the manifest serialization of
+// the current state and the WAL sequence it covers.
+func (s *Source) Snapshot() ([]byte, int64, error) { return s.repo.SnapshotManifest() }
+
+// Blob returns one content-addressed blob for a bootstrapping or
+// frame-applying follower.
+func (s *Source) Blob(sha string) ([]byte, error) { return s.repo.Blob(sha) }
+
+// SeqHeader carries the primary's committed seq on stream and snapshot
+// responses so followers can compute lag without a second request.
+const SeqHeader = "X-Repl-Wal-Seq"
+
+// ServeWAL streams WAL frames with sequence numbers beyond from to w as
+// chunked CRC-framed lines, long-polling for new commits until the
+// window elapses or ctx is done. A from the retained tail cannot serve
+// linearly returns repo.ErrSeqGap BEFORE any bytes are written, so the
+// HTTP handler can still answer 410 and send the follower to the
+// snapshot endpoint.
+func (s *Source) ServeWAL(ctx context.Context, from int64, w http.ResponseWriter) error {
+	// The first tail read happens before headers: a gap must surface as
+	// a status code, not a torn 200.
+	frames, notify, err := s.repo.WALTail(from, s.batch)
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(SeqHeader, fmt.Sprintf("%d", s.repo.WALSeq()))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// Flush the header frame immediately so the follower learns the
+	// primary's seq (and that the stream is live) without waiting for
+	// the first commit.
+	flush()
+
+	deadline := time.NewTimer(s.window)
+	defer deadline.Stop()
+	for {
+		for len(frames) > 0 {
+			for _, line := range frames {
+				if _, err := w.Write(line); err != nil {
+					return nil // follower went away; it will reconnect
+				}
+			}
+			flush()
+			from += int64(len(frames))
+			frames, notify, err = s.repo.WALTail(from, s.batch)
+			if err != nil {
+				return nil // closed or compacted mid-stream; follower re-requests
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-deadline.C:
+			return nil
+		case <-notify:
+		}
+		frames, notify, err = s.repo.WALTail(from, s.batch)
+		if err != nil {
+			return nil
+		}
+	}
+}

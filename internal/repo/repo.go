@@ -176,6 +176,11 @@ type Config struct {
 	// CheckpointEvery is the number of WAL records between manifest
 	// checkpoints; 0 means 64. Checkpoints compact the WAL.
 	CheckpointEvery int
+	// ReplTail is how many committed WAL frames the repository retains
+	// in memory for replication (WALTail); 0 means 1024. The tail
+	// survives manifest checkpoints so a lagging follower rides through
+	// WAL compaction without re-bootstrapping.
+	ReplTail int
 	// Health, when non-nil, couples the repository to the process's
 	// degradation state machine: every WAL, manifest and blob write
 	// fault is reported to it, successful commits feed its recovery
@@ -291,7 +296,7 @@ type Repo struct {
 	stateP atomic.Pointer[state]
 
 	// mu guards the WAL file, sequence numbers, checkpoint counter,
-	// the subject-lock table and the closed flag.
+	// the replication tail, the subject-lock table and the closed flag.
 	mu       sync.Mutex
 	wal      *os.File
 	walSeq   int64
@@ -300,6 +305,15 @@ type Repo struct {
 	sinceCkp int
 	closed   bool
 	subLocks map[string]*sync.Mutex
+
+	// Replication state: tail holds the encoded frames for sequence
+	// numbers [tailStart, walSeq], capped at replTail and retained
+	// across checkpoints; commitCh is closed (and renewed) on every
+	// commit so replication streams can long-poll for new frames.
+	replTail  int
+	tailStart int64
+	tail      [][]byte
+	commitCh  chan struct{}
 
 	// gcMu lets publishes (readers) overlap each other while GC
 	// (writer) gets exclusivity over the blob store.
@@ -354,6 +368,11 @@ func Open(dir string, cfg Config) (*Repo, error) {
 	if r.checkpointEvery <= 0 {
 		r.checkpointEvery = 64
 	}
+	r.replTail = cfg.ReplTail
+	if r.replTail <= 0 {
+		r.replTail = 1024
+	}
+	r.commitCh = make(chan struct{})
 
 	man, err := readManifest(dir)
 	if err != nil {
@@ -366,6 +385,7 @@ func Open(dir string, cfg Config) (*Repo, error) {
 		st.subjects[ms.Name] = &subjectState{name: ms.Name, policy: ms.Policy, versions: versions}
 	}
 	r.walSeq = man.WALSeq
+	r.tailStart = man.WALSeq + 1
 
 	walPath := filepath.Join(dir, walName)
 	wal, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
@@ -395,6 +415,16 @@ func Open(dir string, cfg Config) (*Repo, error) {
 			return nil, err
 		}
 		r.walSeq = rec.Seq
+		// Rebuild the replication tail from the replayed records.
+		// encodeRecord is deterministic, so the re-encoded frame is
+		// byte-identical to the one originally appended.
+		if line, err := encodeRecord(rec); err == nil {
+			r.tail = append(r.tail, line)
+			if len(r.tail) > r.replTail {
+				r.tail = r.tail[1:]
+				r.tailStart++
+			}
+		}
 	}
 	if goodLen < len(data) {
 		// Torn or corrupt tail (crash mid-append): drop it so future
@@ -426,8 +456,11 @@ func Open(dir string, cfg Config) (*Repo, error) {
 	return r, nil
 }
 
-// Close checkpoints the manifest (best-effort) and closes the WAL. The
-// repository must not be used afterwards.
+// Close checkpoints the manifest (best-effort) and closes the WAL.
+// Close is idempotent and safe concurrently with any other method
+// (including an in-flight Checkpoint — both serialize on the commit
+// lock); the repository must not be used afterwards. Replication
+// long-pollers blocked in WALTail waits are woken.
 func (r *Repo) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -437,6 +470,10 @@ func (r *Repo) Close() error {
 	r.closed = true
 	ckpErr := r.checkpointLocked()
 	closeErr := r.wal.Close()
+	if r.commitCh != nil {
+		close(r.commitCh)
+		r.commitCh = nil
+	}
 	if ckpErr != nil {
 		return ckpErr
 	}
@@ -741,6 +778,25 @@ func (r *Repo) commit(rec *walRecord) error {
 	if err != nil {
 		return err
 	}
+	next := r.stateP.Load().clone(rec.Subject)
+	if err := next.apply(rec); err != nil {
+		// A local record the state cannot absorb is a programming error,
+		// not a runtime condition (replicated frames go through
+		// ApplyFrame, which treats the same failure as divergence).
+		panic(err)
+	}
+	return r.commitLocked(rec.Seq, line, next)
+}
+
+// commitLocked makes one already-validated frame durable and visible:
+// the line is appended to the WAL and fsync'd (rolled back by truncation
+// on failure; an unrollbackable log is marked unusable until reopen),
+// then the prepared state snapshot is published, the replication tail
+// advances and long-pollers are woken. Shared by local commits and
+// replicated ApplyFrame so both paths have identical durability.
+// r.mu held; seq must be r.walSeq+1 and next must already reflect the
+// frame.
+func (r *Repo) commitLocked(seq int64, line []byte, next *state) error {
 	var w io.Writer = r.wal
 	if wrap := r.walWrap(); wrap != nil {
 		w = wrap(r.wal)
@@ -763,16 +819,10 @@ func (r *Repo) commit(rec *walRecord) error {
 		r.reportFault(serr)
 		return fmt.Errorf("repo: syncing WAL: %w", serr)
 	}
-	r.walSeq = rec.Seq
+	r.walSeq = seq
 	r.walSize += int64(len(line))
-
-	next := r.stateP.Load().clone(rec.Subject)
-	if err := next.apply(rec); err != nil {
-		// The record is durable but inconsistent with memory; this is a
-		// programming error, not a runtime condition.
-		panic(err)
-	}
 	r.stateP.Store(next)
+	r.appendTailLocked(line)
 
 	r.reportWriteOK()
 	r.sinceCkp++
@@ -784,6 +834,25 @@ func (r *Repo) commit(rec *walRecord) error {
 		}
 	}
 	return nil
+}
+
+// appendTailLocked records one committed frame in the replication tail
+// (trimmed to the retention cap) and wakes long-polling streams. r.mu
+// held.
+func (r *Repo) appendTailLocked(line []byte) {
+	cp := make([]byte, len(line))
+	copy(cp, line)
+	r.tail = append(r.tail, cp)
+	if drop := len(r.tail) - r.replTail; drop > 0 {
+		kept := make([][]byte, len(r.tail)-drop)
+		copy(kept, r.tail[drop:])
+		r.tail = kept
+		r.tailStart += int64(drop)
+	}
+	if r.commitCh != nil {
+		close(r.commitCh)
+		r.commitCh = make(chan struct{})
+	}
 }
 
 // walWrap resolves the WAL fault seam: the per-instance Config seam
@@ -825,8 +894,9 @@ func (r *Repo) Checkpoint() error {
 	return nil
 }
 
-// checkpointLocked writes the manifest and truncates the WAL; r.mu held.
-func (r *Repo) checkpointLocked() error {
+// buildManifestLocked snapshots the current state in manifest form,
+// covering WAL records through r.walSeq; r.mu held.
+func (r *Repo) buildManifestLocked() manifest {
 	st := r.stateP.Load()
 	man := manifest{Format: manifestFormat, WALSeq: r.walSeq}
 	names := make([]string, 0, len(st.subjects))
@@ -838,6 +908,14 @@ func (r *Repo) checkpointLocked() error {
 		sub := st.subjects[name]
 		man.Subjects = append(man.Subjects, manifestSubject{Name: sub.name, Policy: sub.policy, Versions: sub.versions})
 	}
+	return man
+}
+
+// checkpointLocked writes the manifest and truncates the WAL; the
+// in-memory replication tail is retained so followers keep streaming
+// across compactions. r.mu held.
+func (r *Repo) checkpointLocked() error {
+	man := r.buildManifestLocked()
 	data, err := json.Marshal(man)
 	if err != nil {
 		return fmt.Errorf("repo: encoding manifest: %w", err)

@@ -162,16 +162,14 @@ type manifestSubject struct {
 	Versions []Version `json:"versions"`
 }
 
-// readManifest loads the manifest; a missing file yields the empty
-// snapshot (fresh repository or crash before the first checkpoint).
-func readManifest(dir string) (*manifest, error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
-	if os.IsNotExist(err) {
-		return &manifest{Format: manifestFormat}, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("repo: reading manifest: %w", err)
-	}
+// manifestPath locates the manifest file under the repository root.
+func manifestPath(dir string) string {
+	return filepath.Join(dir, manifestName)
+}
+
+// parseManifest decodes and validates a serialized manifest — the local
+// file or a replication snapshot shipped over the wire.
+func parseManifest(data []byte) (*manifest, error) {
 	m := &manifest{}
 	if err := json.Unmarshal(data, m); err != nil {
 		return nil, fmt.Errorf("repo: manifest corrupt: %w", err)
@@ -180,6 +178,19 @@ func readManifest(dir string) (*manifest, error) {
 		return nil, fmt.Errorf("repo: manifest format %d not supported (want %d)", m.Format, manifestFormat)
 	}
 	return m, nil
+}
+
+// readManifest loads the manifest; a missing file yields the empty
+// snapshot (fresh repository or crash before the first checkpoint).
+func readManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(manifestPath(dir))
+	if os.IsNotExist(err) {
+		return &manifest{Format: manifestFormat}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("repo: reading manifest: %w", err)
+	}
+	return parseManifest(data)
 }
 
 // atomicWrite writes data to path via an fsync'd temp file in the same

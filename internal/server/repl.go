@@ -1,0 +1,132 @@
+package server
+
+// The /v1/repl endpoint family is the replication wire protocol:
+//
+//	GET  /v1/repl/wal?from=<seq>  long-poll stream of committed WAL
+//	                              frames beyond seq, CRC-framed lines,
+//	                              chunked; 410 when seq is outside the
+//	                              retained tail (re-bootstrap)
+//	GET  /v1/repl/snapshot        manifest snapshot + X-Repl-Wal-Seq
+//	GET  /v1/repl/blob/{sha}      one content-addressed blob
+//	POST /v1/repl/promote         flip THIS follower into a writable
+//	                              primary (409 while known-behind)
+//
+// The stream endpoints are served whenever a repository is configured —
+// including on followers, so replicas can be chained and a promoted
+// follower is immediately a full primary for the others.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/go-ccts/ccts/internal/repl"
+	"github.com/go-ccts/ccts/internal/repo"
+)
+
+// replConfigured guards the stream endpoints.
+func (s *Server) replConfigured(w http.ResponseWriter) bool {
+	if s.replSrc == nil {
+		s.writeError(w, &apiError{Status: http.StatusNotFound, Code: "repl", Message: "no schema repository configured; nothing to replicate"})
+		return false
+	}
+	return true
+}
+
+// handleReplWAL is GET /v1/repl/wal?from=<seq>.
+func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
+	if !s.replConfigured(w) {
+		return
+	}
+	from, err := strconv.ParseInt(r.URL.Query().Get("from"), 10, 64)
+	if err != nil || from < 0 {
+		s.writeError(w, &apiError{Status: http.StatusBadRequest, Code: "params", Message: "from must be a non-negative WAL sequence number"})
+		return
+	}
+	switch err := s.replSrc.ServeWAL(r.Context(), from, w); {
+	case err == nil:
+	case errors.Is(err, repo.ErrSeqGap):
+		// The follower's position fell out of the retained tail (or is
+		// ahead of this log): a linear stream is impossible; it must
+		// re-bootstrap from the snapshot endpoint.
+		s.writeError(w, &apiError{Status: http.StatusGone, Code: "wal_gap", Message: err.Error()})
+	case errors.Is(err, repo.ErrClosed):
+		s.writeError(w, &apiError{Status: http.StatusServiceUnavailable, Code: "closed", Message: err.Error()})
+	default:
+		s.writeError(w, mapError(err))
+	}
+}
+
+// handleReplSnapshot is GET /v1/repl/snapshot.
+func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !s.replConfigured(w) {
+		return
+	}
+	data, walSeq, err := s.replSrc.Snapshot()
+	if err != nil {
+		s.writeError(w, mapError(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(repl.SeqHeader, strconv.FormatInt(walSeq, 10))
+	w.Write(data)
+}
+
+// handleReplBlob is GET /v1/repl/blob/{sha}.
+func (s *Server) handleReplBlob(w http.ResponseWriter, r *http.Request) {
+	if !s.replConfigured(w) {
+		return
+	}
+	data, err := s.replSrc.Blob(r.PathValue("sha"))
+	if err != nil {
+		if errors.Is(err, repo.ErrNotFound) {
+			s.writeError(w, &apiError{Status: http.StatusNotFound, Code: "not_found", Message: err.Error()})
+			return
+		}
+		s.writeError(w, mapError(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+// handleReplPromote is POST /v1/repl/promote — the operator-invoked
+// failover path on a follower.
+func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
+	if s.follower == nil {
+		s.writeError(w, &apiError{Status: http.StatusNotFound, Code: "repl", Message: "this instance is not a replica; nothing to promote"})
+		return
+	}
+	if err := s.follower.Promote(); err != nil {
+		if errors.Is(err, repl.ErrBehind) {
+			s.writeError(w, &apiError{Status: http.StatusConflict, Code: "behind", Message: err.Error()})
+			return
+		}
+		s.writeError(w, mapError(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Promoted   bool  `json:"promoted"`
+		AppliedSeq int64 `json:"appliedSeq"`
+	}{Promoted: true, AppliedSeq: s.follower.AppliedSeq()})
+}
+
+// replicaGuard refuses writes while this instance is an unpromoted
+// follower: 503 read_only with a Location hint naming the primary, so
+// disciplined clients redirect their publish instead of retrying here.
+func (s *Server) replicaGuard(w http.ResponseWriter) bool {
+	if s.follower == nil || s.follower.Promoted() {
+		return true
+	}
+	s.writeError(w, &apiError{
+		Status:     http.StatusServiceUnavailable,
+		Code:       "read_only",
+		Message:    "this instance is a read replica; write to the primary",
+		RetryAfter: 5 * time.Second,
+		Primary:    s.follower.PrimaryURL(),
+	})
+	return false
+}

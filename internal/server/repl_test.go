@@ -1,0 +1,206 @@
+package server
+
+// End-to-end replication through the real handlers: a primary server
+// and a follower server wired the way cmd/ccserved wires them. The
+// replica must serve byte-identical reads, refuse writes with the
+// primary hint, report replication state on /healthz, and flip into a
+// writable primary through POST /v1/repl/promote.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/go-ccts/ccts/internal/client"
+	"github.com/go-ccts/ccts/internal/repl"
+	"github.com/go-ccts/ccts/internal/repo"
+	"github.com/go-ccts/ccts/internal/retry"
+)
+
+func TestReplicaEndToEnd(t *testing.T) {
+	prp, err := repo.Open(t.TempDir(), repo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prp.Close()
+	psrv := New(Config{Repo: prp, ReplSource: repl.NewSource(prp, repl.SourceOptions{Window: 150 * time.Millisecond})})
+	pts := httptest.NewServer(psrv.Handler())
+	defer pts.Close()
+
+	frp, err := repo.Open(t.TempDir(), repo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer frp.Close()
+	fol := repl.NewFollower(frp, pts.URL, repl.FollowerOptions{
+		PollWindow:    300 * time.Millisecond,
+		ProbeInterval: 50 * time.Millisecond,
+		Retry:         retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+	})
+	// The follower mounts its own ReplSource too — ccserved does the
+	// same, so a promoted replica is immediately a full primary.
+	fsrv := New(Config{Repo: frp, ReplSource: repl.NewSource(frp, repl.SourceOptions{}), Follower: fol})
+	fts := httptest.NewServer(fsrv.Handler())
+	defer fts.Close()
+	fol.Start()
+	defer fol.Stop()
+
+	ctx := context.Background()
+	params := client.PublishParams{Library: "EB005-HoardingPermit", Root: "HoardingPermit"}
+	primary := client.New(pts.URL, client.Options{Retry: retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond}})
+	replica := client.New(fts.URL, client.Options{Retry: retry.Policy{MaxAttempts: 1}})
+
+	// Publish on the primary; the replica converges and serves the same
+	// bytes over the real /v1/repo read endpoints.
+	if _, err := primary.Publish(ctx, "e2e", sampleXMI(t), params); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return fol.AppliedSeq() == prp.WALSeq() })
+	want, err := primary.Zip(ctx, "e2e", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := replica.Zip(ctx, "e2e", 0)
+	if err != nil {
+		t.Fatalf("replica read: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("replica served different bytes than the primary")
+	}
+
+	// A write on the replica answers 503 read_only with the primary hint
+	// (in the envelope and as a Location header the client falls back to).
+	_, err = replica.Publish(ctx, "e2e", sampleXMI(t), params)
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable || ae.Code != "read_only" {
+		t.Fatalf("publish on replica = %v, want 503 read_only", err)
+	}
+	if ae.Primary != pts.URL {
+		t.Errorf("primary hint = %q, want %q", ae.Primary, pts.URL)
+	}
+	if ae.RetryAfter() <= 0 {
+		t.Error("503 read_only carries no Retry-After")
+	}
+
+	// /healthz reports both roles with the replication seqs.
+	var doc struct {
+		Repo struct {
+			WALSeq int64 `json:"walSeq"`
+		} `json:"repo"`
+		Repl struct {
+			Role       string  `json:"role"`
+			Primary    string  `json:"primary"`
+			AppliedSeq int64   `json:"appliedSeq"`
+			PrimarySeq int64   `json:"primarySeq"`
+			LagSeconds float64 `json:"lagSeconds"`
+		} `json:"repl"`
+	}
+	readHealthz := func(url string) {
+		t.Helper()
+		resp, err := http.Get(url + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		doc.Repl.Role, doc.Repl.Primary = "", ""
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readHealthz(pts.URL)
+	if doc.Repl.Role != "primary" || doc.Repo.WALSeq != prp.WALSeq() {
+		t.Errorf("primary healthz = %+v, want role primary at walSeq %d", doc, prp.WALSeq())
+	}
+	readHealthz(fts.URL)
+	if doc.Repl.Role != "replica" || doc.Repl.Primary != pts.URL {
+		t.Errorf("follower healthz = %+v, want role replica of %s", doc, pts.URL)
+	}
+	if doc.Repl.AppliedSeq != prp.WALSeq() || doc.Repl.LagSeconds != 0 {
+		t.Errorf("follower healthz seqs = %+v, want applied %d and no lag", doc.Repl, prp.WALSeq())
+	}
+
+	// Promote on the primary: nothing to promote there.
+	resp, err := http.Post(pts.URL+"/v1/repl/promote", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("promote on primary = %d, want 404", resp.StatusCode)
+	}
+
+	// Promote the caught-up follower: writes open and /healthz flips.
+	resp, err = http.Post(fts.URL+"/v1/repl/promote", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var promoted struct {
+		Promoted   bool  `json:"promoted"`
+		AppliedSeq int64 `json:"appliedSeq"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&promoted)
+	resp.Body.Close()
+	if err != nil || !promoted.Promoted || promoted.AppliedSeq != prp.WALSeq() {
+		t.Fatalf("promote answer = %+v err=%v, want promoted at seq %d", promoted, err, prp.WALSeq())
+	}
+	if _, err := replica.Publish(ctx, "e2e-after", sampleXMI(t), params); err != nil {
+		t.Fatalf("publish after promotion: %v", err)
+	}
+	readHealthz(fts.URL)
+	if doc.Repl.Role != "primary" {
+		t.Errorf("promoted healthz role = %q, want primary", doc.Repl.Role)
+	}
+}
+
+// TestReplWALGapAnswers410 drives the wal endpoint directly: a from
+// beyond the retained tail must answer 410 before any stream bytes.
+func TestReplWALGapAnswers410(t *testing.T) {
+	rp, err := repo.Open(t.TempDir(), repo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp.Close()
+	s := New(Config{Repo: rp, ReplSource: repl.NewSource(rp, repl.SourceOptions{Window: 50 * time.Millisecond})})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/repl/wal?from=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("from beyond the log = %d, want 410", resp.StatusCode)
+	}
+	var env struct {
+		Code string `json:"code"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Code != "wal_gap" {
+		t.Errorf("410 envelope code = %q err=%v, want wal_gap", env.Code, err)
+	}
+
+	// Bad from is a 400, and without a repository the family is 404.
+	resp, err = http.Get(ts.URL + "/v1/repl/wal?from=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative from = %d, want 400", resp.StatusCode)
+	}
+	bare := httptest.NewServer(New(Config{}).Handler())
+	defer bare.Close()
+	resp, err = http.Get(bare.URL + "/v1/repl/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("snapshot without repo = %d, want 404", resp.StatusCode)
+	}
+}

@@ -118,6 +118,9 @@ func (s *Server) handleRepoPublish(w http.ResponseWriter, r *http.Request) {
 	if !s.repoConfigured(w) {
 		return
 	}
+	if !s.replicaGuard(w) {
+		return
+	}
 	subject := r.PathValue("subject")
 	params, aerr := parseGenParams(r.URL.Query())
 	if aerr != nil {
@@ -280,6 +283,9 @@ func (s *Server) handleRepoVersion(w http.ResponseWriter, r *http.Request) {
 // handleRepoDelete is DELETE /v1/repo/subjects/{subject}/versions/{number}.
 func (s *Server) handleRepoDelete(w http.ResponseWriter, r *http.Request) {
 	if !s.repoConfigured(w) {
+		return
+	}
+	if !s.replicaGuard(w) {
 		return
 	}
 	subject := r.PathValue("subject")

@@ -41,6 +41,7 @@ import (
 	"github.com/go-ccts/ccts/internal/limits"
 	"github.com/go-ccts/ccts/internal/metrics"
 	"github.com/go-ccts/ccts/internal/registry"
+	"github.com/go-ccts/ccts/internal/repl"
 	"github.com/go-ccts/ccts/internal/repo"
 	"github.com/go-ccts/ccts/internal/schemacache"
 	"github.com/go-ccts/ccts/internal/validate"
@@ -91,6 +92,17 @@ type Config struct {
 	// in /healthz and consulted by the error mapping. The server
 	// instruments it but does not own its probe loop.
 	Health *health.Tracker
+	// ReplSource, when non-nil, serves the /v1/repl wal/snapshot/blob
+	// endpoints — the primary half of WAL-shipping replication. Mounted
+	// on followers too, so replicas can chain and a promoted follower is
+	// immediately a full primary.
+	ReplSource *repl.Source
+	// Follower, when non-nil, marks this instance a read replica: /v1/repo
+	// writes answer 503 read_only with a Location hint to the primary
+	// until the follower is promoted (POST /v1/repl/promote or
+	// auto-promotion). The server instruments but does not own it; the
+	// caller starts and stops its loops.
+	Follower *repl.Follower
 }
 
 // Server is the HTTP serving layer. Create with New; the zero value is
@@ -106,6 +118,8 @@ type Server struct {
 	mux      *http.ServeMux
 	health   *health.Tracker
 	limiter  *rateLimiter
+	replSrc  *repl.Source
+	follower *repl.Follower
 	draining atomic.Bool
 
 	requests    *metrics.Counter
@@ -151,8 +165,10 @@ func New(cfg Config) *Server {
 		mx:      mx,
 		sem:     make(chan struct{}, maxInFlight),
 		mux:     http.NewServeMux(),
-		health:  cfg.Health,
-		limiter: newRateLimiter(cfg.RatePerClient, cfg.RateBurst),
+		health:   cfg.Health,
+		limiter:  newRateLimiter(cfg.RatePerClient, cfg.RateBurst),
+		replSrc:  cfg.ReplSource,
+		follower: cfg.Follower,
 
 		requests:    mx.Counter("ccserved_requests_total", "HTTP requests received."),
 		saturated:   mx.Counter("ccserved_saturated_total", "Requests rejected with 503 because the admission semaphore was full."),
@@ -184,6 +200,9 @@ func New(cfg Config) *Server {
 	if s.health != nil {
 		s.health.Instrument(mx)
 	}
+	if s.follower != nil {
+		s.follower.Instrument(mx)
+	}
 	s.mux.HandleFunc("/v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("/v1/validate", s.handleValidate)
 	s.mux.HandleFunc("/v1/registry/search", s.handleRegistrySearch)
@@ -194,6 +213,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/repo/subjects/{subject}/versions/{number}", s.handleRepoDelete)
 	s.mux.HandleFunc("GET /v1/repo/subjects/{subject}/compat", s.handleRepoCompat)
 	s.mux.HandleFunc("POST /v1/repo/subjects/{subject}/compat", s.handleRepoCompat)
+	s.mux.HandleFunc("GET /v1/repl/wal", s.handleReplWAL)
+	s.mux.HandleFunc("GET /v1/repl/snapshot", s.handleReplSnapshot)
+	s.mux.HandleFunc("GET /v1/repl/blob/{sha}", s.handleReplBlob)
+	s.mux.HandleFunc("POST /v1/repl/promote", s.handleReplPromote)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -348,6 +371,10 @@ type apiError struct {
 	// RetryAfter, when > 0, is the client back-off hint for 503/429
 	// responses; zero falls back to 1s on those statuses.
 	RetryAfter time.Duration
+	// Primary, when non-empty, names the writable primary a rejected
+	// write should go to (replica 503 read_only); rendered as both a
+	// Location header and a "primary" envelope field.
+	Primary string
 }
 
 func (e *apiError) Error() string { return e.Message }
@@ -387,12 +414,16 @@ func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
 	body := struct {
 		Error    string        `json:"error"`
 		Code     string        `json:"code"`
+		Primary  string        `json:"primary,omitempty"`
 		Findings []jsonFinding `json:"findings,omitempty"`
-	}{Error: e.Message, Code: e.Code}
+	}{Error: e.Message, Code: e.Code, Primary: e.Primary}
 	if e.Report != nil {
 		body.Findings = toJSONFindings(e.Report.Findings)
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if e.Primary != "" {
+		w.Header().Set("Location", e.Primary)
+	}
 	if e.Status == http.StatusServiceUnavailable || e.Status == http.StatusTooManyRequests {
 		secs := int(e.RetryAfter.Round(time.Second) / time.Second)
 		if secs < 1 {
@@ -510,7 +541,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"blobs": rs.Blobs, "blobBytes": rs.BlobBytes, "logicalBytes": rs.LogicalBytes,
 			"dedupRatio": rs.DedupRatio(),
 			"publishes":  rs.Publishes, "rejections": rs.Rejections, "deletes": rs.Deletes,
+			"walSeq":     s.repo.WALSeq(),
 		}
+	}
+	if s.follower != nil {
+		fst := s.follower.Status()
+		role := "replica"
+		if fst.Promoted {
+			role = "primary"
+		}
+		doc["repl"] = map[string]any{
+			"role": role, "primary": fst.Primary, "promoted": fst.Promoted,
+			"appliedSeq": fst.AppliedSeq, "primarySeq": fst.PrimarySeq,
+			"lagSeconds": fst.LagSeconds, "resyncs": fst.Resyncs,
+			"upstream": fst.Upstream,
+		}
+	} else if s.replSrc != nil {
+		doc["repl"] = map[string]any{"role": "primary"}
 	}
 	if code != http.StatusOK {
 		s.errors5xx.Inc()
