@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-serve bench-repo bench-repl bench-diff verify fuzz-smoke chaos-smoke repl-smoke
+.PHONY: build test bench bench-serve bench-repo bench-repl bench-diff verify fuzz-smoke chaos-smoke repl-smoke jobs-smoke
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,16 @@ chaos-smoke:
 repl-smoke:
 	$(GO) test ./internal/repl -race -count=1 -timeout 180s
 
+# jobs-smoke replays the batch-job crash drill under -race: a worker
+# killed mid-job (no checkpoint, WAL only), the manager reopened over
+# the same directory, the surviving item's result preserved, the
+# remainder resumed to completion — every result archive byte-identical
+# to the synchronous /v1/generate answer — plus SSE progress ordering
+# under parallel emit and the torn-WAL-tail recovery path.
+jobs-smoke:
+	$(GO) test ./internal/server -race -count=1 -run 'TestJobs' -timeout 180s
+	$(GO) test ./internal/jobs -race -count=1 -timeout 180s
+
 # verify is the full pre-merge gate: static checks, the entire test
 # suite under the race detector (the parallel emit phase must be
 # data-race-free at any Parallelism setting), a dedicated -race pass
@@ -88,14 +98,16 @@ repl-smoke:
 # (singleflight, admission gating, shedding, rate limiting, drain,
 # health state machine, client retry, concurrent publishes against the
 # WAL, parallel emission through every backend), the chaos smoke pass,
-# the fuzz smoke pass, and an advisory benchmark diff against the
+# the replication and batch-job crash drills, the fuzz smoke pass, and
+# an advisory benchmark diff against the
 # committed baselines (failures are reported but do not gate the merge
 # — benchmark noise is machine-dependent).
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -race -count=1 ./internal/server ./internal/schemacache ./internal/registry ./internal/repo ./internal/repl ./internal/health ./internal/retry ./internal/client ./internal/faultio ./cmd/ccrepo ./internal/gen ./internal/jsonschema ./internal/protogen ./internal/backends
+	$(GO) test -race -count=1 ./internal/server ./internal/schemacache ./internal/registry ./internal/repo ./internal/repl ./internal/health ./internal/retry ./internal/client ./internal/faultio ./cmd/ccrepo ./internal/gen ./internal/jsonschema ./internal/protogen ./internal/backends ./internal/jobs ./cmd/ccjobs
 	$(MAKE) chaos-smoke
 	$(MAKE) repl-smoke
+	$(MAKE) jobs-smoke
 	$(MAKE) fuzz-smoke
 	-$(MAKE) bench-diff

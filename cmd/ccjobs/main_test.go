@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeJobServer answers the /v1/jobs surface with a canned three-event
+// lifecycle: accepted, completed on first poll, one-frame SSE stream.
+func fakeJobServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	doc := map[string]any{
+		"id": "j000042", "state": "completed",
+		"done": 1, "failed": 0, "total": 1,
+		"items": []map[string]any{{"name": "m.xmi", "library": "LIB", "status": "done"}},
+	}
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/jobs":
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(doc)
+		case r.URL.Path == "/v1/jobs/j000042/events":
+			w.Header().Set("Content-Type", "text/event-stream")
+			for i, ev := range []string{
+				`{"id":1,"type":"queued","job":"j000042","total":1}`,
+				`{"id":2,"type":"item_started","job":"j000042","item":1,"itemName":"m.xmi","total":1}`,
+				`{"id":3,"type":"item_done","job":"j000042","item":1,"itemName":"m.xmi","done":1,"total":1}`,
+				`{"id":4,"type":"terminal","job":"j000042","state":"completed","done":1,"total":1}`,
+			} {
+				fmt.Fprintf(w, "id: %d\nevent: x\ndata: %s\n\n", i+1, ev)
+			}
+		case r.URL.Path == "/v1/jobs/j000042/result":
+			w.Write([]byte("fake-zip-bytes"))
+		case r.URL.Path == "/v1/jobs/j000042":
+			json.NewEncoder(w).Encode(doc)
+		case r.URL.Path == "/v1/jobs":
+			json.NewEncoder(w).Encode([]any{doc})
+		default:
+			t.Errorf("unexpected request %s %s", r.Method, r.URL)
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+}
+
+func TestSubmitWatchResultFlow(t *testing.T) {
+	srv := fakeJobServer(t)
+	defer srv.Close()
+
+	model := filepath.Join(t.TempDir(), "m.xmi")
+	if err := os.WriteFile(model, []byte("<xmi/>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	err := run([]string{"-server", srv.URL, "submit", "-library", "LIB", "-watch", model}, &out)
+	if err != nil {
+		t.Fatalf("submit -watch: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"accepted j000042", "started m.xmi", "done m.xmi", "completed (1 done, 0 failed)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("watch output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-server", srv.URL, "status", "j000042"}, &out); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if !strings.Contains(out.String(), "j000042: completed") {
+		t.Errorf("status output:\n%s", out.String())
+	}
+
+	dest := filepath.Join(t.TempDir(), "result.zip")
+	if err := run([]string{"-server", srv.URL, "result", "-out", dest, "j000042"}, &out); err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if data, _ := os.ReadFile(dest); string(data) != "fake-zip-bytes" {
+		t.Errorf("result file = %q", data)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out strings.Builder
+	for _, args := range [][]string{
+		{},
+		{"submit"},
+		{"-server", "http://x", "bogus"},
+		{"-server", "http://x", "watch"},
+		{"-server", "http://x", "result"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

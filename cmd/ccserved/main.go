@@ -4,7 +4,9 @@
 //
 // Endpoints: POST /v1/generate, POST /v1/validate,
 // GET /v1/registry/search, the /v1/repo family (when -repo is set),
-// GET|HEAD /healthz, GET /metrics.
+// the /v1/jobs family (when -job-dir is set: async batch generation
+// with SSE progress, durable across restarts), GET|HEAD /healthz,
+// GET /metrics.
 //
 // /v1/generate accepts target=xsd|jsonschema|proto|rng|rdfs|go to pick
 // the generation backend and profile=<JSON> for per-run overrides
@@ -44,6 +46,7 @@ import (
 
 	ccts "github.com/go-ccts/ccts"
 	"github.com/go-ccts/ccts/internal/health"
+	"github.com/go-ccts/ccts/internal/jobs"
 	"github.com/go-ccts/ccts/internal/limits"
 	"github.com/go-ccts/ccts/internal/registry"
 	"github.com/go-ccts/ccts/internal/repl"
@@ -85,6 +88,11 @@ type config struct {
 	// promoteMisses consecutive failed probes of the primary.
 	autoPromote   bool
 	promoteMisses int
+	// jobDir enables the /v1/jobs endpoints: the durable job queue's
+	// WAL, checkpoint and blobs live there and survive restarts.
+	jobDir       string
+	jobWorkers   int
+	jobRetention time.Duration
 }
 
 // parseFlags maps the command line onto a server configuration.
@@ -108,6 +116,9 @@ func parseFlags(args []string) (*config, error) {
 		replicaOf    = fs.String("replica-of", "", "run as a read replica of the primary ccserved at this URL (requires -repo)")
 		autoPromote  = fs.Bool("auto-promote", false, "promote this replica to a writable primary when its probe of the primary trips (requires -replica-of)")
 		promoteMiss  = fs.Int("promote-misses", 3, "consecutive failed primary probes before auto-promotion arms")
+		jobDir       = fs.String("job-dir", "", "async job queue directory backing /v1/jobs (empty disables; jobs survive restarts)")
+		jobWorkers   = fs.Int("job-workers", 2, "worker pool size draining the job queue (requires -job-dir)")
+		jobRetention = fs.Duration("job-retention", 24*time.Hour, "how long finished jobs and their results are kept (0 = forever; requires -job-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -152,6 +163,12 @@ func parseFlags(args []string) (*config, error) {
 	}
 	if cfg.autoPromote && cfg.replicaOf == "" {
 		return nil, fmt.Errorf("-auto-promote requires -replica-of")
+	}
+	cfg.jobDir = *jobDir
+	cfg.jobWorkers = *jobWorkers
+	cfg.jobRetention = *jobRetention
+	if cfg.jobDir == "" && (*jobWorkers != 2 || *jobRetention != 24*time.Hour) {
+		return nil, fmt.Errorf("-job-workers and -job-retention require -job-dir")
 	}
 	return cfg, nil
 }
@@ -212,7 +229,36 @@ func run(args []string) error {
 		}
 	}
 
+	// The job queue is durable: it recovers interrupted jobs before
+	// serving starts, and its Close (after the HTTP drain) checkpoints
+	// the WAL so the next start replays nothing. Workers start only
+	// after server.New has installed the generation executor.
+	var jobMgr *jobs.Manager
+	if cfg.jobDir != "" {
+		jobMgr, err = jobs.Open(cfg.jobDir, jobs.Config{
+			Workers:   cfg.jobWorkers,
+			Retention: cfg.jobRetention,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "ccserved: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("opening job queue: %w", err)
+		}
+		cfg.server.Jobs = jobMgr
+	}
+
 	srv := server.New(cfg.server)
+	if jobMgr != nil {
+		jobMgr.Start()
+		defer func() {
+			closeCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+			defer cancel()
+			if err := jobMgr.Close(closeCtx); err != nil {
+				fmt.Fprintln(os.Stderr, "ccserved: job queue close:", err)
+			}
+		}()
+	}
 	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
 
 	// Graceful drain: the first SIGINT/SIGTERM stops the listener and

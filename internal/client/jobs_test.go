@@ -1,0 +1,155 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/jobs"
+)
+
+// sseFrame renders one event the way the server does.
+func sseFrame(ev jobs.Event) string {
+	data, _ := json.Marshal(ev)
+	return fmt.Sprintf("id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Type, data)
+}
+
+func TestWatchJobResumesAcrossDisconnect(t *testing.T) {
+	events := []jobs.Event{
+		{ID: 1, Type: jobs.EventQueued, Job: "j000001", Total: 2},
+		{ID: 2, Type: jobs.EventItemStarted, Job: "j000001", Item: 1, Total: 2},
+		{ID: 3, Type: jobs.EventItemDone, Job: "j000001", Item: 1, Done: 1, Total: 2},
+		{ID: 4, Type: jobs.EventTerminal, Job: "j000001", State: jobs.Completed, Done: 2, Total: 2},
+	}
+	var conns atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := conns.Add(1)
+		after := int64(0)
+		if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+			fmt.Sscanf(lei, "%d", &after)
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		for _, ev := range events {
+			if ev.ID <= after {
+				continue
+			}
+			// First connection drops mid-stream after two events,
+			// without a terminal frame.
+			if n == 1 && ev.ID > 2 {
+				return
+			}
+			fmt.Fprint(w, sseFrame(ev))
+		}
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{Retry: fastRetry(4)})
+	var seen []int64
+	err := c.WatchJob(context.Background(), "j000001", 0, func(ev jobs.Event) error {
+		seen = append(seen, ev.ID)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("WatchJob = %v", err)
+	}
+	want := []int64{1, 2, 3, 4}
+	if len(seen) != len(want) {
+		t.Fatalf("saw events %v, want %v", seen, want)
+	}
+	for i, id := range want {
+		if seen[i] != id {
+			t.Fatalf("saw events %v, want %v", seen, want)
+		}
+	}
+	if got := conns.Load(); got != 2 {
+		t.Errorf("connections = %d, want 2 (one drop, one resume)", got)
+	}
+}
+
+func TestWatchJobCallbackErrorStops(t *testing.T) {
+	var conns atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, sseFrame(jobs.Event{ID: 1, Type: jobs.EventQueued, Job: "j1", Total: 1}))
+		fmt.Fprint(w, sseFrame(jobs.Event{ID: 2, Type: jobs.EventItemStarted, Job: "j1", Item: 1, Total: 1}))
+	}))
+	defer srv.Close()
+
+	boom := errors.New("enough")
+	c := New(srv.URL, Options{Retry: fastRetry(4)})
+	err := c.WatchJob(context.Background(), "j1", 0, func(ev jobs.Event) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("WatchJob = %v, want the callback's error", err)
+	}
+	if got := conns.Load(); got != 1 {
+		t.Errorf("connections = %d, want 1 (no retry after a callback error)", got)
+	}
+}
+
+func TestWatchJobPermanentStatusNotRetried(t *testing.T) {
+	var conns atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"no such job","code":"job"}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{Retry: fastRetry(4)})
+	err := c.WatchJob(context.Background(), "nope", 0, func(jobs.Event) error { return nil })
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusNotFound || ae.Code != "job" {
+		t.Fatalf("WatchJob = %v, want 404 APIError", err)
+	}
+	if got := conns.Load(); got != 1 {
+		t.Errorf("connections = %d, want 1", got)
+	}
+}
+
+func TestJobSubmitStatusResult(t *testing.T) {
+	doc := `{"id":"j000007","state":"completed","done":1,"failed":0,"total":1}`
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method + " " + r.URL.Path {
+		case "POST /v1/jobs":
+			if got := r.URL.Query().Get("library"); got != "LIB" {
+				t.Errorf("submit library = %q", got)
+			}
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprint(w, doc)
+		case "GET /v1/jobs/j000007":
+			fmt.Fprint(w, doc)
+		case "GET /v1/jobs/j000007/result":
+			if r.URL.Query().Get("item") == "1" {
+				w.Write([]byte("item-zip"))
+				return
+			}
+			w.Write([]byte("job-zip"))
+		default:
+			t.Errorf("unexpected request %s %s", r.Method, r.URL)
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{Retry: fastRetry(2)})
+	ctx := context.Background()
+	job, err := c.SubmitJobModel(ctx, []byte("<xmi/>"), JobParams{Library: "LIB"})
+	if err != nil || job.ID != "j000007" {
+		t.Fatalf("SubmitJobModel = %+v, %v", job, err)
+	}
+	if job, err = c.Job(ctx, "j000007"); err != nil || job.State != jobs.Completed {
+		t.Fatalf("Job = %+v, %v", job, err)
+	}
+	if data, err := c.JobResult(ctx, "j000007"); err != nil || string(data) != "job-zip" {
+		t.Fatalf("JobResult = %q, %v", data, err)
+	}
+	if data, err := c.JobResultItem(ctx, "j000007", 1); err != nil || string(data) != "item-zip" {
+		t.Fatalf("JobResultItem = %q, %v", data, err)
+	}
+}

@@ -1,0 +1,109 @@
+package jobs
+
+import (
+	"context"
+	"sync"
+)
+
+// Event types. A job's event stream is: one EventQueued, then per item
+// an EventItemStarted, zero or more EventStatus lines (the generator's
+// Options.Status stream), and one EventItemDone or EventItemFailed;
+// finally one EventTerminal carrying the job's final state. A stream
+// rebuilt after a restart compresses the already-settled prefix into
+// the queued event plus one item_done/item_failed per settled item and
+// an EventResumed marker, so a client reconnecting with a Last-Event-ID
+// from before the crash replays a consistent (if condensed) history.
+const (
+	EventQueued      = "queued"
+	EventItemStarted = "item_started"
+	EventStatus      = "status"
+	EventItemDone    = "item_done"
+	EventItemFailed  = "item_failed"
+	EventResumed     = "resumed"
+	EventTerminal    = "terminal"
+)
+
+// Event is one entry in a job's progress stream. IDs are dense and
+// monotonic per job starting at 1; they are the SSE event IDs, so a
+// client resumes with Last-Event-ID.
+type Event struct {
+	ID   int64  `json:"id"`
+	Type string `json:"type"`
+	Job  string `json:"job"`
+	// Item is the 1-based item index for item-scoped events.
+	Item     int    `json:"item,omitempty"`
+	ItemName string `json:"itemName,omitempty"`
+	// Msg carries status text (EventStatus) or the failure message
+	// (EventItemFailed).
+	Msg string `json:"msg,omitempty"`
+	// State is the job state after this event.
+	State State `json:"state,omitempty"`
+	// Done, Failed and Total count settled items at this point.
+	Done   int `json:"done"`
+	Failed int `json:"failed,omitempty"`
+	Total  int `json:"total"`
+}
+
+// eventLog is one job's in-memory progress stream: a dense append-only
+// slice plus a replace-and-close wake channel so any number of
+// subscribers block without a condition variable (the channel is
+// selectable against a context). The log is not persisted; after a
+// restart the manager rebuilds a condensed history from durable state.
+type eventLog struct {
+	mu       sync.Mutex
+	events   []Event
+	wake     chan struct{}
+	terminal bool
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{wake: make(chan struct{})}
+}
+
+// append assigns the next ID, stores the event, and wakes all waiters.
+func (l *eventLog) append(ev Event) {
+	l.mu.Lock()
+	ev.ID = int64(len(l.events)) + 1
+	l.events = append(l.events, ev)
+	if ev.Type == EventTerminal {
+		l.terminal = true
+	}
+	wake := l.wake
+	l.wake = make(chan struct{})
+	l.mu.Unlock()
+	close(wake)
+}
+
+// wait returns the events with ID > after, blocking until at least one
+// exists, the stream is terminal, ctx is done, or extraDone (may be
+// nil) closes. An `after` beyond the last ID — a client resuming
+// against a log rebuilt after a restart — replays the whole log.
+// The returned bool reports whether the stream has ended (terminal
+// event delivered or already consumed).
+func (l *eventLog) wait(ctx context.Context, after int64, extraDone <-chan struct{}) ([]Event, bool, error) {
+	for {
+		l.mu.Lock()
+		if after > int64(len(l.events)) {
+			after = 0
+		}
+		if int64(len(l.events)) > after {
+			evs := l.events[after:]
+			done := l.terminal
+			l.mu.Unlock()
+			return evs, done, nil
+		}
+		if l.terminal {
+			l.mu.Unlock()
+			return nil, true, nil
+		}
+		wake := l.wake
+		l.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		case <-extraDone:
+			return nil, false, nil
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package jobs is the asynchronous batch execution subsystem: the
+// request-bounded generation pipeline becomes a job abstraction. A
+// client submits a batch of XMI models (or one huge model) with
+// per-item target/profile options and gets back a job ID; a bounded
+// worker pool drains the items through an executor supplied by the
+// serving layer (the existing Plan/Emit pipeline behind the schema
+// cache); progress is observable live through a per-job event log; and
+// results are fetched as deterministic zip archives once the job
+// completes.
+//
+// Jobs are crash-safe. Every mutation — submission, item completion,
+// item failure, cancellation, terminal state, expiry — is a CRC-framed
+// JSON line appended to a write-ahead log and fsync'd before the
+// in-memory state advances, the same framing and recovery discipline as
+// internal/repo: recovery decodes the longest valid prefix, truncates a
+// torn tail, and replays records beyond the last checkpoint. Model
+// inputs and result archives live in a content-addressed blob store
+// (shared across items, so a bulk migration that runs one model through
+// several targets stores the model once). A job interrupted by a crash
+// or restart resumes where it left off: items with a durable completion
+// record keep their results, everything else re-enters the queue.
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// State is the lifecycle state of a job.
+type State string
+
+const (
+	// Queued: submitted, no item has started yet.
+	Queued State = "queued"
+	// Running: at least one item has started and the job is not settled.
+	Running State = "running"
+	// Completed: every item finished successfully.
+	Completed State = "completed"
+	// Failed: every item settled and at least one failed.
+	Failed State = "failed"
+	// Canceled: the job was canceled before every item completed.
+	Canceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == Completed || s == Failed || s == Canceled
+}
+
+// ItemStatus is the lifecycle state of one batch item.
+type ItemStatus string
+
+const (
+	// ItemPending: waiting in the queue (or re-queued after a restart).
+	ItemPending ItemStatus = "pending"
+	// ItemRunning: claimed by a worker.
+	ItemRunning ItemStatus = "running"
+	// ItemDone: finished; the result archive is durable.
+	ItemDone ItemStatus = "done"
+	// ItemFailed: the executor returned an error; recorded durably.
+	ItemFailed ItemStatus = "failed"
+	// ItemCanceled: the job was canceled before this item completed.
+	ItemCanceled ItemStatus = "canceled"
+)
+
+// terminal reports whether an item needs no further work.
+func (s ItemStatus) terminal() bool {
+	return s == ItemDone || s == ItemFailed || s == ItemCanceled
+}
+
+// ItemSpec is the durable description of one batch item: which model to
+// run through which target with which options. The model bytes
+// themselves live in the blob store under ModelSHA.
+type ItemSpec struct {
+	// Name labels the item in progress events and the result archive
+	// (e.g. the uploaded file name).
+	Name string `json:"name"`
+	// ModelSHA is the content address of the XMI input.
+	ModelSHA string `json:"modelSHA"`
+	// Library, Root, Style, Annotate, Target and Profile mirror the
+	// /v1/generate query parameters; the executor interprets them.
+	Library  string          `json:"library"`
+	Root     string          `json:"root,omitempty"`
+	Style    string          `json:"style,omitempty"`
+	Annotate bool            `json:"annotate,omitempty"`
+	Target   string          `json:"target,omitempty"`
+	Profile  json.RawMessage `json:"profile,omitempty"`
+}
+
+// Spec is the durable description of a job.
+type Spec struct {
+	// Name is an optional client-chosen label.
+	Name string `json:"name,omitempty"`
+	// Priority orders jobs in the queue: higher runs first; equal
+	// priorities run in submission order.
+	Priority int `json:"priority,omitempty"`
+	// Items are the batch items in submission order.
+	Items []ItemSpec `json:"items"`
+}
+
+// ItemState is the live state of one item.
+type ItemState struct {
+	Spec   ItemSpec
+	Status ItemStatus
+	// ResultSHA addresses the result archive blob once Status is ItemDone.
+	ResultSHA string
+	// Error carries the failure message once Status is ItemFailed.
+	Error string
+	// Nanos is the item's execution latency.
+	Nanos int64
+}
+
+// Snapshot is a point-in-time copy of a job's state, safe to hold
+// after the manager's lock is released.
+type Snapshot struct {
+	ID          string
+	Seq         int64
+	Spec        Spec
+	State       State
+	SubmittedAt time.Time
+	DoneAt      time.Time
+	Items       []ItemState
+	// Done and FailedItems count settled items.
+	Done        int
+	FailedItems int
+}
+
+// ItemResult is one item's archive in a fetched result.
+type ItemResult struct {
+	// Name is the item's label; Index its 1-based position.
+	Name  string
+	Index int
+	// Zip is the deterministic result archive — byte-identical to the
+	// synchronous /v1/generate response for the same model and options.
+	Zip []byte
+}
+
+// Executor runs one item: the model bytes and the item's options in,
+// the deterministic result archive out. status receives progress
+// messages (the generator's Options.Status stream); it is invoked from
+// the worker goroutine and must be cheap. The context is canceled on
+// job cancellation and on manager shutdown.
+type Executor func(ctx context.Context, item ItemSpec, model []byte, status func(string)) ([]byte, error)
+
+// Errors answered by the manager's accessors; the serving layer maps
+// them onto the documented status codes.
+var (
+	// ErrNotFound: no job with that ID exists (404).
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrExpired: the job existed but was removed by retention (410).
+	ErrExpired = errors.New("jobs: job expired")
+	// ErrNotFinished: the result was requested before the job completed,
+	// or the job settled without completing (409).
+	ErrNotFinished = errors.New("jobs: job has not completed")
+	// ErrFinished: a cancel was requested for an already-settled job (409).
+	ErrFinished = errors.New("jobs: job already settled")
+	// ErrClosed: the manager is shut down (503).
+	ErrClosed = errors.New("jobs: manager closed")
+)
+
+// jobID renders the durable job identifier for a submission sequence
+// number.
+func jobID(seq int64) string { return fmt.Sprintf("j%06d", seq) }

@@ -1,0 +1,415 @@
+package jobs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// On-disk layout under the job directory:
+//
+//	jobs.json              checkpoint: every live job's durable state
+//	                       plus the expiry tombstones (atomic
+//	                       temp-file+rename, fsync'd)
+//	jobs.wal               append-only records since the checkpoint,
+//	                       one CRC-framed JSON line each
+//	blobs/<p>/<sha256>     content-addressed store for model inputs and
+//	                       result archives (p = first two hex digits)
+//
+// The framing and recovery rules are those of internal/repo's WAL:
+// every record is fsync'd before the in-memory state advances, blobs
+// are durable before any record references them, and recovery decodes
+// the longest valid prefix (contiguous sequence numbers, CRC-verified
+// lines), truncating a torn tail.
+
+const (
+	walName        = "jobs.wal"
+	checkpointName = "jobs.json"
+	blobDirName    = "blobs"
+
+	// storeFormat versions the on-disk encoding.
+	storeFormat = 1
+
+	// maxTombstones bounds the expiry tombstone list carried across
+	// checkpoints; beyond it the oldest tombstones age into plain 404s.
+	maxTombstones = 10000
+)
+
+// WAL operations.
+const (
+	opSubmit     = "submit"
+	opItemDone   = "item_done"
+	opItemFailed = "item_failed"
+	opDone       = "done"
+	opCancel     = "cancel"
+	opExpire     = "expire"
+)
+
+// record is one committed mutation of the job state.
+type record struct {
+	// Seq numbers records contiguously across the store's life; the
+	// checkpoint stores the highest seq it has absorbed.
+	Seq int64  `json:"seq"`
+	Op  string `json:"op"`
+	Job string `json:"job"`
+	// Spec is the full job description and JobSeq the job's submission
+	// sequence number (submit records only).
+	Spec   *Spec `json:"spec,omitempty"`
+	JobSeq int64 `json:"jobSeq,omitempty"`
+	// At is the wall-clock time of the mutation in unix nanoseconds
+	// (submit and done records).
+	At int64 `json:"at,omitempty"`
+	// Item is the 1-based item index (item records only).
+	Item int `json:"item,omitempty"`
+	// SHA addresses the result archive blob (item_done records only).
+	SHA string `json:"sha,omitempty"`
+	// Nanos is the item's execution latency (item records).
+	Nanos int64 `json:"ns,omitempty"`
+	// Msg carries the failure message (item_failed records only).
+	Msg string `json:"msg,omitempty"`
+	// State is the terminal job state (done records only).
+	State State `json:"state,omitempty"`
+}
+
+// encodeRecord frames rec as "crc32(payload) payload\n" — the same
+// framing as the repository WAL.
+func encodeRecord(rec *record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: encoding WAL record: %w", err)
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = append(line, fmt.Sprintf("%08x ", crc32.ChecksumIEEE(payload))...)
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// decodeLine parses one "crc payload" frame, validating the fields a
+// record of its operation must carry.
+func decodeLine(line []byte) (*record, bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, false
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return nil, false
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != uint32(want) {
+		return nil, false
+	}
+	rec := &record{}
+	if err := json.Unmarshal(payload, rec); err != nil {
+		return nil, false
+	}
+	if rec.Seq <= 0 || rec.Job == "" {
+		return nil, false
+	}
+	switch rec.Op {
+	case opSubmit:
+		if rec.Spec == nil || len(rec.Spec.Items) == 0 || rec.JobSeq <= 0 {
+			return nil, false
+		}
+	case opItemDone:
+		if rec.Item <= 0 || rec.SHA == "" {
+			return nil, false
+		}
+	case opItemFailed:
+		if rec.Item <= 0 {
+			return nil, false
+		}
+	case opDone:
+		if !rec.State.Terminal() {
+			return nil, false
+		}
+	case opCancel, opExpire:
+	default:
+		return nil, false
+	}
+	return rec, true
+}
+
+// scanWAL decodes the longest valid prefix of a WAL image: CRC-verified
+// complete lines with contiguous sequence numbers. It returns the
+// decoded records and the byte length of that prefix; everything after
+// it is a torn or corrupt tail the caller truncates away.
+func scanWAL(data []byte) (recs []*record, goodLen int) {
+	off := 0
+	var lastSeq int64 = -1
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // unterminated tail
+		}
+		rec, ok := decodeLine(data[off : off+nl])
+		if !ok {
+			break
+		}
+		if lastSeq >= 0 && rec.Seq != lastSeq+1 {
+			break
+		}
+		lastSeq = rec.Seq
+		recs = append(recs, rec)
+		off += nl + 1
+		goodLen = off
+	}
+	return recs, goodLen
+}
+
+// persistedItem is one item's durable state in a checkpoint.
+type persistedItem struct {
+	Status ItemStatus `json:"status"`
+	SHA    string     `json:"sha,omitempty"`
+	Error  string     `json:"error,omitempty"`
+	Nanos  int64      `json:"ns,omitempty"`
+}
+
+// persistedJob is one job's durable state in a checkpoint.
+type persistedJob struct {
+	ID          string          `json:"id"`
+	Seq         int64           `json:"seq"`
+	Spec        Spec            `json:"spec"`
+	State       State           `json:"state"`
+	SubmittedAt int64           `json:"submittedAt"`
+	DoneAt      int64           `json:"doneAt,omitempty"`
+	Items       []persistedItem `json:"items"`
+}
+
+// checkpointDoc is the compacted on-disk snapshot.
+type checkpointDoc struct {
+	Format int `json:"format"`
+	// WALSeq is the highest record sequence absorbed into this snapshot;
+	// recovery replays only records beyond it.
+	WALSeq  int64          `json:"walSeq"`
+	NextJob int64          `json:"nextJob"`
+	Jobs    []persistedJob `json:"jobs"`
+	// Expired lists recently expired job IDs so reads can answer 410
+	// instead of 404 after a restart.
+	Expired []string `json:"expired,omitempty"`
+}
+
+// store is the persistence layer under a Manager: the WAL, the
+// checkpoint and the blob store. Methods are safe for concurrent use.
+type store struct {
+	dir string
+
+	mu  sync.Mutex
+	wal *os.File
+	seq int64
+}
+
+// openStore opens (creating if needed) the job directory and recovers
+// the durable state: checkpoint, then the valid WAL prefix beyond it,
+// truncating any torn tail and sweeping crash-abandoned temp files.
+func openStore(dir string) (*store, *checkpointDoc, []*record, error) {
+	if err := os.MkdirAll(filepath.Join(dir, blobDirName), 0o755); err != nil {
+		return nil, nil, nil, fmt.Errorf("jobs: creating job directory: %w", err)
+	}
+	if err := removeTempFiles(dir); err != nil {
+		return nil, nil, nil, fmt.Errorf("jobs: sweeping temp files: %w", err)
+	}
+
+	cp := &checkpointDoc{Format: storeFormat}
+	if data, err := os.ReadFile(filepath.Join(dir, checkpointName)); err == nil {
+		if err := json.Unmarshal(data, cp); err != nil {
+			return nil, nil, nil, fmt.Errorf("jobs: checkpoint corrupt: %w", err)
+		}
+		if cp.Format != storeFormat {
+			return nil, nil, nil, fmt.Errorf("jobs: checkpoint format %d not supported (want %d)", cp.Format, storeFormat)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, nil, fmt.Errorf("jobs: reading checkpoint: %w", err)
+	}
+
+	walPath := filepath.Join(dir, walName)
+	var recs []*record
+	goodLen := 0
+	if data, err := os.ReadFile(walPath); err == nil {
+		recs, goodLen = scanWAL(data)
+		if goodLen < len(data) {
+			if err := os.Truncate(walPath, int64(goodLen)); err != nil {
+				return nil, nil, nil, fmt.Errorf("jobs: truncating torn WAL tail: %w", err)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, nil, fmt.Errorf("jobs: reading WAL: %w", err)
+	}
+
+	// Records at or below the checkpoint's seq are already absorbed.
+	replay := recs[:0:0]
+	seq := cp.WALSeq
+	for _, rec := range recs {
+		if rec.Seq > seq {
+			replay = append(replay, rec)
+			seq = rec.Seq
+		}
+	}
+
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("jobs: opening WAL: %w", err)
+	}
+	return &store{dir: dir, wal: f, seq: seq}, cp, replay, nil
+}
+
+// append commits one record: sequence assignment, CRC framing, fsync.
+func (s *store) append(rec *record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return ErrClosed
+	}
+	rec.Seq = s.seq + 1
+	line, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := s.wal.Write(line); err != nil {
+		return fmt.Errorf("jobs: appending WAL record: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("jobs: syncing WAL: %w", err)
+	}
+	s.seq = rec.Seq
+	return nil
+}
+
+// checkpoint writes the compacted snapshot atomically and resets the
+// WAL: records up to the snapshot's seq are absorbed, so the log can
+// start empty.
+func (s *store) checkpoint(doc *checkpointDoc) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return ErrClosed
+	}
+	doc.Format = storeFormat
+	doc.WALSeq = s.seq
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("jobs: encoding checkpoint: %w", err)
+	}
+	if err := atomicWrite(s.dir, filepath.Join(s.dir, checkpointName), data); err != nil {
+		return err
+	}
+	// The checkpoint has absorbed every committed record; restart the
+	// log. Truncate-in-place keeps the append handle valid.
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("jobs: truncating WAL after checkpoint: %w", err)
+	}
+	if _, err := s.wal.Seek(0, 0); err != nil {
+		return fmt.Errorf("jobs: rewinding WAL after checkpoint: %w", err)
+	}
+	return nil
+}
+
+// close releases the WAL handle; the store refuses further appends.
+func (s *store) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}
+
+// putBlob stores data content-addressed and returns its address. Blobs
+// are written durably (temp file, fsync, rename) before any WAL record
+// references them; an already-resident blob is a no-op, which is what
+// deduplicates a model submitted for several targets.
+func (s *store) putBlob(data []byte) (string, error) {
+	sum := sha256.Sum256(data)
+	sha := hex.EncodeToString(sum[:])
+	path := s.blobPath(sha)
+	if _, err := os.Stat(path); err == nil {
+		return sha, nil
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("jobs: creating blob directory: %w", err)
+	}
+	if err := atomicWrite(dir, path, data); err != nil {
+		return "", err
+	}
+	return sha, nil
+}
+
+// blob reads one content-addressed blob.
+func (s *store) blob(sha string) ([]byte, error) {
+	data, err := os.ReadFile(s.blobPath(sha))
+	if err != nil {
+		return nil, fmt.Errorf("jobs: reading blob %s: %w", sha, err)
+	}
+	return data, nil
+}
+
+// removeBlob deletes one blob; missing files are not an error (expiry
+// races are harmless).
+func (s *store) removeBlob(sha string) {
+	os.Remove(s.blobPath(sha))
+}
+
+func (s *store) blobPath(sha string) string {
+	return filepath.Join(s.dir, blobDirName, sha[:2], sha)
+}
+
+// atomicWrite writes data to path via an fsync'd temp file in dir
+// renamed into place — the durability discipline shared with
+// ccts.WriteSchemas and the repository.
+func atomicWrite(dir, path string, data []byte) (err error) {
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("jobs: creating temp file for %s: %w", path, err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err := f.Write(data); err != nil {
+		return fmt.Errorf("jobs: writing %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("jobs: syncing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("jobs: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: renaming %s into place: %w", path, err)
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// removeTempFiles deletes abandoned *.tmp* files anywhere under dir —
+// the residue of a crash between CreateTemp and rename.
+func removeTempFiles(dir string) error {
+	return filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if strings.Contains(d.Name(), ".tmp") {
+			return os.Remove(path)
+		}
+		return nil
+	})
+}

@@ -31,6 +31,7 @@ import (
 	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -38,6 +39,7 @@ import (
 	"github.com/go-ccts/ccts/internal/backends"
 	"github.com/go-ccts/ccts/internal/gen"
 	"github.com/go-ccts/ccts/internal/health"
+	"github.com/go-ccts/ccts/internal/jobs"
 	"github.com/go-ccts/ccts/internal/limits"
 	"github.com/go-ccts/ccts/internal/metrics"
 	"github.com/go-ccts/ccts/internal/registry"
@@ -103,6 +105,11 @@ type Config struct {
 	// auto-promotion). The server instruments but does not own it; the
 	// caller starts and stops its loops.
 	Follower *repl.Follower
+	// Jobs, when non-nil, backs the /v1/jobs endpoint family (async
+	// batch generation with live SSE progress). The server installs the
+	// generation pipeline as the manager's executor and instruments it;
+	// the caller opens, starts and closes the manager.
+	Jobs *jobs.Manager
 }
 
 // Server is the HTTP serving layer. Create with New; the zero value is
@@ -120,7 +127,13 @@ type Server struct {
 	limiter  *rateLimiter
 	replSrc  *repl.Source
 	follower *repl.Follower
+	jobs     *jobs.Manager
 	draining atomic.Bool
+	// drainCh closes when BeginDrain runs so long-lived streams (job
+	// SSE watchers) end promptly instead of holding the shutdown grace
+	// period open.
+	drainCh   chan struct{}
+	drainOnce sync.Once
 
 	requests    *metrics.Counter
 	saturated   *metrics.Counter
@@ -134,7 +147,7 @@ type Server struct {
 	// Per-target generation counters, pre-registered for every backend
 	// so the request path never formats metric names or takes the
 	// registry's registration lock.
-	genRequests map[string]*metrics.Counter                      // target -> requests
+	genRequests map[string]*metrics.Counter                            // target -> requests
 	genOutcomes map[string][schemacache.Coalesced + 1]*metrics.Counter // target -> outcome-indexed counters
 }
 
@@ -157,18 +170,20 @@ func New(cfg Config) *Server {
 		mx = metrics.NewRegistry()
 	}
 	s := &Server{
-		cfg:     cfg,
-		lim:     lim,
-		cache:   schemacache.New(cacheBytes),
-		reg:     cfg.Registry,
-		repo:    cfg.Repo,
-		mx:      mx,
-		sem:     make(chan struct{}, maxInFlight),
-		mux:     http.NewServeMux(),
+		cfg:      cfg,
+		lim:      lim,
+		cache:    schemacache.New(cacheBytes),
+		reg:      cfg.Registry,
+		repo:     cfg.Repo,
+		mx:       mx,
+		sem:      make(chan struct{}, maxInFlight),
+		mux:      http.NewServeMux(),
 		health:   cfg.Health,
 		limiter:  newRateLimiter(cfg.RatePerClient, cfg.RateBurst),
 		replSrc:  cfg.ReplSource,
 		follower: cfg.Follower,
+		jobs:     cfg.Jobs,
+		drainCh:  make(chan struct{}),
 
 		requests:    mx.Counter("ccserved_requests_total", "HTTP requests received."),
 		saturated:   mx.Counter("ccserved_saturated_total", "Requests rejected with 503 because the admission semaphore was full."),
@@ -203,6 +218,10 @@ func New(cfg Config) *Server {
 	if s.follower != nil {
 		s.follower.Instrument(mx)
 	}
+	if s.jobs != nil {
+		s.jobs.Instrument(mx)
+		s.jobs.SetExecutor(s.executeJobItem)
+	}
 	s.mux.HandleFunc("/v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("/v1/validate", s.handleValidate)
 	s.mux.HandleFunc("/v1/registry/search", s.handleRegistrySearch)
@@ -217,6 +236,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/repl/snapshot", s.handleReplSnapshot)
 	s.mux.HandleFunc("GET /v1/repl/blob/{sha}", s.handleReplBlob)
 	s.mux.HandleFunc("POST /v1/repl/promote", s.handleReplPromote)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -350,8 +375,13 @@ func (s *Server) release() {
 // BeginDrain marks the server as draining: /healthz starts answering
 // 503 so load balancers stop routing new work, while in-flight and
 // late-arriving requests still complete during the shutdown grace
-// period.
-func (s *Server) BeginDrain() { s.draining.Store(true) }
+// period. Long-lived job event streams are ended so the HTTP server's
+// graceful shutdown is not held open by watchers; clients reconnect to
+// the restarted instance with their Last-Event-ID.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
 
 // errSaturated marks a rejected admission; mapped to 503.
 var errSaturated = errors.New("server: admission semaphore saturated")
@@ -510,6 +540,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		status, code = "draining", http.StatusServiceUnavailable
+		// Every 503 carries a back-off hint; draining instances are
+		// typically replaced within moments.
+		w.Header().Set("Retry-After", "1")
 	}
 	if r.Method == http.MethodHead {
 		if code != http.StatusOK {
@@ -541,7 +574,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"blobs": rs.Blobs, "blobBytes": rs.BlobBytes, "logicalBytes": rs.LogicalBytes,
 			"dedupRatio": rs.DedupRatio(),
 			"publishes":  rs.Publishes, "rejections": rs.Rejections, "deletes": rs.Deletes,
-			"walSeq":     s.repo.WALSeq(),
+			"walSeq": s.repo.WALSeq(),
 		}
 	}
 	if s.follower != nil {
@@ -558,6 +591,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 	} else if s.replSrc != nil {
 		doc["repl"] = map[string]any{"role": "primary"}
+	}
+	if s.jobs != nil {
+		js := s.jobs.Stats()
+		doc["jobs"] = map[string]any{
+			"jobs": js.Jobs, "running": js.Running,
+			"queueDepth": js.QueueDepth, "workers": js.Workers,
+		}
 	}
 	if code != http.StatusOK {
 		s.errors5xx.Inc()

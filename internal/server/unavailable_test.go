@@ -1,0 +1,99 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/go-ccts/ccts/internal/health"
+	"github.com/go-ccts/ccts/internal/jobs"
+	"github.com/go-ccts/ccts/internal/repo"
+)
+
+// TestEvery503CarriesRetryAfterAndReason locks in the unavailability
+// contract: every way the server can answer 503 — admission saturation,
+// queue-wait shedding, read-only mode, storage faults, a draining job
+// subsystem, a closing WAL stream, and the replica write guard — must
+// carry a Retry-After of at least one second and a machine-readable
+// code in the JSON envelope, so disciplined clients can always back off
+// without parsing prose.
+func TestEvery503CarriesRetryAfterAndReason(t *testing.T) {
+	s := New(Config{})
+	cases := []struct {
+		name     string
+		err      *apiError
+		wantCode string
+	}{
+		{"saturated", mapError(errSaturated), "saturated"},
+		{"shed", mapError(errShed), "shed"},
+		{"read_only", mapError(health.ErrReadOnly), "read_only"},
+		{"storage", mapError(fmt.Errorf("appending WAL record: %w", syscall.ENOSPC)), "storage"},
+		{"jobs draining", mapJobError(jobs.ErrClosed), "draining"},
+		// handleReplWAL builds this answer by hand for repo.ErrClosed;
+		// keep the literal in sync with repl.go.
+		{"wal stream closed", &apiError{
+			Status: http.StatusServiceUnavailable, Code: "closed", Message: repo.ErrClosed.Error(),
+		}, "closed"},
+		{"replica write guard", &apiError{
+			Status:     http.StatusServiceUnavailable,
+			Code:       "read_only",
+			Message:    "this instance is a read replica; write to the primary",
+			RetryAfter: 5 * time.Second,
+			Primary:    "http://primary:8080",
+		}, "read_only"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.err.Status != http.StatusServiceUnavailable {
+				t.Fatalf("status = %d, want 503", tc.err.Status)
+			}
+			rec := httptest.NewRecorder()
+			s.writeError(rec, tc.err)
+			if rec.Code != http.StatusServiceUnavailable {
+				t.Fatalf("rendered status = %d, want 503", rec.Code)
+			}
+			secs, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+			if err != nil || secs < 1 {
+				t.Errorf("Retry-After = %q, want an integer >= 1", rec.Header().Get("Retry-After"))
+			}
+			var body struct {
+				Error string `json:"error"`
+				Code  string `json:"code"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+				t.Fatalf("non-JSON 503 body: %s", rec.Body.String())
+			}
+			if body.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q", body.Code, tc.wantCode)
+			}
+			if body.Error == "" {
+				t.Error("503 body has no error message")
+			}
+		})
+	}
+}
+
+// TestHealthzDrainingCarriesRetryAfter covers the one 503 that does not
+// flow through writeError: the drain answer of /healthz, on both GET
+// and HEAD.
+func TestHealthzDrainingCarriesRetryAfter(t *testing.T) {
+	s := New(Config{})
+	s.BeginDrain()
+	h := s.Handler()
+	for _, method := range []string{http.MethodGet, http.MethodHead} {
+		req := httptest.NewRequest(method, "/healthz", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s /healthz while draining = %d, want 503", method, rec.Code)
+		}
+		if secs, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || secs < 1 {
+			t.Errorf("%s /healthz: Retry-After = %q, want an integer >= 1", method, rec.Header().Get("Retry-After"))
+		}
+	}
+}

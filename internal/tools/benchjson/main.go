@@ -4,9 +4,12 @@
 // other BENCH_* artifacts.
 //
 // With -baseline it instead compares the fresh run against a committed
-// BENCH_*.json document and exits non-zero when any benchmark's ns/op
-// regressed by more than -max-regress percent — `make bench-diff` uses
-// this as an advisory perf gate.
+// BENCH_*.json document and exits non-zero when any benchmark regressed
+// beyond the allowance: ns/op by more than -max-regress percent, or
+// (when both sides recorded -benchmem numbers) allocs/op or B/op by
+// more than -max-regress-alloc percent — `make bench-diff` uses this as
+// an advisory perf gate. Allocation counts are far less noisy than
+// wall time, so their gate is meaningful even on shared CI hardware.
 //
 // Usage:
 //
@@ -49,6 +52,7 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	baseline := flag.String("baseline", "", "committed BENCH_*.json to compare against; exits non-zero on regression")
 	maxRegress := flag.Float64("max-regress", 10, "allowed ns/op regression over the baseline, in percent")
+	maxRegressAlloc := flag.Float64("max-regress-alloc", 25, "allowed allocs/op and B/op regression over the baseline, in percent")
 	flag.Parse()
 
 	doc, err := parse(os.Stdin)
@@ -57,7 +61,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *baseline != "" {
-		regressed, err := compare(os.Stdout, *baseline, doc, *maxRegress)
+		regressed, err := compare(os.Stdout, *baseline, doc, *maxRegress, *maxRegressAlloc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -148,12 +152,14 @@ func parseLine(line string) (Result, error) {
 }
 
 // compare diffs a fresh run against a committed baseline document.
-// Every benchmark present in both is compared on ns/op; a slowdown
-// beyond maxRegress percent is a regression. Benchmarks that appear on
-// only one side are reported but never fail the comparison — renames
-// and new benchmarks should not block, they should prompt a baseline
-// refresh. Returns whether any benchmark regressed.
-func compare(w io.Writer, baselinePath string, fresh *Doc, maxRegress float64) (bool, error) {
+// Every benchmark present in both is compared on ns/op (allowance
+// maxRegress percent) and, when both sides recorded -benchmem numbers,
+// on allocs/op and B/op (allowance maxAlloc percent); growth beyond the
+// allowance is a regression. Benchmarks that appear on only one side
+// are reported but never fail the comparison — renames and new
+// benchmarks should not block, they should prompt a baseline refresh.
+// Returns whether any benchmark regressed.
+func compare(w io.Writer, baselinePath string, fresh *Doc, maxRegress, maxAlloc float64) (bool, error) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return false, err
@@ -189,6 +195,27 @@ func compare(w io.Writer, baselinePath string, fresh *Doc, maxRegress float64) (
 		}
 		fmt.Fprintf(w, "%s %-40s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
 			status, r.Name, old.NsPerOp, r.NsPerOp, deltaPct)
+		// Memory gates apply only when both runs carried -benchmem
+		// numbers: a zero on either side means "not measured" (or a
+		// genuinely allocation-free benchmark, where growth from zero is
+		// caught once the baseline is refreshed with the new counts).
+		for _, m := range []struct {
+			unit     string
+			old, new int64
+		}{
+			{"allocs/op", old.AllocsPerOp, r.AllocsPerOp},
+			{"B/op", old.BytesPerOp, r.BytesPerOp},
+		} {
+			if m.old <= 0 || m.new <= 0 {
+				continue
+			}
+			memPct := float64(m.new-m.old) / float64(m.old) * 100
+			if memPct > maxAlloc {
+				regressed = true
+				fmt.Fprintf(w, "ALLOC %-40s %12d -> %12d %s (%+.1f%%)\n",
+					r.Name, m.old, m.new, m.unit, memPct)
+			}
+		}
 	}
 	gone := make([]string, 0, len(baseByName))
 	for name := range baseByName {
@@ -199,7 +226,7 @@ func compare(w io.Writer, baselinePath string, fresh *Doc, maxRegress float64) (
 		fmt.Fprintf(w, "GONE  %-40s (in %s but not in this run)\n", name, baselinePath)
 	}
 	if regressed {
-		fmt.Fprintf(w, "benchjson: ns/op regression beyond %.0f%% against %s\n", maxRegress, baselinePath)
+		fmt.Fprintf(w, "benchjson: regression beyond the allowance (ns/op %.0f%%, allocs/B %.0f%%) against %s\n", maxRegress, maxAlloc, baselinePath)
 	}
 	return regressed, nil
 }

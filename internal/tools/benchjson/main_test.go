@@ -56,7 +56,7 @@ func TestParseRejectsMalformedLine(t *testing.T) {
 
 func TestCompare(t *testing.T) {
 	baseline := `{"benchmarks": [
-		{"name": "BenchmarkA", "runs": 100, "ns_per_op": 1000},
+		{"name": "BenchmarkA", "runs": 100, "ns_per_op": 1000, "b_per_op": 4096, "allocs_per_op": 100},
 		{"name": "BenchmarkB", "runs": 100, "ns_per_op": 2000},
 		{"name": "BenchmarkGone", "runs": 100, "ns_per_op": 500}
 	]}`
@@ -68,7 +68,7 @@ func TestCompare(t *testing.T) {
 	run := func(t *testing.T, fresh *Doc, maxRegress float64) (bool, string) {
 		t.Helper()
 		var buf strings.Builder
-		regressed, err := compare(&buf, path, fresh, maxRegress)
+		regressed, err := compare(&buf, path, fresh, maxRegress, 25)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -113,14 +113,59 @@ func TestCompare(t *testing.T) {
 		}
 	})
 
+	t.Run("alloc growth within threshold", func(t *testing.T) {
+		regressed, out := run(t, &Doc{Benchmarks: []Result{
+			{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 5000, AllocsPerOp: 120}, // +22%/+20%
+		}}, 10)
+		if regressed {
+			t.Errorf("alloc growth inside the allowance flagged:\n%s", out)
+		}
+	})
+
+	t.Run("allocs_per_op regression", func(t *testing.T) {
+		regressed, out := run(t, &Doc{Benchmarks: []Result{
+			{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 4096, AllocsPerOp: 130}, // +30%
+		}}, 10)
+		if !regressed {
+			t.Errorf("30%% allocs/op growth not flagged:\n%s", out)
+		}
+		if !strings.Contains(out, "ALLOC BenchmarkA") || !strings.Contains(out, "allocs/op") {
+			t.Errorf("alloc regression not reported:\n%s", out)
+		}
+	})
+
+	t.Run("b_per_op regression", func(t *testing.T) {
+		regressed, out := run(t, &Doc{Benchmarks: []Result{
+			{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 8192, AllocsPerOp: 100}, // +100% bytes
+		}}, 10)
+		if !regressed {
+			t.Errorf("doubled B/op not flagged:\n%s", out)
+		}
+		if !strings.Contains(out, "B/op") {
+			t.Errorf("byte regression not reported:\n%s", out)
+		}
+	})
+
+	t.Run("memory gate skipped without benchmem on either side", func(t *testing.T) {
+		// BenchmarkB's baseline has no memory numbers; BenchmarkA's
+		// fresh run omits them (no -benchmem). Neither may regress.
+		regressed, out := run(t, &Doc{Benchmarks: []Result{
+			{Name: "BenchmarkA", NsPerOp: 1000},
+			{Name: "BenchmarkB", NsPerOp: 2000, BytesPerOp: 1 << 20, AllocsPerOp: 10000},
+		}}, 10)
+		if regressed {
+			t.Errorf("unmeasured memory side treated as regression:\n%s", out)
+		}
+	})
+
 	t.Run("empty run errors", func(t *testing.T) {
-		if _, err := compare(io.Discard, path, &Doc{}, 10); err == nil {
+		if _, err := compare(io.Discard, path, &Doc{}, 10, 25); err == nil {
 			t.Error("empty fresh run accepted")
 		}
 	})
 
 	t.Run("missing baseline errors", func(t *testing.T) {
-		if _, err := compare(io.Discard, filepath.Join(t.TempDir(), "nope.json"), &Doc{Benchmarks: []Result{{Name: "x"}}}, 10); err == nil {
+		if _, err := compare(io.Discard, filepath.Join(t.TempDir(), "nope.json"), &Doc{Benchmarks: []Result{{Name: "x"}}}, 10, 25); err == nil {
 			t.Error("missing baseline file accepted")
 		}
 	})
