@@ -1,7 +1,17 @@
 GO ?= go
 FUZZTIME ?= 10s
+# MAXREGRESS is the enforced ns/op allowance of bench-diff. BENCHCOUNT
+# runs each benchmark N times and benchjson keeps the fastest (least
+# interference) observation, on both the recorded baselines and the
+# gated reruns, so one preempted run cannot fail the gate. Even so,
+# wall time on shared hardware drifts across whole-process runs
+# (measured up to ~20% between invocations of identical code), so the
+# default allowance is sized to catch real regressions without flaking;
+# tighten it (MAXREGRESS=10) on quiet dedicated hardware.
+MAXREGRESS ?= 25
+BENCHCOUNT ?= 3
 
-.PHONY: build test bench bench-serve bench-repo bench-repl bench-diff verify fuzz-smoke chaos-smoke repl-smoke jobs-smoke
+.PHONY: build test bench bench-serve bench-repo bench-repl bench-diff verify fuzz-smoke chaos-smoke repl-smoke jobs-smoke shard-smoke
 
 build:
 	$(GO) build ./...
@@ -17,7 +27,7 @@ bench:
 # converted to BENCH_serve.json (the cache-hit/miss ratio is the
 # acceptance metric for the schema cache).
 bench-serve:
-	$(GO) test ./internal/server -run='^$$' -bench='BenchmarkServe' -benchmem \
+	$(GO) test ./internal/server -run='^$$' -bench='BenchmarkServe' -benchmem -count=$(BENCHCOUNT) \
 		| tee /dev/stderr | $(GO) run ./internal/tools/benchjson -o BENCH_serve.json
 
 # bench-repo measures the schema repository: a cold publish (full
@@ -26,7 +36,7 @@ bench-serve:
 # read. The warm/cold gap is the acceptance metric for content
 # addressing.
 bench-repo:
-	$(GO) test ./internal/repo -run='^$$' -bench='BenchmarkRepo' -benchmem \
+	$(GO) test ./internal/repo -run='^$$' -bench='BenchmarkRepo' -benchmem -count=$(BENCHCOUNT) \
 		| tee /dev/stderr | $(GO) run ./internal/tools/benchjson -o BENCH_repo.json
 
 # bench-repl measures read parity between a primary and a WAL-shipped
@@ -35,22 +45,23 @@ bench-repo:
 # acceptance metric for the read fan-out (replication must live
 # entirely off the read path).
 bench-repl:
-	$(GO) test ./internal/repl -run='^$$' -bench='BenchmarkRepl' -benchmem \
+	$(GO) test ./internal/repl -run='^$$' -bench='BenchmarkRepl' -benchmem -count=$(BENCHCOUNT) \
 		| tee /dev/stderr | $(GO) run ./internal/tools/benchjson -o BENCH_repl.json
 
 # bench-diff reruns the serving and repository benchmark suites and
 # diffs them against the committed BENCH_*.json baselines, failing on a
-# >10% ns/op regression. Benchmark noise varies by machine, so verify
-# treats this as advisory; run it directly when touching the hot paths
-# and refresh the baselines (make bench-serve bench-repo) on intended
-# changes.
+# >$(MAXREGRESS)% ns/op regression. The ns/op gate is enforced in
+# verify (the baselines are committed and stable); allocation gates
+# stay advisory (-alloc-advisory) — alloc drift is reported, not
+# failing. Refresh the baselines (make bench-serve bench-repo
+# bench-repl) on intended changes.
 bench-diff:
-	$(GO) test ./internal/server -run='^$$' -bench='BenchmarkServe' -benchmem \
-		| $(GO) run ./internal/tools/benchjson -baseline BENCH_serve.json
-	$(GO) test ./internal/repo -run='^$$' -bench='BenchmarkRepo' -benchmem \
-		| $(GO) run ./internal/tools/benchjson -baseline BENCH_repo.json
-	$(GO) test ./internal/repl -run='^$$' -bench='BenchmarkRepl' -benchmem \
-		| $(GO) run ./internal/tools/benchjson -baseline BENCH_repl.json
+	$(GO) test ./internal/server -run='^$$' -bench='BenchmarkServe' -benchmem -count=$(BENCHCOUNT) \
+		| $(GO) run ./internal/tools/benchjson -baseline BENCH_serve.json -max-regress $(MAXREGRESS) -alloc-advisory
+	$(GO) test ./internal/repo -run='^$$' -bench='BenchmarkRepo' -benchmem -count=$(BENCHCOUNT) \
+		| $(GO) run ./internal/tools/benchjson -baseline BENCH_repo.json -max-regress $(MAXREGRESS) -alloc-advisory
+	$(GO) test ./internal/repl -run='^$$' -bench='BenchmarkRepl' -benchmem -count=$(BENCHCOUNT) \
+		| $(GO) run ./internal/tools/benchjson -baseline BENCH_repl.json -max-regress $(MAXREGRESS) -alloc-advisory
 
 # fuzz-smoke runs every fuzz target briefly against its seed corpus plus
 # whatever the engine mutates in FUZZTIME. It is a smoke test of the
@@ -62,6 +73,7 @@ fuzz-smoke:
 	$(GO) test ./internal/ocl -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/gen -run='^$$' -fuzz=FuzzProfileJSON -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/repo -run='^$$' -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/shard -run='^$$' -fuzz=FuzzShardMapJSON -fuzztime=$(FUZZTIME)
 
 # chaos-smoke replays the disk-fault soak on its own: ENOSPC injected
 # mid-publish under concurrent load must flip the service read-only
@@ -91,6 +103,17 @@ jobs-smoke:
 	$(GO) test ./internal/server -race -count=1 -run 'TestJobs' -timeout 180s
 	$(GO) test ./internal/jobs -race -count=1 -timeout 180s
 
+# shard-smoke replays the shard-cluster drill under -race: a 3-primary
+# cluster, publishes fanned out across the ring (each landing on
+# exactly one owner, wrong-shard requests answering 421 with a usable
+# owner hint), then a rebalance onto a changed topology with one
+# primary killed mid-migration — every subject must stay readable
+# byte-identically from exactly one authoritative owner before, during
+# and after, and re-POSTing the rebalance must resume and complete it.
+shard-smoke:
+	$(GO) test ./internal/server -race -count=1 -run 'TestShard' -timeout 180s
+	$(GO) test ./internal/shard -race -count=1 -timeout 120s
+
 # verify is the full pre-merge gate: static checks, the entire test
 # suite under the race detector (the parallel emit phase must be
 # data-race-free at any Parallelism setting), a dedicated -race pass
@@ -98,16 +121,17 @@ jobs-smoke:
 # (singleflight, admission gating, shedding, rate limiting, drain,
 # health state machine, client retry, concurrent publishes against the
 # WAL, parallel emission through every backend), the chaos smoke pass,
-# the replication and batch-job crash drills, the fuzz smoke pass, and
-# an advisory benchmark diff against the
-# committed baselines (failures are reported but do not gate the merge
-# — benchmark noise is machine-dependent).
+# the replication, batch-job and shard-cluster crash drills, the fuzz
+# smoke pass, and an enforced ns/op benchmark diff against the
+# committed baselines (allocation drift stays advisory; see bench-diff
+# for the regression allowance).
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -race -count=1 ./internal/server ./internal/schemacache ./internal/registry ./internal/repo ./internal/repl ./internal/health ./internal/retry ./internal/client ./internal/faultio ./cmd/ccrepo ./internal/gen ./internal/jsonschema ./internal/protogen ./internal/backends ./internal/jobs ./cmd/ccjobs
+	$(GO) test -race -count=1 ./internal/server ./internal/schemacache ./internal/registry ./internal/repo ./internal/repl ./internal/shard ./internal/health ./internal/retry ./internal/client ./internal/faultio ./cmd/ccrepo ./internal/gen ./internal/jsonschema ./internal/protogen ./internal/backends ./internal/jobs ./cmd/ccjobs
 	$(MAKE) chaos-smoke
 	$(MAKE) repl-smoke
 	$(MAKE) jobs-smoke
+	$(MAKE) shard-smoke
 	$(MAKE) fuzz-smoke
-	-$(MAKE) bench-diff
+	$(MAKE) bench-diff

@@ -5,7 +5,9 @@
 // Endpoints: POST /v1/generate, POST /v1/validate,
 // GET /v1/registry/search, the /v1/repo family (when -repo is set),
 // the /v1/jobs family (when -job-dir is set: async batch generation
-// with SSE progress, durable across restarts), GET|HEAD /healthz,
+// with SSE progress, durable across restarts), the /v1/shard family
+// (when -shard-map is set: consistent-hash clustering with 421
+// wrong_shard routing and live rebalance), GET|HEAD /healthz,
 // GET /metrics.
 //
 // /v1/generate accepts target=xsd|jsonschema|proto|rng|rdfs|go to pick
@@ -52,6 +54,7 @@ import (
 	"github.com/go-ccts/ccts/internal/repl"
 	"github.com/go-ccts/ccts/internal/repo"
 	"github.com/go-ccts/ccts/internal/server"
+	"github.com/go-ccts/ccts/internal/shard"
 )
 
 func main() {
@@ -93,6 +96,12 @@ type config struct {
 	jobDir       string
 	jobWorkers   int
 	jobRetention time.Duration
+	// shardMap and shardSelf make this instance one primary of a
+	// consistent-hash shard cluster: the map file carries the versioned
+	// topology, shardSelf names this node's shard ID within it.
+	shardMap   string
+	shardSelf  string
+	shardProxy bool
 }
 
 // parseFlags maps the command line onto a server configuration.
@@ -119,6 +128,9 @@ func parseFlags(args []string) (*config, error) {
 		jobDir       = fs.String("job-dir", "", "async job queue directory backing /v1/jobs (empty disables; jobs survive restarts)")
 		jobWorkers   = fs.Int("job-workers", 2, "worker pool size draining the job queue (requires -job-dir)")
 		jobRetention = fs.Duration("job-retention", 24*time.Hour, "how long finished jobs and their results are kept (0 = forever; requires -job-dir)")
+		shardMap     = fs.String("shard-map", "", "shard-map file making this instance one primary of a consistent-hash cluster (requires -repo and -shard-self)")
+		shardSelf    = fs.String("shard-self", "", "this node's shard ID within the -shard-map topology")
+		shardProxy   = fs.Bool("shard-proxy", false, "proxy wrong-shard requests to their owner instead of answering 421 (requires -shard-map)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -169,6 +181,19 @@ func parseFlags(args []string) (*config, error) {
 	cfg.jobRetention = *jobRetention
 	if cfg.jobDir == "" && (*jobWorkers != 2 || *jobRetention != 24*time.Hour) {
 		return nil, fmt.Errorf("-job-workers and -job-retention require -job-dir")
+	}
+	cfg.shardMap = *shardMap
+	cfg.shardSelf = *shardSelf
+	cfg.shardProxy = *shardProxy
+	if cfg.shardMap != "" {
+		if cfg.repoDir == "" {
+			return nil, fmt.Errorf("-shard-map requires -repo (each shard primary stores its subjects locally)")
+		}
+		if cfg.shardSelf == "" {
+			return nil, fmt.Errorf("-shard-map requires -shard-self (this node's shard ID in the map)")
+		}
+	} else if cfg.shardSelf != "" || cfg.shardProxy {
+		return nil, fmt.Errorf("-shard-self and -shard-proxy require -shard-map")
 	}
 	return cfg, nil
 }
@@ -227,6 +252,17 @@ func run(args []string) error {
 			defer follower.Stop()
 			cfg.server.Follower = follower
 		}
+	}
+
+	// The shard router loads the versioned map before serving: a node
+	// that cannot know the topology must not guess it.
+	if cfg.shardMap != "" {
+		router, err := shard.OpenRouter(cfg.shardMap, cfg.shardSelf)
+		if err != nil {
+			return fmt.Errorf("opening shard map: %w", err)
+		}
+		cfg.server.Shard = router
+		cfg.server.ShardProxy = cfg.shardProxy
 	}
 
 	// The job queue is durable: it recovers interrupted jobs before

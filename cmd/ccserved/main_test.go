@@ -114,6 +114,34 @@ func TestParseFlagsRepo(t *testing.T) {
 	}
 }
 
+func TestParseFlagsShard(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "repo")
+	mapPath := filepath.Join(t.TempDir(), "map.json")
+
+	cfg, err := parseFlags([]string{"-repo", dir, "-shard-map", mapPath, "-shard-self", "a", "-shard-proxy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.shardMap != mapPath || cfg.shardSelf != "a" || !cfg.shardProxy {
+		t.Errorf("shard flags = %q/%q/%v", cfg.shardMap, cfg.shardSelf, cfg.shardProxy)
+	}
+
+	// Every incomplete combination is refused at parse time, before
+	// anything opens.
+	for _, args := range [][]string{
+		{"-shard-map", mapPath},                            // no repo, no self
+		{"-repo", dir, "-shard-map", mapPath},              // no self
+		{"-shard-map", mapPath, "-shard-self", "a"},        // no repo
+		{"-shard-self", "a"},                               // self without map
+		{"-shard-proxy"},                                   // proxy without map
+		{"-repo", dir, "-shard-self", "a", "-shard-proxy"}, // both without map
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted an incomplete shard config", args)
+		}
+	}
+}
+
 func TestParseFlagsRejectsUnknownLimitsProfile(t *testing.T) {
 	if _, err := parseFlags([]string{"-limits", "bogus"}); err == nil {
 		t.Error("unknown limits profile accepted")

@@ -27,11 +27,13 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/go-ccts/ccts/internal/metrics"
 	"github.com/go-ccts/ccts/internal/repo"
 	"github.com/go-ccts/ccts/internal/retry"
+	"github.com/go-ccts/ccts/internal/shard"
 )
 
 // APIError is a structured non-2xx answer from the server.
@@ -44,6 +46,11 @@ type APIError struct {
 	// writable primary the write should go to (from the envelope's
 	// "primary" field or the Location header).
 	Primary string
+	// Owner, on a 421 wrong_shard, names the shard primary owning the
+	// subject; Epoch is the shard-map epoch the refusing node decided
+	// under, so the client knows when its cached map is stale.
+	Owner string
+	Epoch int64
 
 	retryAfter time.Duration
 }
@@ -64,6 +71,16 @@ func (e *APIError) RetryAfter() time.Duration { return e.retryAfter }
 func (e *APIError) retryable() bool {
 	return e.Status == http.StatusTooManyRequests || e.Status >= 500
 }
+
+// ErrRoutingLoop reports ownership hints that chased each other past
+// the hop budget: two nodes with disagreeing shard maps (or replica
+// primaries pointing at each other) would bounce the request forever,
+// so the client stops and surfaces the loop instead.
+var ErrRoutingLoop = errors.New("client: ownership hints form a loop or exceed the hop budget")
+
+// maxOwnerHops bounds how many ownership hints (421 wrong_shard owner,
+// 503 read_only primary) one call will follow.
+const maxOwnerHops = 3
 
 // ConnectError marks a transport-level failure: nothing answered at
 // all (connection refused, DNS failure, reset mid-response). It is
@@ -121,11 +138,20 @@ type Options struct {
 }
 
 // Client talks to one ccserved base URL. Safe for concurrent use.
+// Against a shard cluster the client is shard-aware: it caches the
+// cluster's shard map (fetched whenever a 421 reveals the cache is
+// missing or stale), routes subject-scoped calls to the owning shard
+// directly, and follows ownership hints with a bounded hop budget.
 type Client struct {
 	base   string
 	http   *http.Client
 	policy retry.Policy
 	apiKey string
+
+	// shardMu guards shardMap, the cached cluster topology; nil until
+	// the first 421 teaches the client it is talking to a cluster.
+	shardMu  sync.Mutex
+	shardMap *shard.Map
 
 	attempts  *metrics.Counter
 	successes *metrics.Counter
@@ -151,10 +177,132 @@ func New(baseURL string, opts Options) *Client {
 	return c
 }
 
-// do runs one HTTP exchange under the retry policy and returns the
-// response body. Request bodies are replayed from memory on retries.
+// do runs one exchange against the configured base URL.
 func (c *Client) do(ctx context.Context, method, path string, query url.Values, body []byte) ([]byte, error) {
-	u := c.base + path
+	return c.doAt(ctx, c.base, method, path, query, body)
+}
+
+// doSubject runs one subject-scoped exchange with shard routing: the
+// cached shard map picks the starting node, and ownership hints — 421
+// wrong_shard owners, 503 read_only primaries — are followed up to
+// maxOwnerHops before the call fails with ErrRoutingLoop. Each 421
+// also refreshes the cached map when its epoch is stale, so the next
+// call starts at the right node.
+func (c *Client) doSubject(ctx context.Context, subject, method, path string, query url.Values, body []byte) ([]byte, error) {
+	base := c.base
+	if owner := c.shardOwner(subject); owner != "" {
+		base = owner
+	}
+	visited := map[string]bool{}
+	var lastErr error
+	for hop := 0; hop <= maxOwnerHops; hop++ {
+		if visited[base] {
+			return nil, fmt.Errorf("%w: %s already visited", ErrRoutingLoop, base)
+		}
+		visited[base] = true
+		out, err := c.doAt(ctx, base, method, path, query, body)
+		if err == nil {
+			return out, nil
+		}
+		hint := ownershipHint(err)
+		if hint == "" {
+			// A hinted node that cannot even be dialed: the refusal that
+			// sent us here is the more useful verdict — it still names
+			// the owner, so the caller can report or retry against it.
+			if IsConnectError(err) && lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, err
+		}
+		lastErr = err
+		var ae *APIError
+		if errors.As(err, &ae) && ae.Status == http.StatusMisdirectedRequest {
+			c.refreshShardMap(ctx, hint, ae.Epoch)
+		}
+		base = strings.TrimRight(hint, "/")
+	}
+	return nil, fmt.Errorf("%w: gave up after %d hop(s): %v", ErrRoutingLoop, maxOwnerHops, lastErr)
+}
+
+// ownershipHint extracts the next node to try from a routing refusal:
+// the owner of a 421 wrong_shard, or the primary of a replica's 503
+// read_only. Anything else — including a read_only with no primary
+// hint, which marks a degraded single node, not a routing matter —
+// yields no hint.
+func ownershipHint(err error) string {
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		return ""
+	}
+	switch {
+	case ae.Status == http.StatusMisdirectedRequest:
+		if ae.Owner != "" {
+			return ae.Owner
+		}
+		return ae.Primary
+	case ae.Status == http.StatusServiceUnavailable && ae.Code == "read_only":
+		return ae.Primary
+	}
+	return ""
+}
+
+// shardOwner resolves a subject against the cached shard map; "" when
+// no map is cached (or the map names no address).
+func (c *Client) shardOwner(subject string) string {
+	c.shardMu.Lock()
+	m := c.shardMap
+	c.shardMu.Unlock()
+	if m == nil {
+		return ""
+	}
+	return strings.TrimRight(m.Route(subject).Owner.Addr, "/")
+}
+
+// refreshShardMap fetches /v1/shard/map from addr and caches it when it
+// is newer than what is held. Best-effort: a cluster that answers 421s
+// keeps working without the cache, just with one extra hop per call.
+func (c *Client) refreshShardMap(ctx context.Context, addr string, epoch int64) {
+	c.shardMu.Lock()
+	cached := c.shardMap
+	c.shardMu.Unlock()
+	if cached != nil && epoch != 0 && cached.Epoch >= epoch {
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(addr, "/")+"/v1/shard/map", nil)
+	if err != nil {
+		return
+	}
+	if c.apiKey != "" {
+		req.Header.Set("X-API-Key", c.apiKey)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return
+	}
+	m, err := shard.ParseMap(data)
+	if err != nil {
+		return
+	}
+	c.shardMu.Lock()
+	if c.shardMap == nil || m.Epoch > c.shardMap.Epoch {
+		c.shardMap = m
+	}
+	c.shardMu.Unlock()
+}
+
+// doAt runs one HTTP exchange against base under the retry policy and
+// returns the response body. Request bodies are replayed from memory on
+// retries.
+func (c *Client) doAt(ctx context.Context, base, method, path string, query url.Values, body []byte) ([]byte, error) {
+	u := base + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
@@ -202,11 +350,15 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 			Error   string `json:"error"`
 			Code    string `json:"code"`
 			Primary string `json:"primary"`
+			Owner   string `json:"owner"`
+			Epoch   int64  `json:"epoch"`
 		}
 		if json.Unmarshal(data, &envelope) == nil {
 			ae.Code = envelope.Code
 			ae.Message = envelope.Error
 			ae.Primary = envelope.Primary
+			ae.Owner = envelope.Owner
+			ae.Epoch = envelope.Epoch
 		}
 		if ae.Primary == "" {
 			ae.Primary = resp.Header.Get("Location")
@@ -217,6 +369,13 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 			}
 		}
 		if !ae.retryable() {
+			return retry.Permanent(ae)
+		}
+		// A replica's read_only names its primary: retrying here cannot
+		// succeed, the caller should redirect instead. A read_only with
+		// no hint is a degraded primary and stays retryable — it may
+		// recover (the chaos drills depend on exactly that).
+		if ae.Status == http.StatusServiceUnavailable && ae.Code == "read_only" && ae.Primary != "" {
 			return retry.Permanent(ae)
 		}
 		return ae
@@ -273,7 +432,7 @@ type PublishResult struct {
 // Publish sends xmi as the next version of subject. A policy rejection
 // surfaces as *IncompatibleError (permanent, never retried).
 func (c *Client) Publish(ctx context.Context, subject string, xmi []byte, params PublishParams) (*PublishResult, error) {
-	data, err := c.do(ctx, http.MethodPost, "/v1/repo/subjects/"+url.PathEscape(subject)+"/versions", params.query(), xmi)
+	data, err := c.doSubject(ctx, subject, http.MethodPost, "/v1/repo/subjects/"+url.PathEscape(subject)+"/versions", params.query(), xmi)
 	if err != nil {
 		var ae *APIError
 		if errors.As(err, &ae) && ae.Status == http.StatusConflict {
@@ -303,7 +462,7 @@ type CheckResult struct {
 // Check runs the compatibility gate against subject without storing
 // anything.
 func (c *Client) Check(ctx context.Context, subject string, xmi []byte) (*CheckResult, error) {
-	data, err := c.do(ctx, http.MethodPost, "/v1/repo/subjects/"+url.PathEscape(subject)+"/compat", nil, xmi)
+	data, err := c.doSubject(ctx, subject, http.MethodPost, "/v1/repo/subjects/"+url.PathEscape(subject)+"/compat", nil, xmi)
 	if err != nil {
 		return nil, err
 	}
@@ -344,7 +503,7 @@ type VersionList struct {
 
 // Versions lists the versions of subject.
 func (c *Client) Versions(ctx context.Context, subject string) (*VersionList, error) {
-	data, err := c.do(ctx, http.MethodGet, "/v1/repo/subjects/"+url.PathEscape(subject)+"/versions", nil, nil)
+	data, err := c.doSubject(ctx, subject, http.MethodGet, "/v1/repo/subjects/"+url.PathEscape(subject)+"/versions", nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -367,7 +526,7 @@ func versionPath(subject string, number int) string {
 // Version fetches one version's metadata.
 func (c *Client) Version(ctx context.Context, subject string, number int) (*repo.Version, error) {
 	q := url.Values{"format": []string{"json"}}
-	data, err := c.do(ctx, http.MethodGet, versionPath(subject, number), q, nil)
+	data, err := c.doSubject(ctx, subject, http.MethodGet, versionPath(subject, number), q, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -383,11 +542,11 @@ func (c *Client) Version(ctx context.Context, subject string, number int) (*repo
 // File fetches one named schema file of a stored version.
 func (c *Client) File(ctx context.Context, subject string, number int, name string) ([]byte, error) {
 	q := url.Values{"file": []string{name}}
-	return c.do(ctx, http.MethodGet, versionPath(subject, number), q, nil)
+	return c.doSubject(ctx, subject, http.MethodGet, versionPath(subject, number), q, nil)
 }
 
 // Zip fetches the stored schema set (plus diagnostics.json) as the
 // server's deterministic zip archive.
 func (c *Client) Zip(ctx context.Context, subject string, number int) ([]byte, error) {
-	return c.do(ctx, http.MethodGet, versionPath(subject, number), nil, nil)
+	return c.doSubject(ctx, subject, http.MethodGet, versionPath(subject, number), nil, nil)
 }

@@ -23,6 +23,12 @@ import (
 // reconnect resumes from the last event ID seen, so a server restart
 // mid-watch costs a condensed replay, never a gap.
 
+// ErrJobExpired reports a watched job that is permanently gone on the
+// server (410 expired): its retention window lapsed, so no amount of
+// reconnecting can ever deliver another event. WatchJob surfaces it
+// immediately instead of burning the reconnect budget.
+var ErrJobExpired = errors.New("client: job expired on the server")
+
 // Job is the wire form of a job status document.
 type Job struct {
 	ID          string     `json:"id"`
@@ -185,6 +191,10 @@ func (c *Client) WatchJob(ctx context.Context, id string, after int64, fn func(j
 			continue
 		case errors.Is(err, errStop):
 			return fnErr
+		case errors.Is(err, ErrJobExpired):
+			// The job is gone for good; reconnecting — even after visible
+			// progress — can only ever replay the same 410.
+			return err
 		case progressed && ctx.Err() == nil:
 			// The connection delivered events before failing: treat the
 			// next reconnect as a fresh budget rather than giving up on a
@@ -233,6 +243,9 @@ func (c *Client) streamEvents(ctx context.Context, id string, after int64, fn fu
 		if json.Unmarshal(data, &envelope) == nil {
 			ae.Code = envelope.Code
 			ae.Message = envelope.Error
+		}
+		if ae.Status == http.StatusGone && ae.Code == "expired" {
+			return 0, retry.Permanent(fmt.Errorf("%w: %v", ErrJobExpired, ae))
 		}
 		if !ae.retryable() {
 			return 0, retry.Permanent(ae)

@@ -112,6 +112,39 @@ func TestWatchJobPermanentStatusNotRetried(t *testing.T) {
 	}
 }
 
+// TestWatchJobExpiredMidWatchTerminates is the 410 regression: a job
+// whose retention lapsed mid-watch must surface ErrJobExpired once —
+// even right after a connection that made progress, which normally
+// resets the reconnect budget — instead of replaying the same 410
+// until the budget drains.
+func TestWatchJobExpiredMidWatchTerminates(t *testing.T) {
+	var conns atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if conns.Add(1) == 1 {
+			// First connection delivers real progress, then drops without
+			// a terminal frame — so the watcher reconnects on a reset
+			// budget.
+			w.Header().Set("Content-Type", "text/event-stream")
+			fmt.Fprint(w, sseFrame(jobs.Event{ID: 1, Type: jobs.EventQueued, Job: "j1", Total: 1}))
+			fmt.Fprint(w, sseFrame(jobs.Event{ID: 2, Type: jobs.EventItemStarted, Job: "j1", Item: 1, Total: 1}))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGone)
+		w.Write([]byte(`{"error":"job expired","code":"expired"}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{Retry: fastRetry(4)})
+	err := c.WatchJob(context.Background(), "j1", 0, func(jobs.Event) error { return nil })
+	if !errors.Is(err, ErrJobExpired) {
+		t.Fatalf("WatchJob = %v, want ErrJobExpired", err)
+	}
+	if got := conns.Load(); got != 2 {
+		t.Errorf("connections = %d, want 2 (progress, then one 410 — never retried)", got)
+	}
+}
+
 func TestJobSubmitStatusResult(t *testing.T) {
 	doc := `{"id":"j000007","state":"completed","done":1,"failed":0,"total":1}`
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,174 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/shard"
+)
+
+// wrongShard answers a 421 envelope pointing at owner.
+func wrongShard(w http.ResponseWriter, owner string, epoch int64) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", owner)
+	w.WriteHeader(http.StatusMisdirectedRequest)
+	fmt.Fprintf(w, `{"error":"wrong shard","code":"wrong_shard","owner":%q,"epoch":%d}`, owner, epoch)
+}
+
+func TestSubjectCallFollows421AndCachesMap(t *testing.T) {
+	const listing = `{"subject":"s","policy":"backward","versions":[]}`
+	var ownerCalls, ownerMapCalls atomic.Int64
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/shard/map" {
+			ownerMapCalls.Add(1)
+			m, err := shard.NewMap(5, 16, []shard.Shard{{ID: "b", Addr: ownerURL(r)}}, nil)
+			if err != nil {
+				t.Error(err)
+			}
+			data, _ := m.Encode()
+			w.Write(data)
+			return
+		}
+		ownerCalls.Add(1)
+		w.Write([]byte(listing))
+	}))
+	defer owner.Close()
+
+	var wrongCalls atomic.Int64
+	wrong := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		wrongCalls.Add(1)
+		wrongShard(w, owner.URL, 5)
+	}))
+	defer wrong.Close()
+
+	c := New(wrong.URL, Options{Retry: fastRetry(2)})
+	ctx := context.Background()
+	vl, err := c.Versions(ctx, "s")
+	if err != nil {
+		t.Fatalf("Versions through a 421 hint: %v", err)
+	}
+	if vl.Subject != "s" {
+		t.Fatalf("listing = %+v", vl)
+	}
+	if wrongCalls.Load() != 1 || ownerCalls.Load() != 1 {
+		t.Fatalf("first call: wrong node saw %d, owner saw %d; want 1 and 1", wrongCalls.Load(), ownerCalls.Load())
+	}
+
+	// The 421 taught the client the topology: the second call must go
+	// straight to the owner, never touching the wrong node again.
+	if _, err := c.Versions(ctx, "s"); err != nil {
+		t.Fatal(err)
+	}
+	if wrongCalls.Load() != 1 {
+		t.Errorf("second call still hit the wrong node (%d calls): shard map not cached", wrongCalls.Load())
+	}
+	if ownerMapCalls.Load() == 0 {
+		t.Error("client never fetched /v1/shard/map after a 421")
+	}
+}
+
+// ownerURL reconstructs the base URL a request arrived at, so the map
+// served by the test owner names itself consistently.
+func ownerURL(r *http.Request) string {
+	return "http://" + r.Host
+}
+
+// TestRoutingLoopDetected is the two-node loop regression: each node's
+// stale map names the other as owner. The client must refuse with
+// ErrRoutingLoop instead of bouncing forever.
+func TestRoutingLoopDetected(t *testing.T) {
+	var aCalls, bCalls atomic.Int64
+	var aURL, bURL string
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/shard/map" {
+			http.NotFound(w, r)
+			return
+		}
+		aCalls.Add(1)
+		wrongShard(w, bURL, 9)
+	}))
+	defer a.Close()
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/shard/map" {
+			http.NotFound(w, r)
+			return
+		}
+		bCalls.Add(1)
+		wrongShard(w, aURL, 9)
+	}))
+	defer b.Close()
+	aURL, bURL = a.URL, b.URL
+
+	c := New(a.URL, Options{Retry: fastRetry(2)})
+	_, err := c.Versions(context.Background(), "s")
+	if !errors.Is(err, ErrRoutingLoop) {
+		t.Fatalf("two-node ownership loop: %v, want ErrRoutingLoop", err)
+	}
+	if aCalls.Load() != 1 || bCalls.Load() != 1 {
+		t.Errorf("loop burned a=%d b=%d calls; the visited set must stop after one lap", aCalls.Load(), bCalls.Load())
+	}
+}
+
+// TestOwnerHopBudget bounds a hint chain that never revisits a node:
+// after maxOwnerHops hops the client gives up with ErrRoutingLoop
+// rather than chasing an unbounded chain of referrals.
+func TestOwnerHopBudget(t *testing.T) {
+	// A chain of servers, each pointing at the next; longer than the
+	// budget.
+	const n = 6
+	servers := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := n - 1; i >= 0; i-- {
+		next := i + 1
+		servers[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/shard/map" {
+				http.NotFound(w, r)
+				return
+			}
+			if next < n {
+				wrongShard(w, urls[next], 1)
+				return
+			}
+			w.Write([]byte(`{"subject":"s","policy":"backward","versions":[]}`))
+		}))
+		defer servers[i].Close()
+		urls[i] = servers[i].URL
+	}
+
+	c := New(urls[0], Options{Retry: fastRetry(2)})
+	_, err := c.Versions(context.Background(), "s")
+	if !errors.Is(err, ErrRoutingLoop) {
+		t.Fatalf("hint chain longer than the hop budget: %v, want ErrRoutingLoop", err)
+	}
+}
+
+// TestReadOnlyPrimaryHintFollowed pins that a replica's 503 read_only
+// with a primary hint is followed like a 421 — writes land on the
+// primary in one extra hop.
+func TestReadOnlyPrimaryHintFollowed(t *testing.T) {
+	var primaryCalls atomic.Int64
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		primaryCalls.Add(1)
+		w.Write([]byte(`{"subject":"s","policy":"backward","versions":[]}`))
+	}))
+	defer primary.Close()
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, `{"error":"read-only replica","code":"read_only","primary":%q}`, primary.URL)
+	}))
+	defer replica.Close()
+
+	c := New(replica.URL, Options{Retry: fastRetry(2)})
+	if _, err := c.Versions(context.Background(), "s"); err != nil {
+		t.Fatalf("read through a replica hint: %v", err)
+	}
+	if primaryCalls.Load() != 1 {
+		t.Errorf("primary saw %d calls, want 1", primaryCalls.Load())
+	}
+}

@@ -1,0 +1,80 @@
+package repo
+
+// Adopt is the receiving half of a shard migration: it commits a
+// version record produced by another primary verbatim — same number,
+// same content addresses, same tombstone flag — through the normal
+// commit path, so adopted history is WAL-durable, checkpointed, and
+// ships to this primary's own replica chain like any local publish.
+// Unlike Publish it runs no generation and no compatibility gate: the
+// source primary already gated these versions, and a migration must
+// reproduce its history bit-for-bit, not re-litigate it.
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+)
+
+// Adopt commits one shipped version of subject. It is idempotent: a
+// version already present with identical metadata is acknowledged
+// without effect (false, nil). A version that conflicts with local
+// state — same number but different content, or a number behind the
+// local head — answers ErrDiverged; the caller must not guess which
+// history wins. Every blob a live version references must already be
+// resident (PutBlob); tombstoned versions need only their metadata.
+func (r *Repo) Adopt(subject string, policy Policy, v Version) (adopted bool, err error) {
+	if subject == "" {
+		return false, errors.New("repo: adopt needs a subject")
+	}
+	if v.Number < 1 {
+		return false, fmt.Errorf("repo: adopt needs a positive version number, got %d", v.Number)
+	}
+	if policy != "" {
+		if _, err := ParsePolicy(string(policy)); err != nil {
+			return false, err
+		}
+	}
+	if err := r.writesAllowed(); err != nil {
+		return false, err
+	}
+	if !v.Deleted {
+		for _, sha := range v.BlobRefs() {
+			if !r.HasBlob(sha) {
+				return false, fmt.Errorf("%w: %s (adopting %s/%d)", ErrMissingBlob, sha, subject, v.Number)
+			}
+		}
+	}
+
+	// Same locking discipline as Publish: the GC read-lock keeps the
+	// blobs checked above alive through the commit, the subject lock
+	// serializes against concurrent mutations of the same subject.
+	r.gcMu.RLock()
+	defer r.gcMu.RUnlock()
+	lock := r.subjectLock(subject)
+	lock.Lock()
+	defer lock.Unlock()
+
+	st := r.stateP.Load()
+	if sub := st.subjects[subject]; sub != nil {
+		if have := sub.find(v.Number); have != nil {
+			if reflect.DeepEqual(*have, v) {
+				return false, nil
+			}
+			return false, fmt.Errorf("%w: adopted version %s/%d differs from the stored one", ErrDiverged, subject, v.Number)
+		}
+		if last := len(sub.versions); last > 0 && v.Number < sub.versions[last-1].Number {
+			return false, fmt.Errorf("%w: adopting %s/%d behind the local head %d", ErrDiverged, subject, v.Number, sub.versions[last-1].Number)
+		}
+	}
+
+	if err := r.commit(&walRecord{Op: opPublish, Subject: subject, Policy: policy, Version: &v}); err != nil {
+		return false, err
+	}
+	r.syncMetrics()
+	return true, nil
+}
+
+// BlobRefs lists the content addresses this version references: the
+// canonicalized input, every schema file, and the diagnostics report
+// when present.
+func (v *Version) BlobRefs() []string { return versionBlobs(v) }

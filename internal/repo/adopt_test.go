@@ -1,0 +1,170 @@
+package repo
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/go-ccts/ccts/internal/fixture"
+)
+
+// shipBlobs copies every blob a version references from src into dst,
+// the way a shard migration's pull does before adopting the record.
+func shipBlobs(t *testing.T, src, dst *Repo, v *Version) {
+	t.Helper()
+	for _, sha := range v.BlobRefs() {
+		data, err := src.Blob(sha)
+		if err != nil {
+			t.Fatalf("reading blob %s: %v", sha, err)
+		}
+		got, err := dst.PutBlob(data)
+		if err != nil {
+			t.Fatalf("PutBlob: %v", err)
+		}
+		if got != sha {
+			t.Fatalf("blob %s rehashed to %s", sha, got)
+		}
+	}
+}
+
+func TestAdoptShipsHistoryByteIdentically(t *testing.T) {
+	src := openRepo(t, t.TempDir(), Config{})
+	dst := openRepo(t, t.TempDir(), Config{})
+
+	f := fixture.MustBuildHoardingPermit()
+	v1 := mustPublish(t, src, buildRequest(t, f))
+	additive(f)
+	v2 := mustPublish(t, src, buildRequest(t, f))
+
+	pol, err := src.Policy(testSubject)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Blob residency is a precondition: adopting before shipping blobs
+	// must refuse with ErrMissingBlob, not commit a hole.
+	if _, err := dst.Adopt(testSubject, pol, *v1); !errors.Is(err, ErrMissingBlob) {
+		t.Fatalf("adopt without blobs: %v, want ErrMissingBlob", err)
+	}
+
+	for _, v := range []*Version{v1, v2} {
+		shipBlobs(t, src, dst, v)
+		adopted, err := dst.Adopt(testSubject, pol, *v)
+		if err != nil {
+			t.Fatalf("Adopt(%d): %v", v.Number, err)
+		}
+		if !adopted {
+			t.Fatalf("Adopt(%d) reported no-op on first arrival", v.Number)
+		}
+	}
+
+	// Idempotence: re-adopting the same record is acknowledged silently.
+	if adopted, err := dst.Adopt(testSubject, pol, *v2); err != nil || adopted {
+		t.Fatalf("re-adopt = (%v, %v), want (false, nil)", adopted, err)
+	}
+
+	// The adopted history reads back byte-identically at the same
+	// numbers, and the policy survived.
+	for _, v := range []*Version{v1, v2} {
+		for _, fl := range v.Files {
+			want, err := src.VersionFile(testSubject, v.Number, fl.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := dst.VersionFile(testSubject, v.Number, fl.Name)
+			if err != nil {
+				t.Fatalf("adopted VersionFile(%d, %s): %v", v.Number, fl.Name, err)
+			}
+			if string(want) != string(got) {
+				t.Fatalf("file %s of version %d differs after adoption", fl.Name, v.Number)
+			}
+		}
+	}
+	if p, err := dst.Policy(testSubject); err != nil || p != pol {
+		t.Fatalf("adopted policy = %q, %v; want %q", p, err, pol)
+	}
+
+	// Future publishes continue the adopted history.
+	got, err := dst.Version(testSubject, 0)
+	if err != nil || got.Number != 2 {
+		t.Fatalf("latest after adoption = %+v, %v", got, err)
+	}
+}
+
+func TestAdoptDiverged(t *testing.T) {
+	src := openRepo(t, t.TempDir(), Config{})
+	dst := openRepo(t, t.TempDir(), Config{})
+
+	f := fixture.MustBuildHoardingPermit()
+	v1 := mustPublish(t, src, buildRequest(t, f))
+	mustPublish(t, dst, buildRequest(t, fixture.MustBuildHoardingPermit()))
+
+	// Same number, different content (timestamps differ at minimum):
+	// the receiver must refuse rather than guess which history wins.
+	shipBlobs(t, src, dst, v1)
+	bad := *v1
+	bad.RootElement = "SomethingElse"
+	if _, err := dst.Adopt(testSubject, "", bad); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("conflicting adopt: %v, want ErrDiverged", err)
+	}
+
+	// A number behind the local head is equally divergent.
+	additive(f)
+	v2 := mustPublish(t, src, buildRequest(t, f))
+	local := openRepo(t, t.TempDir(), Config{})
+	shipBlobs(t, src, local, v2)
+	if adopted, err := local.Adopt(testSubject, "", *v2); err != nil || !adopted {
+		t.Fatalf("adopting head first: %v", err)
+	}
+	shipBlobs(t, src, local, v1)
+	if _, err := local.Adopt(testSubject, "", *v1); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("adopt behind head: %v, want ErrDiverged", err)
+	}
+}
+
+func TestAdoptTombstoneNeedsNoBlobs(t *testing.T) {
+	src := openRepo(t, t.TempDir(), Config{})
+	dst := openRepo(t, t.TempDir(), Config{})
+
+	f := fixture.MustBuildHoardingPermit()
+	mustPublish(t, src, buildRequest(t, f))
+	if err := src.Delete(testSubject, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Version() hides tombstones (ErrDeleted); the migration pull reads
+	// the full listing, which carries them.
+	var rec *Version
+	vs, err := src.Versions(testSubject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vs {
+		if vs[i].Number == 1 {
+			rec = &vs[i]
+		}
+	}
+	if rec == nil || !rec.Deleted {
+		t.Fatalf("tombstone record not listed: %+v", vs)
+	}
+
+	// Adopting the tombstone must not demand the (possibly GC'd) blobs.
+	if adopted, err := dst.Adopt(testSubject, "", *rec); err != nil || !adopted {
+		t.Fatalf("adopting tombstone = (%v, %v)", adopted, err)
+	}
+	got, err := dst.Versions(testSubject)
+	if err != nil || len(got) != 1 || !got[0].Deleted {
+		t.Fatalf("adopted tombstone listing = %+v, %v", got, err)
+	}
+}
+
+func TestAdoptValidation(t *testing.T) {
+	r := openRepo(t, t.TempDir(), Config{})
+	if _, err := r.Adopt("", "", Version{Number: 1}); err == nil {
+		t.Error("empty subject accepted")
+	}
+	if _, err := r.Adopt("s", "", Version{Number: 0}); err == nil {
+		t.Error("zero version number accepted")
+	}
+	if _, err := r.Adopt("s", Policy("nonsense"), Version{Number: 1}); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}

@@ -70,7 +70,10 @@ func DecodeFrame(line []byte) (*Frame, error) {
 		return nil, ErrBadFrame
 	}
 	f := &Frame{Seq: rec.Seq, Op: rec.Op, Subject: rec.Subject}
-	if rec.Op == opPublish {
+	// Tombstones (adopted deleted versions) carry metadata only; their
+	// content may be long reclaimed at the source, so a follower must
+	// not try to fetch it.
+	if rec.Op == opPublish && !rec.Version.Deleted {
 		f.Blobs = versionBlobs(rec.Version)
 	}
 	return f, nil
@@ -246,7 +249,7 @@ func (r *Repo) ApplyFrame(line []byte) (seq int64, err error) {
 	if !ok {
 		return 0, ErrBadFrame
 	}
-	if rec.Op == opPublish {
+	if rec.Op == opPublish && !rec.Version.Deleted {
 		for _, sha := range versionBlobs(rec.Version) {
 			if !r.HasBlob(sha) {
 				return 0, fmt.Errorf("%w: %s (frame %d)", ErrMissingBlob, sha, rec.Seq)

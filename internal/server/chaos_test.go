@@ -66,10 +66,6 @@ func TestChaosDiskFaultMidPublish(t *testing.T) {
 	s := New(Config{Repo: rp, Health: tracker, MaxInFlight: 8, MaxQueueWait: 2 * time.Second})
 	ts := httptest.NewServer(s.Handler())
 
-	// The background probe sees exactly the error the writers see, so
-	// recovery is observed, never guessed.
-	stopProbe := tracker.Start(2*time.Millisecond, inj.Err)
-
 	ctx := context.Background()
 	cmx := metrics.NewRegistry()
 	retrying := client.New(ts.URL, client.Options{
@@ -143,10 +139,16 @@ func TestChaosDiskFaultMidPublish(t *testing.T) {
 		}(i)
 	}
 
-	// Let the load run healthy, then pull the disk out.
+	// Let the load run healthy, then pull the disk out. The probe is
+	// started only after a writer has hit the broken disk for real, so
+	// the flip to read-only is always attributed to a write fault (a
+	// probe demotion would mask whether the fault path ever fired);
+	// from here on the probe sees exactly the error the writers see,
+	// so recovery is observed, never guessed.
 	time.Sleep(30 * time.Millisecond)
 	inj.Set(faultio.ErrNoSpace)
 	waitFor(t, func() bool { return tracker.State() == health.ReadOnly })
+	stopProbe := tracker.Start(2*time.Millisecond, inj.Err)
 
 	// /healthz reports the degradation with the machine-readable reason.
 	var doc struct {

@@ -10,7 +10,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -73,19 +72,38 @@ func TestReplicaEndToEnd(t *testing.T) {
 		t.Fatal("replica served different bytes than the primary")
 	}
 
-	// A write on the replica answers 503 read_only with the primary hint
-	// (in the envelope and as a Location header the client falls back to).
-	_, err = replica.Publish(ctx, "e2e", sampleXMI(t), params)
-	var ae *client.APIError
-	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable || ae.Code != "read_only" {
-		t.Fatalf("publish on replica = %v, want 503 read_only", err)
+	// On the wire, a write on the replica answers 503 read_only with the
+	// primary hint in the envelope and as a Location header.
+	resp, err := http.Post(fts.URL+"/v1/repo/subjects/e2e/versions?library=EB005-HoardingPermit&root=HoardingPermit", "application/xml", bytes.NewReader(sampleXMI(t)))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if ae.Primary != pts.URL {
-		t.Errorf("primary hint = %q, want %q", ae.Primary, pts.URL)
+	var envelope struct {
+		Code    string `json:"code"`
+		Primary string `json:"primary"`
 	}
-	if ae.RetryAfter() <= 0 {
+	decErr := json.NewDecoder(resp.Body).Decode(&envelope)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || decErr != nil || envelope.Code != "read_only" {
+		t.Fatalf("raw publish on replica = %d %+v (%v), want 503 read_only", resp.StatusCode, envelope, decErr)
+	}
+	if envelope.Primary != pts.URL || resp.Header.Get("Location") != pts.URL {
+		t.Errorf("primary hint = %q / Location %q, want %q", envelope.Primary, resp.Header.Get("Location"), pts.URL)
+	}
+	if resp.Header.Get("Retry-After") == "" {
 		t.Error("503 read_only carries no Retry-After")
 	}
+
+	// The typed client follows that hint instead of failing: a publish
+	// pointed at the replica lands on the primary transparently.
+	res, err := replica.Publish(ctx, "e2e", additiveXMI(t), params)
+	if err != nil {
+		t.Fatalf("publish via replica hint = %v, want transparent redirect to the primary", err)
+	}
+	if res.Version.Number != 2 {
+		t.Errorf("redirected publish landed at version %d, want 2", res.Version.Number)
+	}
+	waitFor(t, func() bool { return fol.AppliedSeq() == prp.WALSeq() })
 
 	// /healthz reports both roles with the replication seqs.
 	var doc struct {
@@ -125,7 +143,7 @@ func TestReplicaEndToEnd(t *testing.T) {
 	}
 
 	// Promote on the primary: nothing to promote there.
-	resp, err := http.Post(pts.URL+"/v1/repl/promote", "", nil)
+	resp, err = http.Post(pts.URL+"/v1/repl/promote", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

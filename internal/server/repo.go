@@ -118,10 +118,13 @@ func (s *Server) handleRepoPublish(w http.ResponseWriter, r *http.Request) {
 	if !s.repoConfigured(w) {
 		return
 	}
+	subject := r.PathValue("subject")
+	if !s.shardGuard(w, r, subject, true) {
+		return
+	}
 	if !s.replicaGuard(w) {
 		return
 	}
-	subject := r.PathValue("subject")
 	params, aerr := parseGenParams(r.URL.Query())
 	if aerr != nil {
 		s.writeError(w, aerr)
@@ -180,6 +183,7 @@ func (s *Server) handleRepoPublish(w http.ResponseWriter, r *http.Request) {
 		s.writeRepoError(w, err)
 		return
 	}
+	s.syncShardOwned()
 	w.Header().Set("X-Ccserved-Cache", outcome.String())
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
@@ -195,6 +199,9 @@ func (s *Server) handleRepoVersions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	subject := r.PathValue("subject")
+	if !s.shardGuard(w, r, subject, false) {
+		return
+	}
 	vs, err := s.repo.Versions(subject)
 	if err != nil {
 		s.writeRepoError(w, err)
@@ -229,6 +236,9 @@ func (s *Server) handleRepoVersion(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	subject := r.PathValue("subject")
+	if !s.shardGuard(w, r, subject, false) {
+		return
+	}
 	number, aerr := parseVersionNumber(r.PathValue("number"))
 	if aerr != nil {
 		s.writeError(w, aerr)
@@ -285,10 +295,13 @@ func (s *Server) handleRepoDelete(w http.ResponseWriter, r *http.Request) {
 	if !s.repoConfigured(w) {
 		return
 	}
+	subject := r.PathValue("subject")
+	if !s.shardGuard(w, r, subject, true) {
+		return
+	}
 	if !s.replicaGuard(w) {
 		return
 	}
-	subject := r.PathValue("subject")
 	number, aerr := parseVersionNumber(r.PathValue("number"))
 	if aerr != nil {
 		s.writeError(w, aerr)
@@ -322,6 +335,9 @@ func (s *Server) handleRepoCompat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	subject := r.PathValue("subject")
+	if !s.shardGuard(w, r, subject, false) {
+		return
+	}
 	body, aerr := s.readBody(w, r)
 	if aerr != nil {
 		s.writeError(w, aerr)

@@ -46,6 +46,7 @@ import (
 	"github.com/go-ccts/ccts/internal/repl"
 	"github.com/go-ccts/ccts/internal/repo"
 	"github.com/go-ccts/ccts/internal/schemacache"
+	"github.com/go-ccts/ccts/internal/shard"
 	"github.com/go-ccts/ccts/internal/validate"
 )
 
@@ -110,6 +111,16 @@ type Config struct {
 	// generation pipeline as the manager's executor and instruments it;
 	// the caller opens, starts and closes the manager.
 	Jobs *jobs.Manager
+	// Shard, when non-nil, makes this instance one primary of a
+	// consistent-hash cluster: subject-scoped /v1/repo requests are
+	// routed against the shard map (wrong-shard traffic answers 421
+	// wrong_shard with the owner's address) and the /v1/shard endpoint
+	// family (map exchange, migration pull, rebalance) is mounted.
+	Shard *shard.Router
+	// ShardProxy, with Shard set, proxies wrong-shard requests to their
+	// owner transparently (hop-capped) instead of answering 421; it also
+	// routes /v1/generate by content key for cache affinity.
+	ShardProxy bool
 }
 
 // Server is the HTTP serving layer. Create with New; the zero value is
@@ -128,6 +139,7 @@ type Server struct {
 	replSrc  *repl.Source
 	follower *repl.Follower
 	jobs     *jobs.Manager
+	shard    *shard.Router
 	draining atomic.Bool
 	// drainCh closes when BeginDrain runs so long-lived streams (job
 	// SSE watchers) end promptly instead of holding the shutdown grace
@@ -183,6 +195,7 @@ func New(cfg Config) *Server {
 		replSrc:  cfg.ReplSource,
 		follower: cfg.Follower,
 		jobs:     cfg.Jobs,
+		shard:    cfg.Shard,
 		drainCh:  make(chan struct{}),
 
 		requests:    mx.Counter("ccserved_requests_total", "HTTP requests received."),
@@ -222,6 +235,10 @@ func New(cfg Config) *Server {
 		s.jobs.Instrument(mx)
 		s.jobs.SetExecutor(s.executeJobItem)
 	}
+	if s.shard != nil {
+		s.shard.Instrument(mx)
+		s.syncShardOwned()
+	}
 	s.mux.HandleFunc("/v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("/v1/validate", s.handleValidate)
 	s.mux.HandleFunc("/v1/registry/search", s.handleRegistrySearch)
@@ -236,6 +253,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/repl/snapshot", s.handleReplSnapshot)
 	s.mux.HandleFunc("GET /v1/repl/blob/{sha}", s.handleReplBlob)
 	s.mux.HandleFunc("POST /v1/repl/promote", s.handleReplPromote)
+	s.mux.HandleFunc("GET /v1/shard/map", s.handleShardMapGet)
+	s.mux.HandleFunc("PUT /v1/shard/map", s.handleShardMapPut)
+	s.mux.HandleFunc("POST /v1/shard/pull", s.handleShardPull)
+	s.mux.HandleFunc("POST /v1/shard/rebalance", s.handleShardRebalance)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -405,6 +426,12 @@ type apiError struct {
 	// write should go to (replica 503 read_only); rendered as both a
 	// Location header and a "primary" envelope field.
 	Primary string
+	// Owner, when non-empty, names the shard primary owning the subject
+	// (421 wrong_shard); rendered as both a Location header and an
+	// "owner" envelope field, with Epoch carrying the map epoch the
+	// decision was made under so clients can refresh stale caches.
+	Owner string
+	Epoch int64
 }
 
 func (e *apiError) Error() string { return e.Message }
@@ -445,14 +472,19 @@ func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
 		Error    string        `json:"error"`
 		Code     string        `json:"code"`
 		Primary  string        `json:"primary,omitempty"`
+		Owner    string        `json:"owner,omitempty"`
+		Epoch    int64         `json:"epoch,omitempty"`
 		Findings []jsonFinding `json:"findings,omitempty"`
-	}{Error: e.Message, Code: e.Code, Primary: e.Primary}
+	}{Error: e.Message, Code: e.Code, Primary: e.Primary, Owner: e.Owner, Epoch: e.Epoch}
 	if e.Report != nil {
 		body.Findings = toJSONFindings(e.Report.Findings)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if e.Primary != "" {
 		w.Header().Set("Location", e.Primary)
+	}
+	if e.Owner != "" {
+		w.Header().Set("Location", e.Owner)
 	}
 	if e.Status == http.StatusServiceUnavailable || e.Status == http.StatusTooManyRequests {
 		secs := int(e.RetryAfter.Round(time.Second) / time.Second)
@@ -597,6 +629,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		doc["jobs"] = map[string]any{
 			"jobs": js.Jobs, "running": js.Running,
 			"queueDepth": js.QueueDepth, "workers": js.Workers,
+		}
+	}
+	if s.shard != nil {
+		m := s.shard.Map()
+		doc["shard"] = map[string]any{
+			"self": s.shard.Self(), "epoch": m.Epoch,
+			"shards": len(m.Shards), "migrations": len(m.Migrations),
+			"proxy": s.cfg.ShardProxy,
 		}
 	}
 	if code != http.StatusOK {

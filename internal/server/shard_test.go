@@ -1,0 +1,615 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/go-ccts/ccts/internal/client"
+	"github.com/go-ccts/ccts/internal/metrics"
+	"github.com/go-ccts/ccts/internal/repl"
+	"github.com/go-ccts/ccts/internal/repo"
+	"github.com/go-ccts/ccts/internal/retry"
+	"github.com/go-ccts/ccts/internal/shard"
+)
+
+// newShardRouter writes m to a fresh map file and opens a router on it.
+func newShardRouter(t *testing.T, m *shard.Map, self string) *shard.Router {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "shard-map.json")
+	if err := shard.SaveMap(path, m); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := shard.OpenRouter(path, self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// subjectOwnedBy searches deterministic candidate names until the map
+// routes one to the wanted shard.
+func subjectOwnedBy(t *testing.T, m *shard.Map, want string, salt int) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		s := fmt.Sprintf("subject-%d-%d", salt, i)
+		if ro := m.Route(s); ro.Owner.ID == want && !ro.Migrating {
+			return s
+		}
+	}
+	t.Fatalf("no candidate subject owned by %q", want)
+	return ""
+}
+
+// TestShard421Contract pins the wrong-shard wire contract on a single
+// node: reads and writes for a subject owned elsewhere answer 421 with
+// a machine-readable envelope naming the owner and map epoch, writes to
+// a subject mid-migration answer 503 migrating, and the map endpoints
+// enforce epoch ordering.
+func TestShard421Contract(t *testing.T) {
+	const ownerAddr = "http://owner.example:7002"
+	migrating := "migrating-subject"
+	m, err := shard.NewMap(7, 16, []shard.Shard{
+		{ID: "a", Addr: "http://self.example:7001"},
+		{ID: "b", Addr: ownerAddr},
+	}, []shard.Migration{
+		{Subject: migrating, From: "a", FromAddr: "http://self.example:7001", To: "b", ToAddr: ownerAddr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := repo.Open(t.TempDir(), repo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rp.Close() })
+	s := New(Config{Repo: rp, Shard: newShardRouter(t, m, "a")})
+	h := s.Handler()
+
+	foreign := subjectOwnedBy(t, m, "b", 1)
+	rec := repoRequest(t, h, http.MethodGet, "/v1/repo/subjects/"+foreign+"/versions", nil)
+	if rec.Code != http.StatusMisdirectedRequest {
+		t.Fatalf("read of foreign subject = %d, want 421; body %s", rec.Code, rec.Body.String())
+	}
+	var envelope struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+		Owner string `json:"owner"`
+		Epoch int64  `json:"epoch"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Code != "wrong_shard" || envelope.Owner != ownerAddr || envelope.Epoch != 7 {
+		t.Errorf("421 envelope = %+v, want code wrong_shard owner %s epoch 7", envelope, ownerAddr)
+	}
+	if got := rec.Header().Get("Location"); got != ownerAddr {
+		t.Errorf("421 Location = %q, want %q", got, ownerAddr)
+	}
+
+	// Writes to a subject in flight are refused at the source with a
+	// retryable 503 — the next epoch commits the move.
+	rec = repoRequest(t, h, http.MethodPost, "/v1/repo/subjects/"+migrating+"/versions?"+docQuery, sampleXMI(t))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("write to migrating subject = %d, want 503; body %s", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &envelope); err != nil || envelope.Code != "migrating" {
+		t.Errorf("migrating envelope = %+v, %v", envelope, err)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 migrating without Retry-After")
+	}
+	// Reads of the migrating subject stay local (the source is still
+	// authoritative); an empty repo answers 404, never 421.
+	rec = repoRequest(t, h, http.MethodGet, "/v1/repo/subjects/"+migrating+"/versions", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("read of migrating subject = %d, want 404 from the local repo", rec.Code)
+	}
+
+	// An owned subject publishes normally.
+	local := subjectOwnedBy(t, m, "a", 2)
+	rec = repoRequest(t, h, http.MethodPost, "/v1/repo/subjects/"+local+"/versions?"+docQuery, sampleXMI(t))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("publish of owned subject = %d; body %s", rec.Code, rec.Body.String())
+	}
+
+	// The map document round-trips over the wire.
+	rec = repoRequest(t, h, http.MethodGet, "/v1/shard/map", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/shard/map = %d", rec.Code)
+	}
+	got, err := shard.ParseMap(rec.Body.Bytes())
+	if err != nil || got.Epoch != 7 {
+		t.Fatalf("served map = %+v, %v", got, err)
+	}
+
+	// A stale map is refused with 409 stale_epoch carrying the installed
+	// epoch.
+	stale, _ := shard.NewMap(3, 16, m.Shards, nil)
+	data, _ := stale.Encode()
+	rec = repoRequest(t, h, http.MethodPut, "/v1/shard/map", data)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("stale map install = %d, want 409", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &envelope); err != nil || envelope.Code != "stale_epoch" || envelope.Epoch != 7 {
+		t.Errorf("stale_epoch envelope = %+v, %v", envelope, err)
+	}
+
+	// Without shard config the endpoints stay dark.
+	bare := New(Config{})
+	rec = repoRequest(t, bare.Handler(), http.MethodGet, "/v1/shard/map", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unsharded /v1/shard/map = %d, want 404", rec.Code)
+	}
+}
+
+// shardNode is one live primary in a test cluster.
+type shardNode struct {
+	id      string
+	addr    string // host:port
+	base    string // http://host:port
+	dir     string
+	mapPath string
+	repo    *repo.Repo
+	server  *Server
+	metrics *metrics.Registry
+	stop    func()
+}
+
+// startShardNode opens (or reopens, after a crash) a primary over dir
+// and serves it at addr.
+func startShardNode(t *testing.T, id, addr, dir, mapPath string, proxy bool) *shardNode {
+	t.Helper()
+	rp, err := repo.Open(dir, repo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := shard.OpenRouter(mapPath, id)
+	if err != nil {
+		rp.Close()
+		t.Fatal(err)
+	}
+	mx := metrics.NewRegistry()
+	srv := New(Config{
+		Repo:       rp,
+		Shard:      rt,
+		ShardProxy: proxy,
+		ReplSource: repl.NewSource(rp, repl.SourceOptions{Window: 100 * time.Millisecond}),
+		Metrics:    mx,
+	})
+	ln := shardListen(t, addr)
+	n := &shardNode{
+		id: id, addr: ln.Addr().String(), base: "http://" + ln.Addr().String(),
+		dir: dir, mapPath: mapPath, repo: rp, server: srv, metrics: mx,
+	}
+	n.stop = shardServeOn(ln, srv.Handler())
+	return n
+}
+
+// crash kills the node's HTTP service and closes its repository — a
+// process death, not a drain.
+func (n *shardNode) crash(t *testing.T) {
+	t.Helper()
+	n.stop()
+	if err := n.repo.Close(); err != nil {
+		t.Fatalf("closing repo of %s: %v", n.id, err)
+	}
+}
+
+func shardListen(t *testing.T, addr string) net.Listener {
+	t.Helper()
+	var ln net.Listener
+	var err error
+	// Rebinding a just-released port can transiently fail.
+	for range 100 {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			return ln
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("listen %s: %v", addr, err)
+	return nil
+}
+
+func shardServeOn(ln net.Listener, h http.Handler) func() {
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return func() { srv.Close() }
+}
+
+// shardGet is a raw single-node GET, deliberately not hint-following.
+func shardGet(t *testing.T, base, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s%s: %v", base, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// singleOwner asserts exactly one of the live nodes serves the subject
+// (200) while every other node refuses with 421, and returns the
+// serving node's listing body.
+func singleOwner(t *testing.T, nodes []*shardNode, subject string) (ownerID string, body []byte) {
+	t.Helper()
+	path := "/v1/repo/subjects/" + subject + "/versions"
+	for _, n := range nodes {
+		code, data := shardGet(t, n.base, path)
+		switch code {
+		case http.StatusOK:
+			if ownerID != "" {
+				t.Fatalf("subject %s served by both %s and %s", subject, ownerID, n.id)
+			}
+			ownerID = n.id
+			body = data
+		case http.StatusMisdirectedRequest:
+			// fine: this node is not the owner
+		default:
+			t.Fatalf("subject %s on %s = %d: %s", subject, n.id, code, data)
+		}
+	}
+	if ownerID == "" {
+		t.Fatalf("subject %s has no live owner", subject)
+	}
+	return ownerID, body
+}
+
+func shardFastRetry() retry.Policy {
+	return retry.Policy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Sleep:       func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+	}
+}
+
+// TestShardClusterRebalanceSurvivesPrimaryKill is the cluster drill: a
+// 3-primary cluster takes publishes fanned out across the ring through
+// a shard-aware client, a rebalance removing one primary is killed
+// mid-migration (the departing primary crashes after some subjects
+// moved), and the invariant holds throughout: every subject is owned by
+// exactly one shard and reads byte-identically wherever it is served.
+// Re-POSTing the rebalance after the crash resumes and completes it.
+func TestShardClusterRebalanceSurvivesPrimaryKill(t *testing.T) {
+	// Reserve three fixed addresses first: the map must name them before
+	// the nodes start.
+	lns := make([]net.Listener, 3)
+	addrs := make([]string, 3)
+	for i := range lns {
+		lns[i] = shardListen(t, "127.0.0.1:0")
+		addrs[i] = lns[i].Addr().String()
+		lns[i].Close()
+	}
+	ids := []string{"a", "b", "c"}
+	shards := make([]shard.Shard, 3)
+	for i, id := range ids {
+		shards[i] = shard.Shard{ID: id, Addr: "http://" + addrs[i]}
+	}
+	m1, err := shard.NewMap(1, 16, shards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nodes := make([]*shardNode, 3)
+	for i, id := range ids {
+		mapPath := filepath.Join(t.TempDir(), "map.json")
+		if err := shard.SaveMap(mapPath, m1); err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = startShardNode(t, id, addrs[i], t.TempDir(), mapPath, false)
+	}
+	defer func() {
+		for _, n := range nodes {
+			if n.stop != nil {
+				n.stop()
+			}
+		}
+	}()
+
+	// Two subjects per shard, placed deterministically via the map.
+	var subjects []string
+	for i, id := range ids {
+		subjects = append(subjects,
+			subjectOwnedBy(t, m1, id, 10+i),
+			subjectOwnedBy(t, m1, id, 20+i),
+		)
+	}
+
+	// Publish everything through one node: the shard-aware client must
+	// follow the 421 owner hints transparently.
+	cl := client.New(nodes[0].base, client.Options{Retry: shardFastRetry()})
+	ctx := context.Background()
+	body := sampleXMI(t)
+	for _, subject := range subjects {
+		res, err := cl.Publish(ctx, subject, body, client.PublishParams{Library: "EB005-HoardingPermit", Root: "HoardingPermit"})
+		if err != nil {
+			t.Fatalf("publish %s via node a: %v", subject, err)
+		}
+		if res.Version.Number != 1 {
+			t.Fatalf("publish %s = version %d", subject, res.Version.Number)
+		}
+	}
+
+	// BEFORE: exactly one owner per subject, and the owners match the
+	// ring. Record the authoritative bytes (listing + first stored file).
+	baseline := map[string]string{}
+	fileBaseline := map[string]string{}
+	for _, subject := range subjects {
+		ownerID, listing := singleOwner(t, nodes, subject)
+		if want := m1.Route(subject).Owner.ID; ownerID != want {
+			t.Fatalf("subject %s served by %s, ring says %s", subject, ownerID, want)
+		}
+		baseline[subject] = string(listing)
+		v, err := cl.Version(ctx, subject, 1)
+		if err != nil || len(v.Files) == 0 {
+			t.Fatalf("version of %s: %+v, %v", subject, v, err)
+		}
+		data, err := cl.File(ctx, subject, 1, v.Files[0].Name)
+		if err != nil {
+			t.Fatalf("file of %s: %v", subject, err)
+		}
+		fileBaseline[subject] = string(data)
+	}
+
+	// Start removing shard c: push the migration map (epoch 2, sources
+	// still authoritative), move ONE of c's subjects, then crash c —
+	// exactly the state a coordinator death mid-migration leaves behind.
+	survivors := shards[:2]
+	target, err := shard.NewMap(2, 16, survivors, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var migs []shard.Migration
+	for _, subject := range subjects {
+		from, to := m1.Route(subject).Owner, target.Route(subject).Owner
+		if from.ID == to.ID {
+			continue
+		}
+		if from.ID != "c" {
+			t.Fatalf("removing c moved %s from %s: consistent hashing must only move c's subjects", subject, from.ID)
+		}
+		migs = append(migs, shard.Migration{Subject: subject, From: from.ID, FromAddr: from.Addr, To: to.ID, ToAddr: to.Addr})
+	}
+	if len(migs) != 2 {
+		t.Fatalf("expected c's 2 subjects to migrate, got %+v", migs)
+	}
+	migMap, err := shard.NewMap(2, 16, survivors, migs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapBytes, _ := migMap.Encode()
+	for _, n := range nodes {
+		req, _ := http.NewRequest(http.MethodPut, n.base+"/v1/shard/map", strings.NewReader(string(mapBytes)))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("pushing migration map to %s: %v", n.id, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pushing migration map to %s: %d", n.id, resp.StatusCode)
+		}
+	}
+	pullBody, _ := json.Marshal(map[string]string{"subject": migs[0].Subject, "from": migs[0].FromAddr})
+	resp, err := http.Post(migs[0].ToAddr+"/v1/shard/pull", "application/json", strings.NewReader(string(pullBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("driving first pull: %d", resp.StatusCode)
+	}
+
+	nodes[2].crash(t)
+	live := nodes[:2]
+
+	// DURING: sources stay authoritative. Subjects of a and b read
+	// byte-identically from exactly one owner; c's subjects — including
+	// the one already pulled — are refused everywhere else with a 421
+	// naming c, so a second owner never appears while c is down.
+	for _, subject := range subjects {
+		if m1.Route(subject).Owner.ID != "c" {
+			_, listing := singleOwner(t, live, subject)
+			if string(listing) != baseline[subject] {
+				t.Fatalf("subject %s drifted mid-migration", subject)
+			}
+			continue
+		}
+		for _, n := range live {
+			code, data := shardGet(t, n.base, "/v1/repo/subjects/"+subject+"/versions")
+			if code != http.StatusMisdirectedRequest {
+				t.Fatalf("mid-migration read of %s on %s = %d (%s): the source must stay the only owner", subject, n.id, code, data)
+			}
+			var envelope struct {
+				Owner string `json:"owner"`
+			}
+			if err := json.Unmarshal(data, &envelope); err != nil || envelope.Owner != "http://"+addrs[2] {
+				t.Fatalf("mid-migration 421 for %s on %s points at %q, want c", subject, n.id, envelope.Owner)
+			}
+		}
+	}
+
+	// Writes to a migrating subject are parked with 503 migrating at the
+	// destination-to-be as well — it does not own the subject yet.
+	code, data := shardGet(t, live[0].base, "/v1/shard/map")
+	if code != http.StatusOK {
+		t.Fatalf("map fetch mid-migration = %d", code)
+	}
+	mid, err := shard.ParseMap(data)
+	if err != nil || mid.Epoch != 2 || len(mid.Migrations) != 2 {
+		t.Fatalf("mid-migration map = %+v, %v", mid, err)
+	}
+
+	// Revive c from disk: the fsync'd map and WAL must come back at the
+	// epoch and content it last acknowledged.
+	nodes[2] = startShardNode(t, "c", addrs[2], nodes[2].dir, nodes[2].mapPath, false)
+	if got := nodes[2].server.shard.Epoch(); got != 2 {
+		t.Fatalf("revived c at map epoch %d, want 2 (map install was not durable)", got)
+	}
+
+	// Resume: re-POST the rebalance. Every step is idempotent — the
+	// already-pulled subject adopts as a no-op — and the clean map
+	// commits the cutover.
+	rebBody, _ := json.Marshal(map[string]any{"shards": survivors})
+	resp, err = http.Post(nodes[0].base+"/v1/shard/rebalance", "application/json", strings.NewReader(string(rebBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rebRes struct {
+		Epoch int64    `json:"epoch"`
+		Moved []string `json:"moved"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&rebRes)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || err != nil {
+		t.Fatalf("resumed rebalance = %d, %v", resp.StatusCode, err)
+	}
+	if len(rebRes.Moved) != 2 {
+		t.Fatalf("resumed rebalance moved %v, want c's 2 subjects", rebRes.Moved)
+	}
+
+	// AFTER: every subject owned by exactly one survivor, byte-identical
+	// listing and file content; the drained c answers 421 for everything.
+	final, err := shard.NewMap(rebRes.Epoch, 16, survivors, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, subject := range subjects {
+		ownerID, listing := singleOwner(t, nodes[:2], subject)
+		if want := final.Route(subject).Owner.ID; ownerID != want {
+			t.Fatalf("post-rebalance owner of %s = %s, ring says %s", subject, ownerID, want)
+		}
+		if string(listing) != baseline[subject] {
+			t.Fatalf("subject %s not byte-identical after rebalance:\n%s\nvs\n%s", subject, listing, baseline[subject])
+		}
+		code, data := shardGet(t, nodes[2].base, "/v1/repo/subjects/"+subject+"/versions")
+		if code != http.StatusMisdirectedRequest {
+			t.Fatalf("drained c still serves %s (%d: %s)", subject, code, data)
+		}
+	}
+
+	// The shard-aware client reads and writes through the new topology —
+	// stale cached map and all, it follows the hints.
+	for _, subject := range subjects {
+		v, err := cl.Version(ctx, subject, 1)
+		if err != nil {
+			t.Fatalf("client read of %s after rebalance: %v", subject, err)
+		}
+		data, err := cl.File(ctx, subject, 1, v.Files[0].Name)
+		if err != nil || string(data) != fileBaseline[subject] {
+			t.Fatalf("client file of %s after rebalance: %v (identical=%v)", subject, err, string(data) == fileBaseline[subject])
+		}
+	}
+	moved := rebRes.Moved[0]
+	res, err := cl.Publish(ctx, moved, additiveXMI(t), client.PublishParams{Library: "EB005-HoardingPermit", Root: "HoardingPermit"})
+	if err != nil {
+		t.Fatalf("publish to migrated subject: %v", err)
+	}
+	if res.Version.Number != 2 {
+		t.Fatalf("migrated subject continued at version %d, want 2", res.Version.Number)
+	}
+
+	// The migration counter moved on the pulling survivors.
+	var pulls int64
+	for _, n := range nodes[:2] {
+		pulls += n.metrics.Snapshot()["shard_migrations_total"]
+	}
+	if pulls < 2 {
+		t.Errorf("shard_migrations_total across survivors = %d, want >= 2", pulls)
+	}
+}
+
+// TestShardProxyMode runs a two-node cluster with transparent proxying:
+// the wrong node forwards to the owner instead of 421ing, and the
+// /v1/generate cache affinity routes by content key without refusing.
+func TestShardProxyMode(t *testing.T) {
+	lns := []net.Listener{shardListen(t, "127.0.0.1:0"), shardListen(t, "127.0.0.1:0")}
+	addrs := []string{lns[0].Addr().String(), lns[1].Addr().String()}
+	lns[0].Close()
+	lns[1].Close()
+	shards := []shard.Shard{
+		{ID: "a", Addr: "http://" + addrs[0]},
+		{ID: "b", Addr: "http://" + addrs[1]},
+	}
+	m, err := shard.NewMap(1, 16, shards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*shardNode, 2)
+	for i, id := range []string{"a", "b"} {
+		mapPath := filepath.Join(t.TempDir(), "map.json")
+		if err := shard.SaveMap(mapPath, m); err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = startShardNode(t, id, addrs[i], t.TempDir(), mapPath, true)
+		defer nodes[i].stop()
+	}
+
+	// A publish for b's subject sent to a lands on b transparently.
+	subject := subjectOwnedBy(t, m, "b", 3)
+	resp, err := http.Post(nodes[0].base+"/v1/repo/subjects/"+subject+"/versions?"+docQuery, "application/xml", strings.NewReader(string(sampleXMI(t))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("proxied publish = %d", resp.StatusCode)
+	}
+	if got, _ := shardGet(t, nodes[1].base, "/v1/repo/subjects/"+subject+"/versions"); got != http.StatusOK {
+		t.Fatalf("owner does not hold the proxied publish (%d)", got)
+	}
+	if got, _ := shardGet(t, nodes[0].base, "/v1/repo/subjects/"+subject+"/versions"); got != http.StatusOK {
+		t.Fatalf("proxied read through the wrong node = %d", got)
+	}
+	if n := nodes[0].metrics.Snapshot()["shard_proxied_total"]; n < 1 {
+		t.Errorf("shard_proxied_total on a = %d, want >= 1", n)
+	}
+
+	// Generation works through either node: cache affinity proxies or
+	// serves locally, but never refuses.
+	resp, err = http.Post(nodes[0].base+"/v1/generate?"+docQuery, "application/xml", strings.NewReader(string(sampleXMI(t))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate via sharded node = %d", resp.StatusCode)
+	}
+}
+
+// TestShardHealthz pins the shard block of the health document.
+func TestShardHealthz(t *testing.T) {
+	m, err := shard.NewMap(4, 16, []shard.Shard{{ID: "a", Addr: "http://x"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Shard: newShardRouter(t, m, "a")})
+	rec := repoRequest(t, s.Handler(), http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+	var doc struct {
+		Shard *struct {
+			Self  string `json:"self"`
+			Epoch int64  `json:"epoch"`
+		} `json:"shard"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Shard == nil || doc.Shard.Self != "a" || doc.Shard.Epoch != 4 {
+		t.Errorf("healthz shard block = %+v", doc.Shard)
+	}
+}

@@ -1,0 +1,231 @@
+package shard
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testShards() []Shard {
+	return []Shard{
+		{ID: "a", Addr: "http://127.0.0.1:7001"},
+		{ID: "b", Addr: "http://127.0.0.1:7002"},
+		{ID: "c", Addr: "http://127.0.0.1:7003"},
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() (*Map, error)
+	}{
+		{"zero epoch", func() (*Map, error) { return NewMap(0, 0, testShards(), nil) }},
+		{"no shards", func() (*Map, error) { return NewMap(1, 0, nil, nil) }},
+		{"duplicate id", func() (*Map, error) {
+			return NewMap(1, 0, []Shard{{ID: "a", Addr: "x"}, {ID: "a", Addr: "y"}}, nil)
+		}},
+		{"empty addr", func() (*Map, error) { return NewMap(1, 0, []Shard{{ID: "a"}}, nil) }},
+		{"migration to unknown shard", func() (*Map, error) {
+			return NewMap(2, 0, testShards(), []Migration{{Subject: "s", From: "a", FromAddr: "x", To: "zz", ToAddr: "y"}})
+		}},
+		{"migration to itself", func() (*Map, error) {
+			return NewMap(2, 0, testShards(), []Migration{{Subject: "s", From: "a", FromAddr: "x", To: "a", ToAddr: "x"}})
+		}},
+		{"duplicate migration", func() (*Map, error) {
+			mg := Migration{Subject: "s", From: "a", FromAddr: "x", To: "b", ToAddr: "y"}
+			return NewMap(2, 0, testShards(), []Migration{mg, mg})
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.fn(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestMapRouteMigrationPinsSource(t *testing.T) {
+	// A migrating subject must stay owned by its source — even one whose
+	// From shard has already left the topology (addresses are
+	// denormalized into the migration record for exactly that case).
+	m, err := NewMap(3, 0, testShards()[:2], []Migration{
+		{Subject: "moving", From: "c", FromAddr: "http://127.0.0.1:7003", To: "b", ToAddr: "http://127.0.0.1:7002"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := m.Route("moving")
+	if !ro.Migrating {
+		t.Fatal("migrating subject not flagged")
+	}
+	if ro.Owner.ID != "c" || ro.Owner.Addr != "http://127.0.0.1:7003" {
+		t.Fatalf("owner = %+v, want pinned source c", ro.Owner)
+	}
+	if ro.Target.ID != "b" {
+		t.Fatalf("target = %+v, want b", ro.Target)
+	}
+	if ro2 := m.Route("settled-subject"); ro2.Migrating || ro2.Owner != ro2.Target {
+		t.Fatalf("non-migrating subject routed as %+v", ro2)
+	}
+}
+
+func TestMapEncodeFixedPoint(t *testing.T) {
+	// Unsorted input must normalize once; the encoded form re-parses and
+	// re-encodes to identical bytes.
+	m, err := NewMap(5, 32, []Shard{
+		{ID: "z", Addr: "http://z"},
+		{ID: "a", Addr: "http://a"},
+	}, []Migration{
+		{Subject: "zz", From: "z", FromAddr: "http://z", To: "a", ToAddr: "http://a"},
+		{Subject: "aa", From: "a", FromAddr: "http://a", To: "z", ToAddr: "http://z"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ParseMap(one)
+	if err != nil {
+		t.Fatalf("re-parsing own encoding: %v", err)
+	}
+	two, err := m2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one, two) {
+		t.Fatalf("Encode is not a fixed point:\n%s\nvs\n%s", one, two)
+	}
+}
+
+func TestMapSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shard-map.json")
+	m, err := NewMap(7, 0, testShards(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveMap(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 7 || len(got.Shards) != 3 {
+		t.Fatalf("loaded map = epoch %d, %d shards", got.Epoch, len(got.Shards))
+	}
+	// No temp files may survive the atomic write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "shard-map.json" {
+			t.Errorf("leftover file %q after SaveMap", e.Name())
+		}
+	}
+}
+
+func TestRouterInstall(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "map.json")
+	m1, _ := NewMap(1, 0, testShards(), nil)
+	if err := BootstrapMap(path, m1); err != nil {
+		t.Fatal(err)
+	}
+	// Bootstrap must not clobber an existing file.
+	other, _ := NewMap(9, 0, testShards(), nil)
+	if err := BootstrapMap(path, other); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := OpenRouter(path, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Epoch() != 1 {
+		t.Fatalf("epoch %d after bootstrap, want 1 (BootstrapMap overwrote the file)", rt.Epoch())
+	}
+	if addr := rt.SelfAddr(); addr != "http://127.0.0.1:7001" {
+		t.Fatalf("SelfAddr = %q", addr)
+	}
+
+	// Same-epoch byte-identical re-push is an idempotent no-op.
+	again, _ := NewMap(1, 0, testShards(), nil)
+	if err := rt.Install(again); err != nil {
+		t.Fatalf("idempotent same-epoch install: %v", err)
+	}
+	// Same epoch, different content: refused.
+	conflicting, _ := NewMap(1, 0, testShards()[:2], nil)
+	if err := rt.Install(conflicting); err == nil {
+		t.Fatal("conflicting same-epoch map installed")
+	}
+	// Lower epoch: refused.
+	m2, _ := NewMap(2, 0, testShards()[:2], nil)
+	if err := rt.Install(m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Install(m1); err == nil {
+		t.Fatal("stale map installed over a newer epoch")
+	}
+
+	// A restart resumes from the last durably installed epoch.
+	rt2, err := OpenRouter(path, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt2.Epoch() != 2 {
+		t.Fatalf("reopened router at epoch %d, want 2", rt2.Epoch())
+	}
+
+	// Routing decisions resolve Local against self.
+	dec := rt2.Route("some-subject")
+	if dec.Epoch != 2 {
+		t.Fatalf("decision epoch %d", dec.Epoch)
+	}
+	if dec.Local != (dec.Owner.ID == "a") {
+		t.Fatalf("Local=%v for owner %q self a", dec.Local, dec.Owner.ID)
+	}
+}
+
+// FuzzShardMapJSON feeds arbitrary bytes through ParseMap; any document
+// that validates must re-encode to a fixed point and route every probe
+// subject deterministically.
+func FuzzShardMapJSON(f *testing.F) {
+	m, _ := NewMap(3, 16, testShards(), []Migration{
+		{Subject: "mv", From: "a", FromAddr: "http://127.0.0.1:7001", To: "b", ToAddr: "http://127.0.0.1:7002"},
+	})
+	seed, _ := m.Encode()
+	f.Add(seed)
+	f.Add([]byte(`{"epoch":1,"shards":[{"id":"x","addr":"http://x"}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m1, err := ParseMap(data)
+		if err != nil {
+			return // invalid documents must only error, never panic
+		}
+		one, err := m1.Encode()
+		if err != nil {
+			t.Fatalf("valid map failed to encode: %v", err)
+		}
+		m2, err := ParseMap(one)
+		if err != nil {
+			t.Fatalf("re-parsing own encoding: %v\n%s", err, one)
+		}
+		two, err := m2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(one, two) {
+			t.Fatalf("Encode not a fixed point:\n%s\nvs\n%s", one, two)
+		}
+		for _, s := range []string{"a", "mv", "library-0001/core-component", ""} {
+			r1, r2 := m1.Route(s), m2.Route(s)
+			if r1 != r2 {
+				t.Fatalf("Route(%q) differs across round-trip: %+v vs %+v", s, r1, r2)
+			}
+		}
+	})
+}

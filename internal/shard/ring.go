@@ -1,0 +1,110 @@
+// Package shard distributes the schema repository's write path across a
+// cluster of primaries. Subjects — the registry's unit of ownership,
+// exactly as the paper's Core Component libraries are keyed by
+// namespace — are placed on a consistent-hash ring of shard primaries;
+// the assignment is captured in a versioned, fsync'd shard-map document
+// (an epoch-numbered, checked artifact rather than a convention) that
+// every node and client can cache and compare. A Router consults the
+// map on each request: requests for subjects this node owns are served
+// locally, everything else is redirected with a machine-readable 421
+// wrong_shard envelope (or transparently proxied) to the owner.
+//
+// Topology changes are a two-epoch protocol: the coordinator publishes
+// a map with the new shard set and the pending migrations (epoch N+1,
+// the moving subjects still owned by their sources), streams each
+// moving subject between primaries over the existing repository and
+// replication-blob endpoints (Pull → repo.Adopt, idempotent), and only
+// then publishes the clean map (epoch N+2). A crash anywhere in between
+// leaves every subject readable from exactly one authoritative owner,
+// and re-running the rebalance resumes where it stopped.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per shard when a map does not
+// set one. Each virtual node contributes four ring points (one SHA-256
+// digest yields four 64-bit positions), so the default places 256
+// points per shard — enough to keep the load skew across shards well
+// under the documented 15% bound.
+const DefaultVNodes = 64
+
+// point is one position on the ring.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over shard IDs. Build with
+// NewRing; safe for concurrent use.
+type Ring struct {
+	points []point
+}
+
+// NewRing places every node on the ring with vnodes virtual nodes each
+// (vnodes <= 0 means DefaultVNodes). The construction is deterministic:
+// the same (nodes, vnodes) input yields the same ring on every machine,
+// which is what lets servers and clients route from independently
+// cached copies of the map.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{points: make([]point, 0, len(nodes)*vnodes*4)}
+	var buf [8]byte
+	for _, node := range nodes {
+		h := sha256.New()
+		binary.BigEndian.PutUint64(buf[:], uint64(len(node)))
+		h.Write(buf[:])
+		h.Write([]byte(node))
+		for i := 0; i < vnodes; i++ {
+			vh := sha256.New()
+			vh.Write(h.Sum(nil))
+			binary.BigEndian.PutUint64(buf[:], uint64(i))
+			vh.Write(buf[:])
+			digest := vh.Sum(nil)
+			for off := 0; off+8 <= len(digest); off += 8 {
+				r.points = append(r.points, point{hash: binary.BigEndian.Uint64(digest[off : off+8]), node: node})
+			}
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// SubjectHash is the ring position of a subject: the first eight bytes
+// of a SHA-256 over the length-prefixed subject name — the same
+// keying discipline internal/contentaddr uses for content addresses,
+// so distinct names can never collide by concatenation.
+func SubjectHash(subject string) uint64 {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(len(subject)))
+	h.Write(buf[:])
+	h.Write([]byte(subject))
+	sum := h.Sum(nil)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the shard ID owning subject: the first ring point at or
+// after the subject's hash, wrapping at the top. An empty ring owns
+// nothing.
+func (r *Ring) Owner(subject string) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := SubjectHash(subject)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node, true
+}

@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// subjects generates n deterministic subject names shaped like the
+// registry's real keys (library-style slugs, not random bytes), so the
+// distribution bound is measured on realistic input.
+func subjects(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("library-%04d/core-component", i)
+	}
+	return out
+}
+
+func TestRingDeterministic(t *testing.T) {
+	nodes := []string{"a", "b", "c"}
+	r1 := NewRing(nodes, 64)
+	r2 := NewRing([]string{"c", "a", "b"}, 64)
+	for _, s := range subjects(200) {
+		o1, ok1 := r1.Owner(s)
+		o2, ok2 := r2.Owner(s)
+		if !ok1 || !ok2 {
+			t.Fatalf("Owner(%q) not found (ok1=%v ok2=%v)", s, ok1, ok2)
+		}
+		if o1 != o2 {
+			t.Fatalf("Owner(%q) depends on node order: %q vs %q", s, o1, o2)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	if owner, ok := NewRing(nil, 64).Owner("x"); ok || owner != "" {
+		t.Fatalf("empty ring returned owner %q, ok=%v", owner, ok)
+	}
+}
+
+// TestRingDistribution is the documented load-skew bound: across 1k
+// subjects at the default 64 vnodes, no shard's load may deviate from
+// the fair share by more than 15%.
+func TestRingDistribution(t *testing.T) {
+	nodes := []string{"shard-a", "shard-b", "shard-c", "shard-d"}
+	r := NewRing(nodes, DefaultVNodes)
+	subs := subjects(1000)
+	counts := map[string]int{}
+	for _, s := range subs {
+		owner, ok := r.Owner(s)
+		if !ok {
+			t.Fatalf("no owner for %q", s)
+		}
+		counts[owner]++
+	}
+	fair := float64(len(subs)) / float64(len(nodes))
+	for _, n := range nodes {
+		got := float64(counts[n])
+		skew := (got - fair) / fair
+		if skew < 0 {
+			skew = -skew
+		}
+		t.Logf("%s: %d subjects (fair %.0f, skew %.1f%%)", n, counts[n], fair, skew*100)
+		if skew > 0.15 {
+			t.Errorf("%s owns %d of %d subjects: skew %.1f%% exceeds the 15%% bound", n, counts[n], len(subs), skew*100)
+		}
+	}
+}
+
+// TestRingMinimalMovementAdd proves the consistent-hashing contract on
+// node addition: every subject that moves lands on the new node (no
+// churn between survivors), and roughly 1/N of the keyspace moves.
+func TestRingMinimalMovementAdd(t *testing.T) {
+	before := NewRing([]string{"a", "b", "c"}, DefaultVNodes)
+	after := NewRing([]string{"a", "b", "c", "d"}, DefaultVNodes)
+	subs := subjects(1000)
+	moved := 0
+	for _, s := range subs {
+		o1, _ := before.Owner(s)
+		o2, _ := after.Owner(s)
+		if o1 == o2 {
+			continue
+		}
+		moved++
+		if o2 != "d" {
+			t.Fatalf("subject %q moved %q -> %q on adding d: survivors must not shuffle", s, o1, o2)
+		}
+	}
+	// Expect ~1/4 of subjects to move; allow a wide statistical band.
+	if moved < len(subs)/8 || moved > len(subs)/2 {
+		t.Errorf("adding one of four nodes moved %d of %d subjects (expected around %d)", moved, len(subs), len(subs)/4)
+	}
+	t.Logf("adding d moved %d/%d subjects", moved, len(subs))
+}
+
+// TestRingMinimalMovementRemove is the inverse contract: removing a
+// node moves exactly that node's subjects, nobody else's.
+func TestRingMinimalMovementRemove(t *testing.T) {
+	before := NewRing([]string{"a", "b", "c", "d"}, DefaultVNodes)
+	after := NewRing([]string{"a", "b", "c"}, DefaultVNodes)
+	subs := subjects(1000)
+	moved := 0
+	for _, s := range subs {
+		o1, _ := before.Owner(s)
+		o2, _ := after.Owner(s)
+		if o1 == o2 {
+			continue
+		}
+		moved++
+		if o1 != "d" {
+			t.Fatalf("subject %q moved %q -> %q on removing d: only d's subjects may move", s, o1, o2)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removing a node moved no subjects")
+	}
+	t.Logf("removing d moved %d/%d subjects", moved, len(subs))
+}
+
+func TestSubjectHashLengthPrefix(t *testing.T) {
+	// The length prefix separates names that concatenate identically.
+	if SubjectHash("ab") == SubjectHash("a")^SubjectHash("b") {
+		t.Log("coincidental xor equality; ignoring") // not the property under test
+	}
+	pairs := [][2]string{{"ab", "a"}, {"invoice", "invoice "}, {"x", ""}}
+	for _, p := range pairs {
+		if SubjectHash(p[0]) == SubjectHash(p[1]) {
+			t.Errorf("SubjectHash(%q) == SubjectHash(%q)", p[0], p[1])
+		}
+	}
+	if SubjectHash("invoice") != SubjectHash("invoice") {
+		t.Error("SubjectHash is not deterministic")
+	}
+}

@@ -1,0 +1,161 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"github.com/go-ccts/ccts/internal/metrics"
+)
+
+// ErrStaleEpoch rejects installing a map whose epoch does not advance
+// the one already held. Epochs are the map's total order: a node never
+// steps backward, so a delayed install from an old rebalance cannot
+// undo a newer topology.
+var ErrStaleEpoch = errors.New("shard: map epoch is not newer than the installed one")
+
+// Router is one node's view of the cluster: the current shard map plus
+// this node's own shard ID. It persists every installed map to its
+// backing file (fsync'd) before switching over, so a restart comes back
+// routing from the epoch it last acknowledged.
+type Router struct {
+	path string
+	self string
+
+	mu sync.RWMutex
+	m  *Map
+
+	epoch      *metrics.Gauge
+	owned      *metrics.Gauge
+	proxied    *metrics.Counter
+	migrations *metrics.Counter
+}
+
+// OpenRouter loads the shard map at path and returns a router for the
+// node whose shard ID is self. The map must exist and validate; a node
+// must never guess a topology. self must be one of the map's shards —
+// except during the tail of a rebalance that removes this node, so a
+// drained shard can still serve 421s pointing at the new owners.
+func OpenRouter(path, self string) (*Router, error) {
+	if self == "" {
+		return nil, fmt.Errorf("shard: empty self shard id")
+	}
+	m, err := LoadMap(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Router{path: path, self: self, m: m}, nil
+}
+
+// Self returns this node's shard ID.
+func (rt *Router) Self() string { return rt.self }
+
+// Map returns the installed map. The returned value is immutable —
+// route from it freely, never mutate it.
+func (rt *Router) Map() *Map {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.m
+}
+
+// Epoch returns the installed map's epoch.
+func (rt *Router) Epoch() int64 { return rt.Map().Epoch }
+
+// SelfAddr returns this node's address under the installed map, or ""
+// when the map no longer lists this shard.
+func (rt *Router) SelfAddr() string {
+	if s, ok := rt.Map().Shard(rt.self); ok {
+		return s.Addr
+	}
+	return ""
+}
+
+// Decision is a Route resolved against this node's identity.
+type Decision struct {
+	Route
+	// Local reports that this node is the authoritative owner.
+	Local bool
+	// Epoch is the map epoch the decision was made under, for the 421
+	// envelope and client cache invalidation.
+	Epoch int64
+}
+
+// Route resolves a subject against the installed map.
+func (rt *Router) Route(subject string) Decision {
+	m := rt.Map()
+	ro := m.Route(subject)
+	return Decision{Route: ro, Local: ro.Owner.ID == rt.self, Epoch: m.Epoch}
+}
+
+// Install persists and switches to a newer map. A map at or below the
+// installed epoch answers ErrStaleEpoch — except the byte-identical
+// same-epoch map, which is acknowledged as a no-op so a rebalance
+// coordinator can idempotently re-push the map it crashed after
+// writing. The file write is atomic and fsync'd; the in-memory switch
+// happens only after the bytes are durable.
+func (rt *Router) Install(m *Map) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if m.Epoch < rt.m.Epoch {
+		return fmt.Errorf("%w: have %d, got %d", ErrStaleEpoch, rt.m.Epoch, m.Epoch)
+	}
+	if m.Epoch == rt.m.Epoch {
+		have, err1 := rt.m.Encode()
+		got, err2 := m.Encode()
+		if err1 == nil && err2 == nil && string(have) == string(got) {
+			return nil
+		}
+		return fmt.Errorf("%w: a different map already holds epoch %d", ErrStaleEpoch, rt.m.Epoch)
+	}
+	if err := SaveMap(rt.path, m); err != nil {
+		return fmt.Errorf("shard: persisting map epoch %d: %w", m.Epoch, err)
+	}
+	rt.m = m
+	if rt.epoch != nil {
+		rt.epoch.Set(m.Epoch)
+	}
+	return nil
+}
+
+// Instrument registers the router's gauges and counters.
+func (rt *Router) Instrument(mx *metrics.Registry) {
+	rt.epoch = mx.Gauge("shard_epoch", "Epoch of the installed shard map.")
+	rt.owned = mx.Gauge("shard_owned_subjects", "Subjects this shard currently owns.")
+	rt.proxied = mx.Counter("shard_proxied_total", "Requests proxied to their owning shard.")
+	rt.migrations = mx.Counter("shard_migrations_total", "Subjects pulled onto this shard by a rebalance.")
+	rt.epoch.Set(rt.Epoch())
+}
+
+// CountProxied records one proxied request.
+func (rt *Router) CountProxied() {
+	if rt.proxied != nil {
+		rt.proxied.Inc()
+	}
+}
+
+// CountMigration records one subject pulled onto this shard.
+func (rt *Router) CountMigration() {
+	if rt.migrations != nil {
+		rt.migrations.Inc()
+	}
+}
+
+// SetOwned publishes how many subjects this shard currently owns.
+func (rt *Router) SetOwned(n int64) {
+	if rt.owned != nil {
+		rt.owned.Set(n)
+	}
+}
+
+// BootstrapMap writes an initial single-epoch map file if none exists
+// yet, so a fresh cluster can be brought up from flags alone. An
+// existing file is left untouched.
+func BootstrapMap(path string, m *Map) error {
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	return SaveMap(path, m)
+}

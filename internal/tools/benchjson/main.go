@@ -53,6 +53,7 @@ func main() {
 	baseline := flag.String("baseline", "", "committed BENCH_*.json to compare against; exits non-zero on regression")
 	maxRegress := flag.Float64("max-regress", 10, "allowed ns/op regression over the baseline, in percent")
 	maxRegressAlloc := flag.Float64("max-regress-alloc", 25, "allowed allocs/op and B/op regression over the baseline, in percent")
+	allocAdvisory := flag.Bool("alloc-advisory", false, "report allocs/op and B/op regressions without failing the comparison (ns/op still gates)")
 	flag.Parse()
 
 	doc, err := parse(os.Stdin)
@@ -61,7 +62,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *baseline != "" {
-		regressed, err := compare(os.Stdout, *baseline, doc, *maxRegress, *maxRegressAlloc)
+		regressed, err := compare(os.Stdout, *baseline, doc, *maxRegress, *maxRegressAlloc, *allocAdvisory)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -91,7 +92,10 @@ func main() {
 
 // parse reads `go test -bench` output, keeping benchmark lines and the
 // goos/goarch/pkg/cpu header, and ignoring everything else (PASS, ok,
-// log lines).
+// log lines). Repeated lines for one benchmark (a `-count=N` run) are
+// collapsed to the best observation — minimum ns/op — so both recorded
+// baselines and gated comparisons measure the code, not the scheduler
+// noise of a shared machine.
 func parse(r io.Reader) (*Doc, error) {
 	doc := &Doc{Benchmarks: []Result{}}
 	sc := bufio.NewScanner(r)
@@ -114,7 +118,29 @@ func parse(r io.Reader) (*Doc, error) {
 			doc.Benchmarks = append(doc.Benchmarks, res)
 		}
 	}
+	doc.Benchmarks = bestOf(doc.Benchmarks)
 	return doc, sc.Err()
+}
+
+// bestOf collapses repeated observations of one benchmark to the run
+// with the lowest ns/op, preserving first-appearance order. The fastest
+// run is the one with the least interference, so it is the closest
+// measurement of the code itself.
+func bestOf(results []Result) []Result {
+	best := make(map[string]int, len(results))
+	out := results[:0]
+	for _, r := range results {
+		i, seen := best[r.Name]
+		if !seen {
+			best[r.Name] = len(out)
+			out = append(out, r)
+			continue
+		}
+		if r.NsPerOp < out[i].NsPerOp {
+			out[i] = r
+		}
+	}
+	return out
 }
 
 // parseLine splits one benchmark result line, e.g.
@@ -158,8 +184,11 @@ func parseLine(line string) (Result, error) {
 // allowance is a regression. Benchmarks that appear on only one side
 // are reported but never fail the comparison — renames and new
 // benchmarks should not block, they should prompt a baseline refresh.
-// Returns whether any benchmark regressed.
-func compare(w io.Writer, baselinePath string, fresh *Doc, maxRegress, maxAlloc float64) (bool, error) {
+// With allocAdvisory, memory regressions are reported but do not fail
+// the comparison — the mode `make verify` runs in, where the enforced
+// gate is ns/op and allocation drift is a warning. Returns whether any
+// benchmark regressed (gating dimensions only).
+func compare(w io.Writer, baselinePath string, fresh *Doc, maxRegress, maxAlloc float64, allocAdvisory bool) (bool, error) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return false, err
@@ -211,7 +240,9 @@ func compare(w io.Writer, baselinePath string, fresh *Doc, maxRegress, maxAlloc 
 			}
 			memPct := float64(m.new-m.old) / float64(m.old) * 100
 			if memPct > maxAlloc {
-				regressed = true
+				if !allocAdvisory {
+					regressed = true
+				}
 				fmt.Fprintf(w, "ALLOC %-40s %12d -> %12d %s (%+.1f%%)\n",
 					r.Name, m.old, m.new, m.unit, memPct)
 			}

@@ -48,6 +48,33 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseCollapsesRepeatedRunsToBest(t *testing.T) {
+	// A -count=3 run emits the same benchmark three times; the document
+	// must carry one entry per name holding the fastest observation.
+	doc, err := parse(strings.NewReader(`BenchmarkA-8 100 1500 ns/op 200 B/op 10 allocs/op
+BenchmarkB-8 100 900 ns/op
+BenchmarkA-8 120 1200 ns/op 180 B/op 9 allocs/op
+BenchmarkA-8 90 1400 ns/op 210 B/op 11 allocs/op
+BenchmarkB-8 100 950 ns/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2 (deduped): %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	a, b := doc.Benchmarks[0], doc.Benchmarks[1]
+	if a.Name != "BenchmarkA" || b.Name != "BenchmarkB" {
+		t.Fatalf("first-appearance order lost: %q, %q", a.Name, b.Name)
+	}
+	if a.NsPerOp != 1200 || a.BytesPerOp != 180 || a.AllocsPerOp != 9 {
+		t.Errorf("BenchmarkA best = %+v, want the whole 1200 ns/op observation", a)
+	}
+	if b.NsPerOp != 900 {
+		t.Errorf("BenchmarkB best = %+v, want 900 ns/op", b)
+	}
+}
+
 func TestParseRejectsMalformedLine(t *testing.T) {
 	if _, err := parse(strings.NewReader("BenchmarkBroken notanumber ns/op\n")); err == nil {
 		t.Error("malformed line accepted")
@@ -68,7 +95,7 @@ func TestCompare(t *testing.T) {
 	run := func(t *testing.T, fresh *Doc, maxRegress float64) (bool, string) {
 		t.Helper()
 		var buf strings.Builder
-		regressed, err := compare(&buf, path, fresh, maxRegress, 25)
+		regressed, err := compare(&buf, path, fresh, maxRegress, 25, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,13 +186,13 @@ func TestCompare(t *testing.T) {
 	})
 
 	t.Run("empty run errors", func(t *testing.T) {
-		if _, err := compare(io.Discard, path, &Doc{}, 10, 25); err == nil {
+		if _, err := compare(io.Discard, path, &Doc{}, 10, 25, false); err == nil {
 			t.Error("empty fresh run accepted")
 		}
 	})
 
 	t.Run("missing baseline errors", func(t *testing.T) {
-		if _, err := compare(io.Discard, filepath.Join(t.TempDir(), "nope.json"), &Doc{Benchmarks: []Result{{Name: "x"}}}, 10, 25); err == nil {
+		if _, err := compare(io.Discard, filepath.Join(t.TempDir(), "nope.json"), &Doc{Benchmarks: []Result{{Name: "x"}}}, 10, 25, false); err == nil {
 			t.Error("missing baseline file accepted")
 		}
 	})
