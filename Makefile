@@ -11,7 +11,7 @@ FUZZTIME ?= 10s
 MAXREGRESS ?= 25
 BENCHCOUNT ?= 3
 
-.PHONY: build test bench bench-serve bench-repo bench-repl bench-diff verify fuzz-smoke chaos-smoke repl-smoke jobs-smoke shard-smoke
+.PHONY: build test bench bench-serve bench-repo bench-repl bench-diff verify fuzz-smoke chaos-smoke repl-smoke jobs-smoke shard-smoke heal-smoke
 
 build:
 	$(GO) build ./...
@@ -114,6 +114,19 @@ shard-smoke:
 	$(GO) test ./internal/server -race -count=1 -run 'TestShard' -timeout 180s
 	$(GO) test ./internal/shard -race -count=1 -timeout 120s
 
+# heal-smoke replays the self-healing cluster drill under -race: a
+# 3-primary cluster with one standby replica and two concurrent
+# supervisors, the replicated primary killed mid-publish burst
+# (standby promoted and the map converged within the probe budget),
+# then a replica-less primary forced read-only by an injected disk
+# fault (its subjects evacuated onto the survivors) — every subject
+# byte-identical from exactly one owner throughout, racing
+# supervisors never installing conflicting epochs, zero goroutine
+# leaks. Also covers the manual heal endpoint and the
+# epoch-swap-mid-proxy race.
+heal-smoke:
+	$(GO) test ./internal/server -race -count=1 -run 'TestHeal' -timeout 180s
+
 # verify is the full pre-merge gate: static checks, the entire test
 # suite under the race detector (the parallel emit phase must be
 # data-race-free at any Parallelism setting), a dedicated -race pass
@@ -121,8 +134,9 @@ shard-smoke:
 # (singleflight, admission gating, shedding, rate limiting, drain,
 # health state machine, client retry, concurrent publishes against the
 # WAL, parallel emission through every backend), the chaos smoke pass,
-# the replication, batch-job and shard-cluster crash drills, the fuzz
-# smoke pass, and an enforced ns/op benchmark diff against the
+# the replication, batch-job, shard-cluster and self-healing crash
+# drills, the fuzz smoke pass, and an enforced ns/op benchmark diff
+# against the
 # committed baselines (allocation drift stays advisory; see bench-diff
 # for the regression allowance).
 verify:
@@ -133,5 +147,6 @@ verify:
 	$(MAKE) repl-smoke
 	$(MAKE) jobs-smoke
 	$(MAKE) shard-smoke
+	$(MAKE) heal-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-diff

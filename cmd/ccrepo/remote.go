@@ -228,16 +228,45 @@ func remoteList(ctx context.Context, fan *readFanout, args []string, out io.Writ
 		return errors.New("usage: ccrepo -server URL list [SUBJECT]")
 	}
 	if len(args) == 0 {
-		subs, err := fanDo(ctx, fan, func(ctx context.Context, c *client.Client) ([]client.Subject, error) {
-			return c.Subjects(ctx)
+		// Prefer the cluster-wide aggregate: against a shard cluster any
+		// node answers with the merged view (plus which owners were
+		// unreachable). A pre-aggregate server 404s; fall back to the
+		// node-local listing.
+		agg, err := fanDo(ctx, fan, func(ctx context.Context, c *client.Client) (*client.AggregateSubjects, error) {
+			return c.ListAll(ctx)
 		})
 		if err != nil {
-			return err
+			var ae *client.APIError
+			if !errors.As(err, &ae) || ae.Status != http.StatusNotFound {
+				return err
+			}
+			subs, err := fanDo(ctx, fan, func(ctx context.Context, c *client.Client) ([]client.Subject, error) {
+				return c.Subjects(ctx)
+			})
+			if err != nil {
+				return err
+			}
+			for _, s := range subs {
+				fmt.Fprintf(out, "%-50s %-9s %3d version(s) latest %d\n", s.Name, s.Policy, s.Versions, s.Latest)
+			}
+			fmt.Fprintf(out, "%d subject(s)\n", len(subs))
+			return nil
 		}
-		for _, s := range subs {
+		for _, u := range agg.Unreachable {
+			fmt.Fprintf(os.Stderr, "ccrepo: shard %s (%s) unreachable: %s — listing is partial\n", u.ID, u.Addr, u.Error)
+		}
+		for _, s := range agg.Subjects {
+			if s.Shard != "" {
+				fmt.Fprintf(out, "%-50s %-9s %3d version(s) latest %d  shard %s\n", s.Name, s.Policy, s.Versions, s.Latest, s.Shard)
+				continue
+			}
 			fmt.Fprintf(out, "%-50s %-9s %3d version(s) latest %d\n", s.Name, s.Policy, s.Versions, s.Latest)
 		}
-		fmt.Fprintf(out, "%d subject(s)\n", len(subs))
+		if agg.Shards > 1 {
+			fmt.Fprintf(out, "%d subject(s) across %d shard(s) (%d reached)\n", len(agg.Subjects), agg.Shards, agg.Reached)
+			return nil
+		}
+		fmt.Fprintf(out, "%d subject(s)\n", len(agg.Subjects))
 		return nil
 	}
 	vl, err := fanDo(ctx, fan, func(ctx context.Context, c *client.Client) (*client.VersionList, error) {

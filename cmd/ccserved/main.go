@@ -102,6 +102,15 @@ type config struct {
 	shardMap   string
 	shardSelf  string
 	shardProxy bool
+	// shardSupervise starts the shard supervisor: every node probing its
+	// peers and healing confirmed failures (replica promotion or
+	// evacuation onto the survivors).
+	shardSupervise bool
+	// shardReplicaMap runs this replica shard-aware: it mounts the
+	// router from the map file so its shard's reads serve locally while
+	// writes answer the primary hint — and after a supervisor promotes
+	// it, it is a full primary without a restart.
+	shardReplicaMap string
 }
 
 // parseFlags maps the command line onto a server configuration.
@@ -131,6 +140,8 @@ func parseFlags(args []string) (*config, error) {
 		shardMap     = fs.String("shard-map", "", "shard-map file making this instance one primary of a consistent-hash cluster (requires -repo and -shard-self)")
 		shardSelf    = fs.String("shard-self", "", "this node's shard ID within the -shard-map topology")
 		shardProxy   = fs.Bool("shard-proxy", false, "proxy wrong-shard requests to their owner instead of answering 421 (requires -shard-map)")
+		shardSuperv  = fs.Bool("shard-supervise", false, "probe peer shards and heal confirmed failures: promote the replica or evacuate onto survivors (requires -shard-map; paced by -probe-interval, armed by -promote-misses)")
+		shardRepMap  = fs.String("shard-replica-of-map", "", "shard-map file making this replica shard-aware and promotable in place (requires -replica-of and -shard-self; mutually exclusive with -shard-map)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -185,6 +196,19 @@ func parseFlags(args []string) (*config, error) {
 	cfg.shardMap = *shardMap
 	cfg.shardSelf = *shardSelf
 	cfg.shardProxy = *shardProxy
+	cfg.shardSupervise = *shardSuperv
+	cfg.shardReplicaMap = *shardRepMap
+	if cfg.shardReplicaMap != "" {
+		if cfg.shardMap != "" {
+			return nil, fmt.Errorf("-shard-replica-of-map and -shard-map are mutually exclusive (a node is a primary or a standby, not both)")
+		}
+		if cfg.replicaOf == "" {
+			return nil, fmt.Errorf("-shard-replica-of-map requires -replica-of (the shard primary this standby follows)")
+		}
+		if cfg.shardSelf == "" {
+			return nil, fmt.Errorf("-shard-replica-of-map requires -shard-self (the shard this standby replicates)")
+		}
+	}
 	if cfg.shardMap != "" {
 		if cfg.repoDir == "" {
 			return nil, fmt.Errorf("-shard-map requires -repo (each shard primary stores its subjects locally)")
@@ -192,8 +216,11 @@ func parseFlags(args []string) (*config, error) {
 		if cfg.shardSelf == "" {
 			return nil, fmt.Errorf("-shard-map requires -shard-self (this node's shard ID in the map)")
 		}
-	} else if cfg.shardSelf != "" || cfg.shardProxy {
+	} else if cfg.shardReplicaMap == "" && (cfg.shardSelf != "" || cfg.shardProxy) {
 		return nil, fmt.Errorf("-shard-self and -shard-proxy require -shard-map")
+	}
+	if cfg.shardSupervise && cfg.shardMap == "" && cfg.shardReplicaMap == "" {
+		return nil, fmt.Errorf("-shard-supervise requires -shard-map or -shard-replica-of-map")
 	}
 	return cfg, nil
 }
@@ -255,14 +282,29 @@ func run(args []string) error {
 	}
 
 	// The shard router loads the versioned map before serving: a node
-	// that cannot know the topology must not guess it.
-	if cfg.shardMap != "" {
-		router, err := shard.OpenRouter(cfg.shardMap, cfg.shardSelf)
+	// that cannot know the topology must not guess it. A standby replica
+	// (-shard-replica-of-map) mounts the same router — its shard's reads
+	// serve locally, writes answer the primary hint, and a promotion
+	// makes it a full primary in place.
+	mapPath := cfg.shardMap
+	if mapPath == "" {
+		mapPath = cfg.shardReplicaMap
+	}
+	if mapPath != "" {
+		router, err := shard.OpenRouter(mapPath, cfg.shardSelf)
 		if err != nil {
 			return fmt.Errorf("opening shard map: %w", err)
 		}
 		cfg.server.Shard = router
 		cfg.server.ShardProxy = cfg.shardProxy
+		if cfg.shardSupervise {
+			cfg.server.ShardSupervise = true
+			cfg.server.ShardProbeInterval = cfg.probeInterval
+			cfg.server.ShardFailMisses = cfg.promoteMisses
+			cfg.server.ShardLogf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "ccserved: "+format+"\n", args...)
+			}
+		}
 	}
 
 	// The job queue is durable: it recovers interrupted jobs before
@@ -285,6 +327,10 @@ func run(args []string) error {
 	}
 
 	srv := server.New(cfg.server)
+	if sup := srv.ShardSupervisor(); sup != nil {
+		sup.Start()
+		defer sup.Stop()
+	}
 	if jobMgr != nil {
 		jobMgr.Start()
 		defer func() {

@@ -142,6 +142,41 @@ func TestParseFlagsShard(t *testing.T) {
 	}
 }
 
+func TestParseFlagsShardSupervise(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "repo")
+	mapPath := filepath.Join(t.TempDir(), "map.json")
+
+	cfg, err := parseFlags([]string{"-repo", dir, "-shard-map", mapPath, "-shard-self", "a", "-shard-supervise"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.shardSupervise {
+		t.Error("-shard-supervise not recorded")
+	}
+
+	// A shard-aware standby: follows the primary, mounts the router, and
+	// may itself supervise.
+	cfg, err = parseFlags([]string{"-repo", dir, "-replica-of", "http://primary", "-shard-replica-of-map", mapPath, "-shard-self", "c", "-shard-supervise"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.shardReplicaMap != mapPath || cfg.shardSelf != "c" || !cfg.shardSupervise {
+		t.Errorf("standby flags = %q/%q/%v", cfg.shardReplicaMap, cfg.shardSelf, cfg.shardSupervise)
+	}
+
+	for _, args := range [][]string{
+		{"-shard-supervise"},                                                         // supervise without any map
+		{"-repo", dir, "-replica-of", "http://p", "-shard-supervise"},                // replica without shard map
+		{"-repo", dir, "-shard-replica-of-map", mapPath, "-shard-self", "c"},         // standby map without -replica-of
+		{"-repo", dir, "-replica-of", "http://p", "-shard-replica-of-map", mapPath},  // no self
+		{"-repo", dir, "-replica-of", "http://p", "-shard-replica-of-map", mapPath, "-shard-map", mapPath, "-shard-self", "c"}, // both maps
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted an incomplete supervise config", args)
+		}
+	}
+}
+
 func TestParseFlagsRejectsUnknownLimitsProfile(t *testing.T) {
 	if _, err := parseFlags([]string{"-limits", "bogus"}); err == nil {
 		t.Error("unknown limits profile accepted")

@@ -182,13 +182,121 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	return c.doAt(ctx, c.base, method, path, query, body)
 }
 
-// doSubject runs one subject-scoped exchange with shard routing: the
-// cached shard map picks the starting node, and ownership hints — 421
-// wrong_shard owners, 503 read_only primaries — are followed up to
+// doSubject runs one subject-scoped exchange with shard routing, then
+// — on the failures a cluster heal or rebalance produces — refreshes
+// the cached shard map from any live node and retries exactly once:
+//
+//   - a routing loop, a dead owner, or a terminal 421 means the cached
+//     map (or the cluster's own hints) pointed at stale topology;
+//   - a 503 migrating means the subject is mid-move, so the client
+//     waits out the server's Retry-After (bounded) before the retry.
+//
+// One retry is deliberate: a second failure under a freshly fetched map
+// is the cluster's verdict, not the cache's.
+func (c *Client) doSubject(ctx context.Context, subject, method, path string, query url.Values, body []byte) ([]byte, error) {
+	out, err := c.doSubjectOnce(ctx, subject, method, path, query, body)
+	if err == nil {
+		return out, nil
+	}
+	var ae *APIError
+	switch {
+	case errors.As(err, &ae) && ae.Status == http.StatusServiceUnavailable && ae.Code == "migrating":
+		if waitErr := c.sleep(ctx, migrateWait(ae.RetryAfter())); waitErr != nil {
+			return nil, err
+		}
+		c.refreshShardMapAny(ctx)
+	case errors.Is(err, ErrRoutingLoop),
+		IsConnectError(err),
+		errors.As(err, &ae) && ae.Status == http.StatusMisdirectedRequest:
+		if !c.refreshShardMapAny(ctx) {
+			return nil, err
+		}
+	default:
+		return nil, err
+	}
+	return c.doSubjectOnce(ctx, subject, method, path, query, body)
+}
+
+// migrateWait bounds how long one call blocks on a 503 migrating
+// before retrying: the server's Retry-After, floored at one second and
+// capped at ten.
+func migrateWait(hint time.Duration) time.Duration {
+	if hint < time.Second {
+		hint = time.Second
+	}
+	if hint > 10*time.Second {
+		hint = 10 * time.Second
+	}
+	return hint
+}
+
+// sleep delegates to the retry policy's injected Sleep (tests pin it
+// to run without real time), falling back to a ctx-aware timer.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.policy.Sleep != nil {
+		return c.policy.Sleep(ctx, d)
+	}
+	return sleepCtx(ctx, d)
+}
+
+// sleepCtx sleeps for d or until ctx ends, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// refreshShardMapAny re-fetches the shard map from whichever cluster
+// node answers first — every cached primary and replica, then the
+// configured base URL — and reports whether a newer (or first) map was
+// cached. This is the client's failover path: after a supervisor
+// promotes a replica or evacuates a dead shard, the cached map names a
+// node that no longer owns (or no longer exists), and only a live node
+// can say where the subjects went.
+func (c *Client) refreshShardMapAny(ctx context.Context) bool {
+	c.shardMu.Lock()
+	cached := c.shardMap
+	c.shardMu.Unlock()
+	var before int64
+	var addrs []string
+	if cached != nil {
+		before = cached.Epoch
+		for _, sh := range cached.Shards {
+			addrs = append(addrs, sh.Addr)
+			addrs = append(addrs, sh.Replicas...)
+		}
+	}
+	addrs = append(addrs, c.base)
+	seen := map[string]bool{}
+	for _, addr := range addrs {
+		addr = strings.TrimRight(addr, "/")
+		if addr == "" || seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		c.refreshShardMap(ctx, addr, 0)
+		c.shardMu.Lock()
+		m := c.shardMap
+		c.shardMu.Unlock()
+		if m != nil && (cached == nil || m.Epoch > before) {
+			return true
+		}
+	}
+	return false
+}
+
+// doSubjectOnce runs one subject-scoped exchange with shard routing:
+// the cached shard map picks the starting node, and ownership hints —
+// 421 wrong_shard owners, 503 read_only primaries — are followed up to
 // maxOwnerHops before the call fails with ErrRoutingLoop. Each 421
 // also refreshes the cached map when its epoch is stale, so the next
 // call starts at the right node.
-func (c *Client) doSubject(ctx context.Context, subject, method, path string, query url.Values, body []byte) ([]byte, error) {
+func (c *Client) doSubjectOnce(ctx context.Context, subject, method, path string, query url.Values, body []byte) ([]byte, error) {
 	base := c.base
 	if owner := c.shardOwner(subject); owner != "" {
 		base = owner
@@ -492,6 +600,50 @@ func (c *Client) Subjects(ctx context.Context) ([]Subject, error) {
 		return nil, fmt.Errorf("decoding subject listing: %w", err)
 	}
 	return subs, nil
+}
+
+// AggregateShard identifies one shard the aggregate listing could not
+// reach.
+type AggregateShard struct {
+	ID    string `json:"id"`
+	Addr  string `json:"addr"`
+	Error string `json:"error"`
+}
+
+// AggregateSubject is one row of the cluster-wide subject listing; on
+// a sharded cluster Shard names the owning shard.
+type AggregateSubject struct {
+	Name     string `json:"name"`
+	Policy   string `json:"policy"`
+	Versions int    `json:"versions"`
+	Latest   int    `json:"latest"`
+	Shard    string `json:"shard,omitempty"`
+}
+
+// AggregateSubjects is the partial-failure envelope of GET /v1/repo:
+// the merged cluster-wide listing plus which owners answered.
+type AggregateSubjects struct {
+	Subjects    []AggregateSubject `json:"subjects"`
+	Shards      int                `json:"shards"`
+	Reached     int                `json:"reached"`
+	Unreachable []AggregateShard   `json:"unreachable,omitempty"`
+}
+
+// ListAll fetches the cluster-wide aggregate subject listing. Any node
+// of a shard cluster answers with the merged view; an unsharded server
+// answers with its local subjects in the same envelope. Servers from
+// before the aggregate endpoint answer 404 — callers can fall back to
+// Subjects.
+func (c *Client) ListAll(ctx context.Context) (*AggregateSubjects, error) {
+	data, err := c.do(ctx, http.MethodGet, "/v1/repo", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	var agg AggregateSubjects
+	if err := json.Unmarshal(data, &agg); err != nil {
+		return nil, fmt.Errorf("decoding aggregate listing: %w", err)
+	}
+	return &agg, nil
 }
 
 // VersionList is the version listing of one subject.

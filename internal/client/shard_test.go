@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/go-ccts/ccts/internal/shard"
 )
@@ -144,6 +145,148 @@ func TestOwnerHopBudget(t *testing.T) {
 	_, err := c.Versions(context.Background(), "s")
 	if !errors.Is(err, ErrRoutingLoop) {
 		t.Fatalf("hint chain longer than the hop budget: %v, want ErrRoutingLoop", err)
+	}
+}
+
+// TestFailoverRefreshesMapAndRetries is the client half of a cluster
+// heal: the cached map names a primary that died, a supervisor has
+// installed a newer map naming its promoted replica, and the client —
+// after the dead dial — must re-learn the topology from any live node
+// and retry once, transparently to the caller.
+func TestFailoverRefreshesMapAndRetries(t *testing.T) {
+	const listing = `{"subject":"s","policy":"backward","versions":[]}`
+	var promotedCalls atomic.Int64
+	var promotedURL string
+	promoted := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/shard/map" {
+			m, err := shard.NewMap(3, 16, []shard.Shard{{ID: "a", Addr: promotedURL}}, nil)
+			if err != nil {
+				t.Error(err)
+			}
+			data, _ := m.Encode()
+			w.Write(data)
+			return
+		}
+		promotedCalls.Add(1)
+		w.Write([]byte(listing))
+	}))
+	defer promoted.Close()
+	promotedURL = promoted.URL
+
+	// The dead primary: a server that is already closed. Its address is
+	// what the stale cached map names as owner.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	c := New(promoted.URL, Options{Retry: fastRetry(2)})
+	// Seed the stale cache: epoch 2 names the dead node as primary with
+	// the surviving node as its replica.
+	stale, err := shard.NewMap(2, 16, []shard.Shard{{ID: "a", Addr: deadURL, Replicas: []string{promoted.URL}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.shardMu.Lock()
+	c.shardMap = stale
+	c.shardMu.Unlock()
+
+	vl, err := c.Versions(context.Background(), "s")
+	if err != nil {
+		t.Fatalf("Versions across a failover: %v", err)
+	}
+	if vl.Subject != "s" || promotedCalls.Load() == 0 {
+		t.Fatalf("listing = %+v after %d promoted calls", vl, promotedCalls.Load())
+	}
+	c.shardMu.Lock()
+	epoch := c.shardMap.Epoch
+	c.shardMu.Unlock()
+	if epoch != 3 {
+		t.Fatalf("cached epoch %d after refresh, want 3", epoch)
+	}
+}
+
+// TestMigratingWaitsAndRetries pins satellite behavior on a mid-move
+// subject: the server's 503 migrating (with Retry-After) must be waited
+// out — bounded — and the call retried, not surfaced to the caller.
+func TestMigratingWaitsAndRetries(t *testing.T) {
+	var calls atomic.Int64
+	var slept atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/shard/map" {
+			http.NotFound(w, r)
+			return
+		}
+		// The migration outlasts one doAt retry budget: every attempt of
+		// the first doSubjectOnce answers migrating; the post-wait retry
+		// succeeds.
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"subject is migrating","code":"migrating"}`))
+			return
+		}
+		w.Write([]byte(`{"subject":"s","policy":"backward","versions":[]}`))
+	}))
+	defer srv.Close()
+
+	p := fastRetry(2)
+	p.Sleep = func(ctx context.Context, d time.Duration) error {
+		slept.Add(d.Milliseconds())
+		return ctx.Err()
+	}
+	c := New(srv.URL, Options{Retry: p})
+	vl, err := c.Versions(context.Background(), "s")
+	if err != nil {
+		t.Fatalf("Versions across a migration window: %v", err)
+	}
+	if vl.Subject != "s" {
+		t.Fatalf("listing = %+v", vl)
+	}
+	// The migrate wait floors at one second even under a fast policy —
+	// proof the Retry-After path (not just the doAt backoff) ran.
+	if slept.Load() < 1000 {
+		t.Errorf("slept %dms total, want >= 1000ms (Retry-After floor)", slept.Load())
+	}
+}
+
+// TestMigrateWaitBounds pins the wait window: Retry-After is honored
+// between one and ten seconds regardless of what the server claims.
+func TestMigrateWaitBounds(t *testing.T) {
+	for hint, want := range map[time.Duration]time.Duration{
+		0:                time.Second,
+		time.Second:      time.Second,
+		3 * time.Second:  3 * time.Second,
+		60 * time.Second: 10 * time.Second,
+	} {
+		if got := migrateWait(hint); got != want {
+			t.Errorf("migrateWait(%v) = %v, want %v", hint, got, want)
+		}
+	}
+}
+
+// TestListAllMergesCluster exercises the aggregate listing call against
+// the partial-failure envelope.
+func TestListAllMergesCluster(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/repo" || r.Method != http.MethodGet {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(`{"subjects":[{"name":"lib/a","policy":"backward","versions":2,"latest":2,"shard":"a"}],"shards":3,"reached":2,"unreachable":[{"id":"c","addr":"http://dead","error":"connection refused"}]}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{Retry: fastRetry(2)})
+	agg, err := c.ListAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Subjects) != 1 || agg.Subjects[0].Shard != "a" {
+		t.Fatalf("subjects = %+v", agg.Subjects)
+	}
+	if agg.Shards != 3 || agg.Reached != 2 || len(agg.Unreachable) != 1 {
+		t.Fatalf("envelope = %+v", agg)
 	}
 }
 

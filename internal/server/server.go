@@ -121,6 +121,22 @@ type Config struct {
 	// owner transparently (hop-capped) instead of answering 421; it also
 	// routes /v1/generate by content key for cache affinity.
 	ShardProxy bool
+	// ShardSupervise, with Shard set, runs a shard supervisor on this
+	// node: peer primaries are probed with miss-count hysteresis, and a
+	// confirmed-lost one is healed automatically — its designated
+	// replica promoted (and a new map epoch installed cluster-wide), or
+	// its subjects evacuated onto the survivors via the rebalance
+	// protocol when it has no replica. The server builds the supervisor
+	// (wiring its evacuation to the rebalance); the caller starts and
+	// stops it via ShardSupervisor().
+	ShardSupervise bool
+	// ShardProbeInterval paces the supervisor's probes; 0 means 2s.
+	ShardProbeInterval time.Duration
+	// ShardFailMisses is the supervisor's miss-hysteresis threshold; 0
+	// means 3 consecutive failed probes.
+	ShardFailMisses int
+	// ShardLogf receives supervisor progress lines; nil discards them.
+	ShardLogf func(format string, args ...any)
 }
 
 // Server is the HTTP serving layer. Create with New; the zero value is
@@ -140,6 +156,7 @@ type Server struct {
 	follower *repl.Follower
 	jobs     *jobs.Manager
 	shard    *shard.Router
+	shardSup *shard.Supervisor
 	draining atomic.Bool
 	// drainCh closes when BeginDrain runs so long-lived streams (job
 	// SSE watchers) end promptly instead of holding the shutdown grace
@@ -238,10 +255,20 @@ func New(cfg Config) *Server {
 	if s.shard != nil {
 		s.shard.Instrument(mx)
 		s.syncShardOwned()
+		if cfg.ShardSupervise {
+			s.shardSup = shard.NewSupervisor(s.shard, shard.SupervisorOptions{
+				ProbeInterval: cfg.ShardProbeInterval,
+				FailMisses:    cfg.ShardFailMisses,
+				Logf:          cfg.ShardLogf,
+				Evacuate:      s.evacuateShard,
+			})
+			s.shardSup.Instrument(mx)
+		}
 	}
 	s.mux.HandleFunc("/v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("/v1/validate", s.handleValidate)
 	s.mux.HandleFunc("/v1/registry/search", s.handleRegistrySearch)
+	s.mux.HandleFunc("GET /v1/repo", s.handleRepoAggregate)
 	s.mux.HandleFunc("GET /v1/repo/subjects", s.handleRepoSubjects)
 	s.mux.HandleFunc("POST /v1/repo/subjects/{subject}/versions", s.handleRepoPublish)
 	s.mux.HandleFunc("GET /v1/repo/subjects/{subject}/versions", s.handleRepoVersions)
@@ -257,6 +284,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("PUT /v1/shard/map", s.handleShardMapPut)
 	s.mux.HandleFunc("POST /v1/shard/pull", s.handleShardPull)
 	s.mux.HandleFunc("POST /v1/shard/rebalance", s.handleShardRebalance)
+	s.mux.HandleFunc("POST /v1/shard/heal", s.handleShardHeal)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -306,6 +334,11 @@ func (s *Server) Metrics() *metrics.Registry { return s.mx }
 
 // Cache returns the schema cache (for stats and tests).
 func (s *Server) Cache() *schemacache.Cache { return s.cache }
+
+// ShardSupervisor returns the shard supervisor built for
+// Config.ShardSupervise, or nil. The caller owns its probe loop:
+// Start() after the listener is up, Stop() before shutdown.
+func (s *Server) ShardSupervisor() *shard.Supervisor { return s.shardSup }
 
 // debugWriter receives panic stacks; a variable so tests can silence it.
 var debugWriter io.Writer = os.Stderr
@@ -633,11 +666,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.shard != nil {
 		m := s.shard.Map()
-		doc["shard"] = map[string]any{
+		sh := map[string]any{
 			"self": s.shard.Self(), "epoch": m.Epoch,
 			"shards": len(m.Shards), "migrations": len(m.Migrations),
 			"proxy": s.cfg.ShardProxy,
 		}
+		if s.shardSup != nil {
+			sst := s.shardSup.Status()
+			sh["supervisor"] = map[string]any{
+				"probeInterval": sst.ProbeInterval.String(),
+				"failMisses":    sst.FailMisses,
+				"suspects":      sst.Suspects,
+				"deadNodes":     sst.DeadNodes,
+				"failovers":     sst.Failovers,
+				"evacuations":   sst.Evacuations,
+			}
+		}
+		doc["shard"] = sh
 	}
 	if code != http.StatusOK {
 		s.errors5xx.Inc()

@@ -32,8 +32,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"github.com/go-ccts/ccts/internal/repo"
 	"github.com/go-ccts/ccts/internal/shard"
 )
 
@@ -447,6 +449,177 @@ func (s *Server) driveShardPull(ctx context.Context, mg shard.Migration) error {
 		return fmt.Errorf("pull at %s: %s: %s", mg.ToAddr, resp.Status, strings.TrimSpace(string(snippet)))
 	}
 	return nil
+}
+
+// evacuateShard is the supervisor's evacuation hook: it reuses the
+// crash-resumable two-epoch rebalance to move a dead (but readable —
+// typically read-only) shard's subjects onto the survivors. The
+// supervisor decides *when*; this decides *how*, exactly as a manual
+// POST /v1/shard/rebalance onto the shrunk topology would.
+func (s *Server) evacuateShard(ctx context.Context, survivors []shard.Shard, vnodes int) error {
+	if s.repo == nil {
+		return fmt.Errorf("evacuation needs a local repository")
+	}
+	_, _, err := s.rebalance(ctx, s.shard.Map(), shardRebalanceRequest{Shards: survivors, VNodes: vnodes})
+	if err == nil {
+		s.syncShardOwned()
+	}
+	return err
+}
+
+// handleShardHeal is POST /v1/shard/heal: probe every peer once and
+// heal any that fails, immediately — the manual trigger of the same
+// machinery the background supervisor runs on hysteresis. Answers 404
+// supervise on nodes running without a supervisor.
+func (s *Server) handleShardHeal(w http.ResponseWriter, r *http.Request) {
+	if !s.shardConfigured(w) {
+		return
+	}
+	if s.shardSup == nil {
+		s.writeError(w, &apiError{Status: http.StatusNotFound, Code: "supervise", Message: "this node does not run a shard supervisor (start ccserved with -shard-supervise)"})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), shardPullTimeout)
+	defer cancel()
+	rep := s.shardSup.HealNow(ctx)
+	s.syncShardOwned()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rep)
+}
+
+// aggregateSubject is one row of the cluster-wide subject listing.
+type aggregateSubject struct {
+	Name     string      `json:"name"`
+	Policy   repo.Policy `json:"policy"`
+	Versions int         `json:"versions"`
+	Latest   int         `json:"latest"`
+	Shard    string      `json:"shard,omitempty"`
+}
+
+// unreachableShard reports one owner the aggregate could not reach.
+type unreachableShard struct {
+	ID    string `json:"id"`
+	Addr  string `json:"addr"`
+	Error string `json:"error"`
+}
+
+// shardListTimeout bounds one peer's subject listing in the aggregate
+// fan-out.
+const shardListTimeout = 10 * time.Second
+
+// aggregateConcurrency bounds the fan-out.
+const aggregateConcurrency = 8
+
+// handleRepoAggregate is GET /v1/repo: the shard-aware aggregate
+// subject listing. On a sharded node it fans out to every owner the
+// installed map names (bounded concurrency) and merges the answers,
+// keeping each subject's row from its authoritative owner only; owners
+// that cannot be reached are listed in the partial-failure envelope
+// instead of failing the whole listing. On an unsharded node it is the
+// local listing in the same envelope.
+func (s *Server) handleRepoAggregate(w http.ResponseWriter, r *http.Request) {
+	if !s.repoConfigured(w) {
+		return
+	}
+	local := func(id string) []aggregateSubject {
+		subs := s.repo.Subjects()
+		out := make([]aggregateSubject, 0, len(subs))
+		for _, sub := range subs {
+			out = append(out, aggregateSubject{Name: sub.Name, Policy: sub.Policy, Versions: sub.Versions, Latest: sub.Latest, Shard: id})
+		}
+		return out
+	}
+	envelope := struct {
+		Subjects    []aggregateSubject `json:"subjects"`
+		Shards      int                `json:"shards"`
+		Reached     int                `json:"reached"`
+		Unreachable []unreachableShard `json:"unreachable,omitempty"`
+	}{Subjects: []aggregateSubject{}}
+
+	if s.shard == nil {
+		envelope.Subjects = local("")
+		envelope.Shards, envelope.Reached = 1, 1
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(envelope)
+		return
+	}
+
+	// The endpoints to ask: every shard of the map, plus migration
+	// sources already off the shard list (their subjects are still
+	// pinned to them until the move commits).
+	m := s.shard.Map()
+	type endpoint struct{ id, addr string }
+	var eps []endpoint
+	seen := map[string]bool{}
+	for _, sh := range m.Shards {
+		eps = append(eps, endpoint{sh.ID, sh.Addr})
+		seen[sh.ID] = true
+	}
+	for _, mg := range m.Migrations {
+		if !seen[mg.From] {
+			seen[mg.From] = true
+			eps = append(eps, endpoint{mg.From, mg.FromAddr})
+		}
+	}
+
+	type answer struct {
+		rows []aggregateSubject
+		err  error
+	}
+	answers := make([]answer, len(eps))
+	sem := make(chan struct{}, aggregateConcurrency)
+	var wg sync.WaitGroup
+	for i, ep := range eps {
+		wg.Add(1)
+		go func(i int, ep endpoint) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if s.isSelfShardAddr(m, ep.addr) {
+				answers[i] = answer{rows: local(ep.id)}
+				return
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), shardListTimeout)
+			defer cancel()
+			var listing []aggregateSubject
+			if err := shardGetJSON(ctx, strings.TrimRight(ep.addr, "/")+"/v1/repo/subjects", &listing); err != nil {
+				answers[i] = answer{err: err}
+				return
+			}
+			for j := range listing {
+				listing[j].Shard = ep.id
+			}
+			answers[i] = answer{rows: listing}
+		}(i, ep)
+	}
+	wg.Wait()
+
+	// Merge: a subject's row counts only when its reporting node is the
+	// route-authoritative owner, so bytes left behind by a finished
+	// migration (sources keep their history) never show up twice.
+	byName := map[string]aggregateSubject{}
+	for _, a := range answers {
+		for _, row := range a.rows {
+			if m.Route(row.Name).Owner.ID != row.Shard {
+				continue
+			}
+			byName[row.Name] = row
+		}
+	}
+	for _, row := range byName {
+		envelope.Subjects = append(envelope.Subjects, row)
+	}
+	sort.Slice(envelope.Subjects, func(i, j int) bool { return envelope.Subjects[i].Name < envelope.Subjects[j].Name })
+	envelope.Shards = len(eps)
+	for i, a := range answers {
+		if a.err != nil {
+			envelope.Unreachable = append(envelope.Unreachable, unreachableShard{ID: eps[i].id, Addr: eps[i].addr, Error: a.err.Error()})
+		} else {
+			envelope.Reached++
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(envelope)
 }
 
 // shardAddrs unions the addresses of a map's shards, its migration

@@ -11,10 +11,16 @@ import (
 // Shard is one primary in the cluster: a stable ID (what the ring
 // hashes) and the HTTP base address clients and peers reach it at.
 // Hashing the ID rather than the address means a primary can move hosts
-// without remapping a single subject.
+// without remapping a single subject. Replicas lists the base addresses
+// of standby read replicas of this primary (ccserved -replica-of +
+// -shard-replica-of-map): on confirmed primary loss the supervisor
+// promotes the first promotable replica and installs a map whose Addr
+// is the replica's — the shard ID, and therefore every subject
+// placement, survives the failover.
 type Shard struct {
-	ID   string `json:"id"`
-	Addr string `json:"addr"`
+	ID       string   `json:"id"`
+	Addr     string   `json:"addr"`
+	Replicas []string `json:"replicas,omitempty"`
 }
 
 // Migration records one subject in flight between primaries. While a
@@ -57,6 +63,9 @@ func NewMap(epoch int64, vnodes int, shards []Shard, migrations []Migration) (*M
 		Shards:     append([]Shard(nil), shards...),
 		Migrations: append([]Migration(nil), migrations...),
 	}
+	for i := range m.Shards {
+		m.Shards[i].Replicas = append([]string(nil), m.Shards[i].Replicas...)
+	}
 	if err := m.init(); err != nil {
 		return nil, err
 	}
@@ -90,7 +99,8 @@ func (m *Map) init() error {
 	sort.Slice(m.Shards, func(i, j int) bool { return m.Shards[i].ID < m.Shards[j].ID })
 	ids := make(map[string]bool, len(m.Shards))
 	nodes := make([]string, 0, len(m.Shards))
-	for _, s := range m.Shards {
+	for i := range m.Shards {
+		s := &m.Shards[i]
 		if s.ID == "" || s.Addr == "" {
 			return fmt.Errorf("shard map: shard with empty id or addr")
 		}
@@ -99,6 +109,18 @@ func (m *Map) init() error {
 		}
 		ids[s.ID] = true
 		nodes = append(nodes, s.ID)
+		sort.Strings(s.Replicas)
+		for j, r := range s.Replicas {
+			if r == "" {
+				return fmt.Errorf("shard map: shard %q with empty replica addr", s.ID)
+			}
+			if r == s.Addr {
+				return fmt.Errorf("shard map: shard %q lists its own addr as a replica", s.ID)
+			}
+			if j > 0 && s.Replicas[j-1] == r {
+				return fmt.Errorf("shard map: shard %q with duplicate replica %q", s.ID, r)
+			}
+		}
 	}
 	sort.Slice(m.Migrations, func(i, j int) bool { return m.Migrations[i].Subject < m.Migrations[j].Subject })
 	m.migs = make(map[string]*Migration, len(m.Migrations))

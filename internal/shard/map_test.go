@@ -36,6 +36,15 @@ func TestMapValidation(t *testing.T) {
 			mg := Migration{Subject: "s", From: "a", FromAddr: "x", To: "b", ToAddr: "y"}
 			return NewMap(2, 0, testShards(), []Migration{mg, mg})
 		}},
+		{"empty replica addr", func() (*Map, error) {
+			return NewMap(1, 0, []Shard{{ID: "a", Addr: "x", Replicas: []string{""}}}, nil)
+		}},
+		{"duplicate replica", func() (*Map, error) {
+			return NewMap(1, 0, []Shard{{ID: "a", Addr: "x", Replicas: []string{"y", "y"}}}, nil)
+		}},
+		{"replica equals primary addr", func() (*Map, error) {
+			return NewMap(1, 0, []Shard{{ID: "a", Addr: "x", Replicas: []string{"x"}}}, nil)
+		}},
 	}
 	for _, tc := range cases {
 		if _, err := tc.fn(); err == nil {
@@ -64,7 +73,7 @@ func TestMapRouteMigrationPinsSource(t *testing.T) {
 	if ro.Target.ID != "b" {
 		t.Fatalf("target = %+v, want b", ro.Target)
 	}
-	if ro2 := m.Route("settled-subject"); ro2.Migrating || ro2.Owner != ro2.Target {
+	if ro2 := m.Route("settled-subject"); ro2.Migrating || ro2.Owner.ID != ro2.Target.ID {
 		t.Fatalf("non-migrating subject routed as %+v", ro2)
 	}
 }
@@ -73,7 +82,7 @@ func TestMapEncodeFixedPoint(t *testing.T) {
 	// Unsorted input must normalize once; the encoded form re-parses and
 	// re-encodes to identical bytes.
 	m, err := NewMap(5, 32, []Shard{
-		{ID: "z", Addr: "http://z"},
+		{ID: "z", Addr: "http://z", Replicas: []string{"http://z2", "http://z1"}},
 		{ID: "a", Addr: "http://a"},
 	}, []Migration{
 		{Subject: "zz", From: "z", FromAddr: "http://z", To: "a", ToAddr: "http://a"},
@@ -198,6 +207,13 @@ func FuzzShardMapJSON(f *testing.F) {
 	})
 	seed, _ := m.Encode()
 	f.Add(seed)
+	mr, _ := NewMap(4, 16, []Shard{
+		{ID: "a", Addr: "http://127.0.0.1:7001", Replicas: []string{"http://127.0.0.1:7011", "http://127.0.0.1:7012"}},
+		{ID: "b", Addr: "http://127.0.0.1:7002"},
+	}, nil)
+	seedReplicas, _ := mr.Encode()
+	f.Add(seedReplicas)
+	f.Add([]byte(`{"epoch":1,"shards":[{"id":"x","addr":"http://x","replicas":["http://y"]}]}`))
 	f.Add([]byte(`{"epoch":1,"shards":[{"id":"x","addr":"http://x"}]}`))
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`not json`))
@@ -223,7 +239,8 @@ func FuzzShardMapJSON(f *testing.F) {
 		}
 		for _, s := range []string{"a", "mv", "library-0001/core-component", ""} {
 			r1, r2 := m1.Route(s), m2.Route(s)
-			if r1 != r2 {
+			if r1.Owner.ID != r2.Owner.ID || r1.Owner.Addr != r2.Owner.Addr ||
+				r1.Target.ID != r2.Target.ID || r1.Migrating != r2.Migrating {
 				t.Fatalf("Route(%q) differs across round-trip: %+v vs %+v", s, r1, r2)
 			}
 		}

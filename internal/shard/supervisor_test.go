@@ -1,0 +1,346 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testPeer is a minimal shard-cluster peer for supervisor tests: an
+// httptest server whose handler is installed after the shard map (and
+// therefore the peer's address) is known.
+type testPeer struct {
+	srv     *httptest.Server
+	handler atomic.Value // http.Handler
+}
+
+func newTestPeer(t *testing.T) *testPeer {
+	t.Helper()
+	p := &testPeer{}
+	p.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h, ok := p.handler.Load().(http.Handler)
+		if !ok {
+			http.Error(w, "not wired yet", http.StatusInternalServerError)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+func (p *testPeer) addr() string { return p.srv.URL }
+
+// routerHandler speaks the three endpoints the supervisor uses against
+// a real Router: /healthz (status + installed epoch), the map exchange,
+// and — when promotes is non-nil — the replica promotion endpoint.
+func routerHandler(rt *Router, status *atomic.Value, promotes *atomic.Int64) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := "ok"
+		if status != nil {
+			if s, ok := status.Load().(string); ok && s != "" {
+				st = s
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status": st,
+			"shard":  map[string]any{"epoch": rt.Epoch()},
+		})
+	})
+	mux.HandleFunc("GET /v1/shard/map", func(w http.ResponseWriter, r *http.Request) {
+		data, _ := rt.Map().Encode()
+		w.Write(data)
+	})
+	mux.HandleFunc("PUT /v1/shard/map", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		m, err := ParseMap(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := rt.Install(m); err != nil {
+			if errors.Is(err, ErrStaleEpoch) {
+				http.Error(w, `{"code":"stale_epoch"}`, http.StatusConflict)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"installed":true}`))
+	})
+	mux.HandleFunc("POST /v1/repl/promote", func(w http.ResponseWriter, r *http.Request) {
+		if promotes == nil {
+			http.Error(w, `{"error":"not a replica","code":"repl"}`, http.StatusNotFound)
+			return
+		}
+		promotes.Add(1)
+		w.Write([]byte(`{"promoted":true}`))
+	})
+	return mux
+}
+
+// newTestRouter opens a router for self over a fresh copy of m.
+func newTestRouter(t *testing.T, m *Map, self string) *Router {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "map.json")
+	if err := SaveMap(path, m); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := OpenRouter(path, self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func mustMap(t *testing.T, epoch int64, shards []Shard, migs []Migration) *Map {
+	t.Helper()
+	m, err := NewMap(epoch, 16, shards, migs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSupervisorPromotesReplica: a dead primary with a standby replica
+// is failed over after the miss hysteresis — the replica is promoted,
+// a new epoch naming it lands on every live node, and a single missed
+// probe never triggers anything.
+func TestSupervisorPromotesReplica(t *testing.T) {
+	dead := newTestPeer(t)
+	replica := newTestPeer(t)
+
+	m1 := mustMap(t, 1, []Shard{
+		{ID: "a", Addr: "http://self.invalid:1"},
+		{ID: "c", Addr: dead.addr(), Replicas: []string{replica.addr()}},
+	}, nil)
+
+	rtA := newTestRouter(t, m1, "a")
+	rtR := newTestRouter(t, m1, "c")
+	var promotes atomic.Int64
+	replica.handler.Store(routerHandler(rtR, nil, &promotes))
+	dead.srv.Close() // hard death: connect refused
+
+	sup := NewSupervisor(rtA, SupervisorOptions{ProbeInterval: 500 * time.Millisecond, FailMisses: 2})
+	ctx := context.Background()
+
+	// First miss: hysteresis holds, nothing moves.
+	sup.sweep(ctx, sup.opts.FailMisses)
+	if rtA.Epoch() != 1 {
+		t.Fatalf("epoch moved to %d after one missed probe", rtA.Epoch())
+	}
+	if st := sup.Status(); st.Suspects["c"] != 1 || len(st.DeadNodes) != 0 {
+		t.Fatalf("status after one miss = %+v", st)
+	}
+
+	// Second miss confirms the loss and heals.
+	sup.sweep(ctx, sup.opts.FailMisses)
+	if rtA.Epoch() != 2 {
+		t.Fatalf("epoch = %d after confirmed loss, want 2", rtA.Epoch())
+	}
+	if promotes.Load() != 1 {
+		t.Fatalf("replica promoted %d times, want 1", promotes.Load())
+	}
+	sh, ok := rtA.Map().Shard("c")
+	if !ok || sh.Addr != replica.addr() || len(sh.Replicas) != 0 {
+		t.Fatalf("failed-over shard c = %+v, want addr %s and no standby left", sh, replica.addr())
+	}
+	// The promoted replica received the new map.
+	if rtR.Epoch() != 2 {
+		t.Fatalf("replica router at epoch %d, want 2", rtR.Epoch())
+	}
+	if sup.Failovers() != 1 {
+		t.Fatalf("failovers = %d", sup.Failovers())
+	}
+	// The healed shard is no longer suspect; the next sweep probes the
+	// replica's (healthy) address and stays quiet.
+	sup.sweep(ctx, sup.opts.FailMisses)
+	if st := sup.Status(); len(st.Suspects) != 0 || rtA.Epoch() != 2 {
+		t.Fatalf("post-heal status = %+v epoch %d", st, rtA.Epoch())
+	}
+}
+
+// TestSupervisorEvacuatesWithoutReplica: a primary self-reporting
+// read-only (alive for reads, dead for writes) with no standby is
+// evacuated through the injected rebalance hook; a merely degraded
+// peer is left alone.
+func TestSupervisorEvacuatesWithoutReplica(t *testing.T) {
+	peer := newTestPeer(t)
+	m1 := mustMap(t, 1, []Shard{
+		{ID: "a", Addr: "http://self.invalid:1"},
+		{ID: "b", Addr: peer.addr()},
+	}, nil)
+	rtA := newTestRouter(t, m1, "a")
+	rtB := newTestRouter(t, m1, "b")
+	var status atomic.Value
+	status.Store("degraded")
+	peer.handler.Store(routerHandler(rtB, &status, nil))
+
+	var mu sync.Mutex
+	var gotSurvivors []Shard
+	calls := 0
+	sup := NewSupervisor(rtA, SupervisorOptions{
+		ProbeInterval: 500 * time.Millisecond,
+		FailMisses:    1,
+		Evacuate: func(ctx context.Context, survivors []Shard, vnodes int) error {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			gotSurvivors = survivors
+			// Stand in for the server's rebalance: install the shrunk map.
+			next := mustMap(t, rtA.Epoch()+1, survivors, nil)
+			return rtA.Install(next)
+		},
+	})
+	ctx := context.Background()
+
+	// Degraded is not dead: reads and writes still serve there.
+	sup.sweep(ctx, 1)
+	mu.Lock()
+	if calls != 0 {
+		mu.Unlock()
+		t.Fatal("degraded peer was evacuated")
+	}
+	mu.Unlock()
+
+	// Read-only trips the heal; with no replica it evacuates.
+	status.Store("read-only")
+	sup.sweep(ctx, 1)
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 || len(gotSurvivors) != 1 || gotSurvivors[0].ID != "a" {
+		t.Fatalf("evacuate calls=%d survivors=%+v", calls, gotSurvivors)
+	}
+	if sup.Evacuations() != 1 {
+		t.Fatalf("evacuations = %d", sup.Evacuations())
+	}
+	if rtA.Epoch() != 2 {
+		t.Fatalf("epoch = %d after evacuation", rtA.Epoch())
+	}
+}
+
+// TestSupervisorAntiEntropy: a healthy peer whose installed epoch lags
+// the supervisor's gets the current map re-pushed on the probe path,
+// so a node that missed a failover's push converges within one sweep.
+func TestSupervisorAntiEntropy(t *testing.T) {
+	peer := newTestPeer(t)
+	m1 := mustMap(t, 1, []Shard{
+		{ID: "a", Addr: "http://self.invalid:1"},
+		{ID: "b", Addr: peer.addr()},
+	}, nil)
+	rtA := newTestRouter(t, m1, "a")
+	rtB := newTestRouter(t, m1, "b")
+	peer.handler.Store(routerHandler(rtB, nil, nil))
+
+	m2 := mustMap(t, 2, m1.Shards, nil)
+	if err := rtA.Install(m2); err != nil {
+		t.Fatal(err)
+	}
+	sup := NewSupervisor(rtA, SupervisorOptions{ProbeInterval: 500 * time.Millisecond, FailMisses: 3})
+	sup.sweep(context.Background(), 3)
+	if rtB.Epoch() != 2 {
+		t.Fatalf("lagging peer at epoch %d after sweep, want 2", rtB.Epoch())
+	}
+}
+
+// TestConcurrentSupervisorsSingleEpoch: two supervisors on different
+// nodes race to heal the same dead primary. Both derive the same
+// deterministic failover map, the Install CAS acknowledges the twin as
+// a no-op, and the cluster converges on exactly one new epoch — never
+// two conflicting maps.
+func TestConcurrentSupervisorsSingleEpoch(t *testing.T) {
+	peerA := newTestPeer(t)
+	peerB := newTestPeer(t)
+	dead := newTestPeer(t)
+	replica := newTestPeer(t)
+
+	m1 := mustMap(t, 1, []Shard{
+		{ID: "a", Addr: peerA.addr()},
+		{ID: "b", Addr: peerB.addr()},
+		{ID: "c", Addr: dead.addr(), Replicas: []string{replica.addr()}},
+	}, nil)
+	rtA := newTestRouter(t, m1, "a")
+	rtB := newTestRouter(t, m1, "b")
+	rtR := newTestRouter(t, m1, "c")
+	var promotes atomic.Int64
+	peerA.handler.Store(routerHandler(rtA, nil, nil))
+	peerB.handler.Store(routerHandler(rtB, nil, nil))
+	replica.handler.Store(routerHandler(rtR, nil, &promotes))
+	dead.srv.Close()
+
+	supA := NewSupervisor(rtA, SupervisorOptions{ProbeInterval: time.Second, FailMisses: 1})
+	supB := NewSupervisor(rtB, SupervisorOptions{ProbeInterval: time.Second, FailMisses: 1})
+
+	var wg sync.WaitGroup
+	for _, sup := range []*Supervisor{supA, supB} {
+		wg.Add(1)
+		go func(s *Supervisor) {
+			defer wg.Done()
+			s.HealNow(context.Background())
+		}(sup)
+	}
+	wg.Wait()
+
+	// Exactly one epoch advance — a second, conflicting map would have
+	// needed epoch 3 (or a CAS refusal, which errors the heal).
+	wantEpoch := int64(2)
+	for name, rt := range map[string]*Router{"a": rtA, "b": rtB, "replica": rtR} {
+		if rt.Epoch() != wantEpoch {
+			t.Fatalf("router %s at epoch %d, want %d", name, rt.Epoch(), wantEpoch)
+		}
+	}
+	a, _ := rtA.Map().Encode()
+	b, _ := rtB.Map().Encode()
+	r, _ := rtR.Map().Encode()
+	if !bytes.Equal(a, b) || !bytes.Equal(a, r) {
+		t.Fatalf("maps diverged after concurrent heal:\n%s\nvs\n%s\nvs\n%s", a, b, r)
+	}
+	sh, _ := rtA.Map().Shard("c")
+	if sh.Addr != replica.addr() {
+		t.Fatalf("shard c not failed over: %+v", sh)
+	}
+	if got := supA.Failovers() + supB.Failovers(); got < 1 || got > 2 {
+		t.Fatalf("combined failovers = %d", got)
+	}
+	if promotes.Load() < 1 {
+		t.Fatal("replica never promoted")
+	}
+}
+
+// TestSupervisorStartStop: the probe loop starts, fires, and stops
+// without leaking; both calls are idempotent.
+func TestSupervisorStartStop(t *testing.T) {
+	dead := newTestPeer(t)
+	m1 := mustMap(t, 1, []Shard{
+		{ID: "a", Addr: "http://self.invalid:1"},
+		{ID: "b", Addr: dead.addr()},
+	}, nil)
+	dead.srv.Close()
+	rt := newTestRouter(t, m1, "a")
+	sup := NewSupervisor(rt, SupervisorOptions{ProbeInterval: 10 * time.Millisecond, FailMisses: 1000})
+	sup.Start()
+	sup.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := sup.Status(); st.Suspects["b"] >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("probe loop never accumulated misses")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	sup.Stop()
+	sup.Stop()
+}
